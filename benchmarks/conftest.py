@@ -1,0 +1,32 @@
+"""Shared benchmark configuration.
+
+Benchmarks double as the figure/table regenerators: each prints the
+rendered artifact (archived via ``pytest benchmarks/ --benchmark-only |
+tee bench_output.txt``) and asserts the *shape* of the paper's claim.
+Horizons are reduced relative to EXPERIMENTS.md headline runs to keep the
+suite re-runnable in minutes; the claim directions are unaffected.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.experiments import Fig1Config, Fig2Config
+
+
+@pytest.fixture(scope="session")
+def fig1_config():
+    """Reduced FIG1 config (~60k slots)."""
+    return dataclasses.replace(
+        Fig1Config(), n_slots=60_000, record_every=2_000
+    )
+
+
+@pytest.fixture(scope="session")
+def fig2_config():
+    """Reduced FIG2 config (4 x 25k slots)."""
+    return dataclasses.replace(
+        Fig2Config(), segment_slots=25_000, record_every=1_000
+    )

@@ -1,0 +1,95 @@
+"""Ablation: TD agent variants on the same DPM task.
+
+Compares the paper's Watkins Q-learning with SARSA, Expected SARSA,
+Double Q-learning (targets the max-bootstrap overestimation this
+reproduction observed at rarely-visited states), and Watkins Q(lambda)
+(faster credit propagation across multi-slot wake-ups).  Same
+environment, same exploration, same budget.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.core import (
+    QDPM,
+    DoubleQLearningAgent,
+    EpsilonGreedy,
+    ExpectedSarsaAgent,
+    QLearningAgent,
+    SarsaAgent,
+    WatkinsQLambdaAgent,
+)
+from repro.device import abstract_three_state
+from repro.env import SlottedDPMEnv, build_dpm_model
+from repro.workload import ConstantRate
+
+RATE = 0.15
+N_SLOTS = 70_000
+
+AGENTS = {
+    "q-learning (paper)": lambda env, seed: QLearningAgent(
+        env.n_states, env.n_actions, discount=0.95, learning_rate=0.1,
+        exploration=EpsilonGreedy(0.08), seed=seed,
+    ),
+    "sarsa": lambda env, seed: SarsaAgent(
+        env.n_states, env.n_actions, discount=0.95, learning_rate=0.1,
+        exploration=EpsilonGreedy(0.08), seed=seed,
+    ),
+    "expected sarsa": lambda env, seed: ExpectedSarsaAgent(
+        env.n_states, env.n_actions, discount=0.95, learning_rate=0.1,
+        exploration=EpsilonGreedy(0.08), seed=seed,
+    ),
+    "double q": lambda env, seed: DoubleQLearningAgent(
+        env.n_states, env.n_actions, discount=0.95, learning_rate=0.1,
+        exploration=EpsilonGreedy(0.08), seed=seed,
+    ),
+    "q(lambda=0.7)": lambda env, seed: WatkinsQLambdaAgent(
+        env.n_states, env.n_actions, discount=0.95, learning_rate=0.1,
+        lambda_=0.7, exploration=EpsilonGreedy(0.08), seed=seed,
+    ),
+}
+
+
+def run_one(make_agent, seed):
+    env = SlottedDPMEnv(
+        abstract_three_state(), ConstantRate(RATE),
+        queue_capacity=4, p_serve=0.9, seed=seed,
+    )
+    agent = make_agent(env, seed + 1)
+    controller = QDPM(env, agent=agent)
+    hist = controller.run(N_SLOTS, record_every=5_000)
+    early = float(hist.reward[2:5].mean())   # slots 10k-25k: learning speed
+    final = float(hist.reward[-3:].mean())
+    return early, final
+
+
+def test_agent_variants(benchmark):
+    def sweep():
+        out = {}
+        for name, make_agent in AGENTS.items():
+            runs = [run_one(make_agent, seed) for seed in (101, 102)]
+            out[name] = tuple(np.mean(runs, axis=0))
+        return out
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    model = build_dpm_model(
+        abstract_three_state(), arrival_rate=RATE, queue_capacity=4, p_serve=0.9
+    )
+    opt = model.solve(0.95, "policy_iteration")
+    opt_soft = model.evaluate_policy(opt.policy, epsilon=0.08).average_reward
+
+    print()
+    print(format_table(
+        ["agent", "early payoff (10-25k)", "final payoff",
+         "final gap to eps-soft opt"],
+        [[name, round(e, 4), round(f, 4), round(opt_soft - f, 4)]
+         for name, (e, f) in results.items()],
+        title=f"Ablation: TD agent variants (eps-soft optimum {opt_soft:.4f})",
+    ))
+
+    for name, (early, final) in results.items():
+        assert final > early - 0.02, f"{name} failed to improve"
+        assert opt_soft - final < 0.25, f"{name} far from optimum: {final}"

@@ -1,0 +1,78 @@
+"""Ablation: exploration strategy (paper's constant epsilon vs. variants).
+
+DESIGN.md design-choice #2.  Constant epsilon (the paper) pays a
+permanent tax but stays plastic; decaying epsilon converges closer to the
+pure optimum in stationary settings; Boltzmann weights exploration by
+value differences.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.core import (
+    QDPM,
+    Boltzmann,
+    EpsilonGreedy,
+    ExponentialDecay,
+    QLearningAgent,
+)
+from repro.device import abstract_three_state
+from repro.env import SlottedDPMEnv, build_dpm_model
+from repro.workload import ConstantRate
+
+N_SLOTS = 80_000
+RATE = 0.15
+
+
+def run_strategy(strategy, seed):
+    env = SlottedDPMEnv(
+        abstract_three_state(), ConstantRate(RATE),
+        queue_capacity=4, p_serve=0.9, seed=seed,
+    )
+    agent = QLearningAgent(
+        env.n_states, env.n_actions, discount=0.95, learning_rate=0.1,
+        exploration=strategy, seed=seed + 1,
+    )
+    controller = QDPM(env, agent=agent)
+    hist = controller.run(N_SLOTS, record_every=4_000)
+    return float(hist.reward[-4:].mean())
+
+
+def test_exploration_ablation(benchmark):
+    strategies = {
+        "eps=0.1 (paper)": lambda: EpsilonGreedy(0.1),
+        "eps decay 0.3->0.01": lambda: EpsilonGreedy(
+            ExponentialDecay(0.3, decay=0.9999, minimum=0.01)
+        ),
+        "boltzmann T=0.3": lambda: Boltzmann(0.3),
+    }
+
+    def sweep():
+        return {
+            name: np.mean([run_strategy(make(), seed) for seed in (81, 82)])
+            for name, make in strategies.items()
+        }
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    model = build_dpm_model(
+        abstract_three_state(), arrival_rate=RATE, queue_capacity=4, p_serve=0.9
+    )
+    optimal = model.solve(0.95, "policy_iteration")
+    opt_reward = model.evaluate_policy(optimal.policy).average_reward
+
+    print()
+    print(format_table(
+        ["strategy", "final online payoff", "gap to pure optimum"],
+        [[name, round(v, 4), round(opt_reward - v, 4)]
+         for name, v in results.items()],
+        title=f"Ablation: exploration strategy (optimum {opt_reward:.4f})",
+    ))
+
+    # every strategy must land in the optimum's neighbourhood
+    for name, value in results.items():
+        assert opt_reward - value < 0.25, (name, value, opt_reward)
+    # decaying epsilon must beat constant epsilon in a stationary world
+    assert results["eps decay 0.3->0.01"] >= results["eps=0.1 (paper)"] - 0.02

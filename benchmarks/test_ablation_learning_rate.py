@@ -1,0 +1,81 @@
+"""Ablation: constant learning rate — steady-state quality vs. tracking.
+
+DESIGN.md design-choice #3, and the knob behind Fig. 2's headline: a low
+constant alpha converges tightly in stationary settings but tracks regime
+switches slowly; a high alpha is noisy at steady state but re-converges
+almost immediately.  The paper's constant-alpha choice is exactly this
+trade-off; the bench quantifies both columns.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.core import QDPM
+from repro.device import abstract_three_state
+from repro.env import SlottedDPMEnv, build_dpm_model
+from repro.workload import ConstantRate, PiecewiseConstantRate
+
+
+def stationary_payoff(lr, seed, n_slots=60_000):
+    env = SlottedDPMEnv(
+        abstract_three_state(), ConstantRate(0.15),
+        queue_capacity=4, p_serve=0.9, seed=seed,
+    )
+    controller = QDPM(env, learning_rate=lr, epsilon=0.05, seed=seed + 1)
+    hist = controller.run(n_slots, record_every=4_000)
+    return float(hist.reward[-4:].mean())
+
+
+def _post_switch_target(rate=0.03, epsilon=0.05):
+    """Exact eps-soft optimal payoff of the post-switch regime — a fixed,
+    controller-independent recovery target (a self-relative target is
+    meaningless for learning rates too slow to ever converge)."""
+    model = build_dpm_model(
+        abstract_three_state(), arrival_rate=rate, queue_capacity=4, p_serve=0.9
+    )
+    optimal = model.solve(0.95, "policy_iteration")
+    return model.evaluate_policy(optimal.policy, epsilon=epsilon).average_reward
+
+
+def switch_recovery_slots(lr, seed, target, segment=25_000):
+    schedule = PiecewiseConstantRate([(segment, 0.30), (segment, 0.03)])
+    env = SlottedDPMEnv(
+        abstract_three_state(), schedule,
+        queue_capacity=4, p_serve=0.9, seed=seed,
+    )
+    controller = QDPM(env, learning_rate=lr, epsilon=0.05, seed=seed + 1)
+    hist = controller.run(2 * segment, record_every=1_000)
+    for slot, value in zip(hist.slots, hist.reward):
+        if slot >= segment and value >= target - 0.1:
+            return int(slot - segment)
+    return segment
+
+
+def test_learning_rate_ablation(benchmark):
+    rates = (0.05, 0.2, 0.5)
+
+    def sweep():
+        target = _post_switch_target()
+        rows = []
+        for lr in rates:
+            steady = stationary_payoff(lr, seed=91)
+            recovery = switch_recovery_slots(lr, seed=92, target=target)
+            rows.append((lr, steady, recovery))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    print(format_table(
+        ["alpha", "stationary payoff", "switch recovery (slots)"],
+        [[lr, round(s, 4), rec] for lr, s, rec in rows],
+        title="Ablation: constant learning rate — quality vs tracking",
+    ))
+
+    # the trade-off's tracking half: the highest alpha recovers at least
+    # as fast as the lowest
+    assert rows[-1][2] <= rows[0][2]
+    # every alpha still learns a sane stationary policy
+    for lr, steady, _ in rows:
+        assert steady > -1.2, (lr, steady)

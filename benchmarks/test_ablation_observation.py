@@ -1,0 +1,66 @@
+"""Ablation: full state observation vs. coarse queue buckets.
+
+DESIGN.md design-choice #1.  The embedded pitch of the paper wants the
+smallest possible |s| x |a| table; the coarse observation shrinks the
+table several-fold and learns faster early, at some asymptotic payoff
+cost.  The bench records both sides of the trade.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.core import QDPM
+from repro.device import abstract_three_state
+from repro.env import FullObservation, QueueBucketObservation, SlottedDPMEnv
+from repro.workload import ConstantRate
+
+N_SLOTS = 80_000
+RECORD = 4_000
+
+
+def run_variant(make_obs, seed):
+    env = SlottedDPMEnv(
+        abstract_three_state(), ConstantRate(0.15),
+        queue_capacity=8, p_serve=0.9, seed=seed,
+    )
+    obs = make_obs(env)
+    controller = QDPM(env, observation=obs, learning_rate=0.1,
+                      epsilon=0.08, seed=seed + 1)
+    hist = controller.run(N_SLOTS, record_every=RECORD)
+    return {
+        "table_rows": obs.n_observations,
+        "early": float(hist.reward[:3].mean()),
+        "final": float(hist.reward[-3:].mean()),
+    }
+
+
+def test_observation_ablation(benchmark):
+    def sweep():
+        return {
+            "full": run_variant(FullObservation, seed=71),
+            "buckets(0|1-3|4+)": run_variant(
+                lambda env: QueueBucketObservation(env, boundaries=(1, 4)),
+                seed=71,
+            ),
+        }
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    print(format_table(
+        ["observation", "table rows", "early payoff", "final payoff"],
+        [[name, r["table_rows"], round(r["early"], 4), round(r["final"], 4)]
+         for name, r in results.items()],
+        title="Ablation: observation granularity",
+    ))
+
+    full = results["full"]
+    coarse = results["buckets(0|1-3|4+)"]
+    # the whole point of buckets: a much smaller table
+    assert coarse["table_rows"] * 2 <= full["table_rows"]
+    # both must actually learn
+    assert full["final"] > full["early"]
+    assert coarse["final"] > coarse["early"]
+    # coarse must stay competitive (within a modest payoff margin)
+    assert coarse["final"] > full["final"] - 0.25

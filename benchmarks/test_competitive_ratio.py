@@ -1,0 +1,72 @@
+"""Competitive-ratio bench: the theory anchor behind the timeout baseline.
+
+Certifies, on sampled idle-period distributions, that the energy
+break-even timeout stays within the deterministic 2-competitive bound on
+every device preset with a usable two-level structure — and that the
+naive extremes (greedy, never-sleep) violate it, which is why the bound
+is interesting.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis import (
+    competitive_report,
+    deterministic_lower_bound_ratio,
+    energy_break_even,
+    format_table,
+)
+from repro.device import get_preset, two_state
+
+
+def test_break_even_timeout_within_bound(benchmark):
+    bound = deterministic_lower_bound_ratio()
+    rng = np.random.default_rng(0)
+
+    def sweep():
+        rows = []
+        for dist_name, lengths in (
+            ("exp(mean 5)", rng.exponential(5.0, size=5_000)),
+            ("pareto-ish", (rng.pareto(1.5, size=5_000) + 0.01) * 2.0),
+            ("adversarial", np.full(1_000, 1.0) * 0.0 + np.linspace(0.01, 20, 1_000)),
+        ):
+            device = two_state()
+            report = competitive_report(device, lengths)
+            rows.append([
+                dist_name,
+                round(report.ratio, 3),
+                round(report.worst_period_ratio, 3),
+            ])
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    print(format_table(
+        ["idle distribution", "aggregate ratio", "worst period ratio"],
+        rows,
+        title=f"break-even timeout vs oracle (bound = {bound})",
+    ))
+    for _, ratio, worst in rows:
+        assert ratio <= bound + 1e-6
+        assert worst <= bound + 1e-6
+
+
+def test_naive_extremes_break_the_bound(benchmark):
+    device = two_state()
+    tau_star = energy_break_even(device)
+
+    def measure():
+        short = np.full(500, tau_star / 50)
+        long = np.full(500, tau_star * 50)
+        greedy = competitive_report(device, short, timeout=0.0)
+        lazy = competitive_report(device, long, timeout=np.inf)
+        return greedy.worst_period_ratio, lazy.worst_period_ratio
+
+    greedy_worst, lazy_worst = benchmark.pedantic(
+        measure, rounds=1, iterations=1
+    )
+    print(f"\ngreedy on short idles: {greedy_worst:.1f}x oracle; "
+          f"never-sleep on long idles: {lazy_worst:.1f}x oracle")
+    assert greedy_worst > deterministic_lower_bound_ratio()
+    assert lazy_worst > deterministic_lower_bound_ratio()

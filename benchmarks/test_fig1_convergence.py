@@ -1,0 +1,55 @@
+"""FIG1 bench: regenerate "Convergence on Optimal Policy".
+
+Asserted shape (paper Fig. 1): Q-DPM's online payoff climbs to the
+optimal reference and settles within a small band of the
+exploration-adjusted optimum, "despite it requires much less resources".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments import run_fig1
+
+
+def test_fig1_convergence(benchmark, fig1_config):
+    result = benchmark.pedantic(
+        run_fig1, args=(fig1_config,), rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+
+    # shape assertions: starts far below, ends near the soft optimum
+    early = result.online_reward[:3].mean()
+    late = result.online_reward[-5:].mean()
+    assert late > early, "no learning progress visible"
+    gap = result.optimal_soft_reward - late
+    assert gap < 0.12, f"did not approach the optimal line (gap {gap:.3f})"
+    # the greedy snapshot should agree with the optimum on most states
+    assert result.final_policy_agreement > 0.5
+    benchmark.extra_info["optimal_payoff"] = result.optimal_reward
+    benchmark.extra_info["final_online_payoff"] = float(late)
+    benchmark.extra_info["convergence_slot"] = result.convergence_slot
+
+
+def test_fig1_converges_across_rates(benchmark, fig1_config):
+    """Paper: "After studying many cases, we conclude that Q-DPM can
+    approximate the theoretically optimal policy" — sweep arrival rates."""
+    import dataclasses
+
+    def sweep():
+        gaps = {}
+        for rate in (0.05, 0.15, 0.30):
+            config = dataclasses.replace(
+                fig1_config, arrival_rate=rate, n_slots=50_000
+            )
+            result = run_fig1(config)
+            late = result.online_reward[-5:].mean()
+            gaps[rate] = result.optimal_soft_reward - late
+        return gaps
+
+    gaps = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    for rate, gap in gaps.items():
+        print(f"rate={rate}: payoff gap to eps-soft optimum = {gap:.4f}")
+    assert all(gap < 0.15 for gap in gaps.values()), gaps

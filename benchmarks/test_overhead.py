@@ -1,0 +1,88 @@
+"""CLAIM-EFF / CLAIM-MEM bench: runtime and memory of Q-DPM vs the
+model-based optimizers.
+
+This is the paper's efficiency argument made concrete: a Q-DPM control
+step is two O(|A|) table operations; one model-based adaptation is an LP
+solve over the whole state-action space ("runs extremely slow"), plus
+holding the full transition model in memory ("a little bit memory" for
+the table instead).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.core import QTable
+from repro.device import get_preset
+from repro.env import build_dpm_model
+from repro.experiments import OverheadConfig, run_overhead
+
+
+@pytest.fixture(scope="module")
+def model():
+    return build_dpm_model(
+        get_preset("abstract3"), arrival_rate=0.15, queue_capacity=16,
+        p_serve=0.9,
+    )
+
+
+class TestMicro:
+    """Microbenchmarks of the two competing per-adaptation costs."""
+
+    def test_qdpm_control_step(self, benchmark, model):
+        """One greedy select + one Eqn.-3 update (the whole Q-DPM runtime)."""
+        table = QTable(model.mdp.n_states, model.mdp.n_actions)
+        allowed = list(range(model.mdp.n_actions))
+        rng = np.random.default_rng(0)
+        states = rng.integers(0, model.mdp.n_states, size=4096)
+        idx = iter(range(10**9))
+
+        def control_step():
+            i = next(idx)
+            s = int(states[i % 4096])
+            s2 = int(states[(i + 1) % 4096])
+            action = table.best_action(s, allowed)
+            target = -1.0 + 0.95 * table.max_value(s2, allowed)
+            table.update_toward(s, action, target, 0.1)
+
+        benchmark(control_step)
+
+    def test_lp_policy_optimization(self, benchmark, model):
+        """One full LP policy optimization (the model-based adaptation)."""
+        benchmark.pedantic(
+            model.solve, args=(0.95, "linear_programming"),
+            rounds=3, iterations=1,
+        )
+
+    def test_policy_iteration_solve(self, benchmark, model):
+        benchmark.pedantic(
+            model.solve, args=(0.95, "policy_iteration"), rounds=3, iterations=1
+        )
+
+    def test_value_iteration_solve(self, benchmark, model):
+        benchmark.pedantic(
+            model.solve, args=(0.95, "value_iteration"), rounds=3, iterations=1
+        )
+
+
+class TestClaimTable:
+    def test_overhead_sweep(self, benchmark):
+        config = dataclasses.replace(OverheadConfig(), n_q_ops=5_000)
+        result = benchmark.pedantic(
+            run_overhead, args=(config,), rounds=1, iterations=1
+        )
+        print()
+        print(result.render())
+        for row in result.rows:
+            # CLAIM-EFF: LP is orders of magnitude costlier than a Q step
+            assert row.lp_over_q > 100, (
+                f"LP/Qstep only {row.lp_over_q:.0f}x at |S|={row.n_states}"
+            )
+            # CLAIM-MEM: the model dwarfs the Q table, and the gap grows
+            # linearly with the state count
+            assert row.model_over_table > row.n_states / 2
+        ratios = [r.model_over_table for r in result.rows]
+        assert ratios == sorted(ratios), "memory gap must grow with |S|"

@@ -1,0 +1,60 @@
+"""EXT-POLICY bench: the classic cross-policy DPM comparison table.
+
+Shape assertions: oracle dominates every causal policy and never
+mis-shuts; greedy saves the most energy among causal policies at the
+worst latency; always-on is the zero-saving / best-latency anchor;
+timeout policies sit in between.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.experiments import PolicyTableConfig, run_policy_table
+
+
+def test_policy_comparison_table(benchmark):
+    config = dataclasses.replace(PolicyTableConfig(), duration=20_000.0)
+    result = benchmark.pedantic(
+        run_policy_table, args=(config,), rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+
+    by_trace = {}
+    for row in result.rows:
+        by_trace.setdefault(row.trace, {})[row.policy] = row
+
+    for trace, rows in by_trace.items():
+        oracle = rows["oracle"]
+        on = rows["always_on"]
+        greedy = rows["greedy"]
+        assert oracle.n_wrong_shutdowns == 0
+        assert on.saving_vs_always_on == 0.0
+        for name, row in rows.items():
+            assert oracle.saving_vs_always_on >= row.saving_vs_always_on - 1e-9, (
+                f"{name} out-saved the oracle on {trace}"
+            )
+        # greedy trades latency for energy relative to always-on
+        assert greedy.saving_vs_always_on > 0.2
+        assert greedy.mean_latency > on.mean_latency
+        # a break-even timeout sits between always-on and greedy in saving
+        timeout = next(v for k, v in rows.items() if k.startswith("timeout(Tbe"))
+        assert 0.0 < timeout.saving_vs_always_on <= greedy.saving_vs_always_on + 0.02
+
+
+def test_wrong_shutdowns_ordering(benchmark):
+    """Heavy-tailed (Pareto) idle traffic induces more wrong shutdowns for
+    the aggressive policies than memoryless traffic — the classic reason
+    predictive policies exist."""
+    config = dataclasses.replace(PolicyTableConfig(), duration=20_000.0)
+    result = benchmark.pedantic(
+        run_policy_table, args=(config,), rounds=1, iterations=1
+    )
+    greedy_rows = [r for r in result.rows if r.policy == "greedy"]
+    wrong_rate = {
+        r.trace: r.n_wrong_shutdowns / max(1, r.n_shutdowns) for r in greedy_rows
+    }
+    pareto = next(v for k, v in wrong_rate.items() if "pareto" in k)
+    exp = next(v for k, v in wrong_rate.items() if "exp" in k)
+    assert pareto > exp

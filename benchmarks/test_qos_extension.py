@@ -1,0 +1,61 @@
+"""EXT-QOS bench: the paper's "QoS guaranteed Q-DPM" future-work item.
+
+The Lagrangian-constrained controller must hold the time-average queue
+near the target while still saving energy; sweeping the target traces an
+energy/QoS frontier (tighter targets -> less saving).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.device import abstract_three_state
+from repro.env import SlottedDPMEnv
+from repro.extensions import QoSQDPM
+from repro.workload import ConstantRate
+
+
+def run_target(target, seed=17, n_slots=100_000):
+    env = SlottedDPMEnv(
+        abstract_three_state(), ConstantRate(0.15),
+        queue_capacity=6, p_serve=0.9, perf_weight=0.0, loss_penalty=0.0,
+        seed=seed,
+    )
+    controller = QoSQDPM(
+        env, target_queue=target, kappa=0.02, dual_every=400,
+        learning_rate=0.15, epsilon=0.05, seed=seed + 1,
+    )
+    hist = controller.run(n_slots, record_every=10_000)
+    tail = slice(-4, None)
+    return {
+        "target": target,
+        "mean_queue": float(hist.queue[tail].mean()),
+        "saving": float(hist.saving_ratio[tail].mean()),
+        "lambda": float(hist.lambda_[-1]),
+    }
+
+
+def test_qos_frontier(benchmark):
+    targets = (0.3, 0.8, 2.0)
+
+    def sweep():
+        return [run_target(t) for t in targets]
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    print(format_table(
+        ["target queue", "achieved queue", "saving ratio", "final lambda"],
+        [[r["target"], round(r["mean_queue"], 3), round(r["saving"], 3),
+          round(r["lambda"], 3)] for r in rows],
+        title="EXT-QOS: Lagrangian-constrained Q-DPM frontier",
+    ))
+
+    for row in rows:
+        # constraint respected within dual-ascent slack
+        assert row["mean_queue"] < row["target"] + 0.6, row
+    # looser QoS -> at least as much energy saving (frontier direction)
+    savings = [r["saving"] for r in rows]
+    assert savings[-1] >= savings[0] - 0.03, savings
+    # tightest target needs the largest multiplier
+    assert rows[0]["lambda"] >= rows[-1]["lambda"] - 0.05

@@ -1,0 +1,95 @@
+#!/usr/bin/env python
+"""Classic disk power management: policy shootout on the event simulator.
+
+The scenario every DPM survey opens with: a mobile hard disk serving a
+bursty request stream.  Compares the whole classical policy roster —
+always-on, greedy spin-down, break-even timeout, adaptive timeout,
+predictive shutdown, and the clairvoyant oracle — on the same traces,
+reporting power, saving, latency, and shutdown quality.
+
+Run:  python examples/disk_power_management.py
+"""
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.baselines import (
+    AdaptiveTimeout,
+    AlwaysOn,
+    FixedTimeout,
+    GreedySleep,
+    OracleShutdown,
+    PredictiveShutdown,
+)
+from repro.device import mobile_hard_disk
+from repro.sim import DPMSimulator
+from repro.workload import Exponential, Pareto, renewal_trace
+
+DURATION = 30_000.0   # seconds of simulated disk traffic
+SERVICE_TIME = 0.4    # seconds per request
+
+
+def main() -> None:
+    disk = mobile_hard_disk()
+    break_even = disk.break_even_time("standby", "busy")
+    print(f"device: {disk.name}")
+    for state in disk.states:
+        print(f"  {state.name:8s} {state.power:5.2f} W"
+              f"{'  (serves requests)' if state.can_service else ''}")
+    print(f"  spin-down/up break-even time: {break_even:.2f} s\n")
+
+    rng = np.random.default_rng(7)
+    traces = {
+        "memoryless (exp, rate 0.05/s)": renewal_trace(
+            Exponential(0.05), DURATION, rng
+        ),
+        "heavy-tailed (Pareto a=1.6)": renewal_trace(
+            Pareto(1.6, 6.0), DURATION, rng
+        ),
+    }
+
+    roster = [
+        (AlwaysOn(), False),
+        (GreedySleep(), False),
+        (FixedTimeout(), False),                 # timeout = break-even
+        (FixedTimeout(3 * break_even), False),
+        (AdaptiveTimeout(initial_timeout=break_even), False),
+        (PredictiveShutdown(smoothing=0.5), False),
+        (OracleShutdown(), True),
+    ]
+
+    for trace_name, trace in traces.items():
+        base = DPMSimulator(disk, AlwaysOn(), service_time=SERVICE_TIME).run(trace)
+        rows = []
+        for policy, oracle in roster:
+            report = DPMSimulator(
+                disk, policy, service_time=SERVICE_TIME, oracle=oracle
+            ).run(trace)
+            label = policy.name
+            if isinstance(policy, FixedTimeout):
+                timeout = policy._timeout if policy._timeout else break_even
+                label = f"timeout {timeout:.1f}s"
+            rows.append([
+                label,
+                round(report.mean_power, 3),
+                round(1 - report.mean_power / base.mean_power, 3),
+                round(report.mean_latency, 2),
+                report.n_shutdowns,
+                report.n_wrong_shutdowns,
+            ])
+        print(format_table(
+            ["policy", "power (W)", "saving", "latency (s)",
+             "shutdowns", "wrong"],
+            rows,
+            title=f"--- {trace_name}: {len(trace)} requests ---",
+        ))
+        print()
+
+    print("reading: the oracle bounds what any policy can do; the "
+          "break-even timeout is the classic 2-competitive compromise; "
+          "greedy shutdown mis-fires on heavy-tailed idle traffic, which "
+          "is exactly the gap adaptive/predictive policies close.")
+
+
+if __name__ == "__main__":
+    main()

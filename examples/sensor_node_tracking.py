@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""The paper's motivating platform: a deeply embedded sensor node whose
+traffic regime keeps changing.
+
+A biosensor radio alternates between activity bursts (high sampling rate)
+and quiet monitoring.  A model-based power manager would re-estimate and
+re-optimize at every regime change; Q-DPM just keeps learning.  This
+example runs both controllers on the same piecewise-stationary workload
+and draws the paper's Fig. 2 picture in the terminal, plus the overhead
+ledger of the model-based pipeline (what the paper argues a low-end node
+cannot afford).
+
+Run:  python examples/sensor_node_tracking.py
+"""
+
+from repro.adaptive import BernoulliCUSUM, ModelBasedAdaptiveDPM, SlidingWindowEstimator
+from repro.analysis import ascii_chart
+from repro.core import QDPM
+from repro.device import abstract_three_state
+from repro.env import SlottedDPMEnv
+from repro.workload import PiecewiseConstantRate
+
+SEGMENTS = [(30_000, 0.35), (30_000, 0.04), (30_000, 0.20), (30_000, 0.02)]
+RECORD = 1_500
+
+
+def make_env(seed: int) -> SlottedDPMEnv:
+    return SlottedDPMEnv(
+        abstract_three_state(),
+        PiecewiseConstantRate(SEGMENTS),
+        queue_capacity=8,
+        p_serve=0.9,
+        seed=seed,
+    )
+
+
+def main() -> None:
+    n_slots = sum(duration for duration, _ in SEGMENTS)
+    switch_points = PiecewiseConstantRate(SEGMENTS).switch_points(n_slots)
+    print(f"workload: {len(SEGMENTS)} regimes, rates "
+          f"{[rate for _, rate in SEGMENTS]}, switches at {switch_points}\n")
+
+    # --- Q-DPM: high constant learning rate = permanent plasticity ----
+    qdpm = QDPM(make_env(3), learning_rate=0.5, epsilon=0.05, seed=4)
+    hist_q = qdpm.run(n_slots, record_every=RECORD)
+
+    # --- model-based pipeline: estimate, detect, re-optimize ----------
+    mb = ModelBasedAdaptiveDPM(
+        make_env(3),
+        solver="linear_programming",
+        estimator=SlidingWindowEstimator(2_000),
+        detector=BernoulliCUSUM(SEGMENTS[0][1]),
+        min_samples=2_000,
+        freeze_slots=3_000,       # the optimizer is not free on a sensor node
+        initial_rate=SEGMENTS[0][1],
+    )
+    hist_m = mb.run(n_slots, record_every=RECORD)
+
+    print(ascii_chart(
+        hist_q.slots,
+        {"Q-DPM": hist_q.reward, "model-based": hist_m.reward},
+        vlines=switch_points,
+        title="windowed payoff over time (bars mark regime switches)",
+        y_label="payoff",
+        height=16,
+    ))
+
+    print("\nmodel-based pipeline overhead ledger:")
+    print(f"  re-optimizations          : {mb.log.n_reoptimizations}")
+    print(f"  optimizer wall-clock      : {mb.log.optimize_seconds * 1e3:.1f} ms")
+    print(f"  estimator wall-clock      : {mb.log.estimator_seconds * 1e3:.1f} ms")
+    print(f"  detector wall-clock       : {mb.log.detector_seconds * 1e3:.1f} ms")
+    for event in mb.log.events:
+        print(f"    slot {event.slot:>7}: re-optimized for rate "
+              f"{event.detected_rate:.3f} "
+              f"({event.optimize_seconds * 1e3:.1f} ms)")
+    print("\nQ-DPM overhead: two Q-table operations per slot, "
+          f"{qdpm.agent.table.memory_bytes()} bytes of state. "
+          "That asymmetry is the paper's point.")
+
+
+if __name__ == "__main__":
+    main()

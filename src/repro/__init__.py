@@ -1,0 +1,74 @@
+"""Q-DPM: model-free dynamic power management via Q-learning.
+
+Reproduction of Li, Wu, Yao & Yan, "Q-DPM: An Efficient Model-Free
+Dynamic Power Management Technique", DATE 2005.
+
+Quick start::
+
+    from repro import QDPM, SlottedDPMEnv, abstract_three_state, ConstantRate
+
+    device = abstract_three_state()
+    env = SlottedDPMEnv(device, ConstantRate(0.15), seed=0)
+    manager = QDPM(env, seed=1)
+    history = manager.run(100_000)
+    print(env.energy_saving_ratio())
+
+Package map
+-----------
+- :mod:`repro.core` — the contribution: Q-table, TD agents, the QDPM
+  controller.
+- :mod:`repro.device` — power-state machines and literature presets.
+- :mod:`repro.workload` — synthetic request generators (stationary and
+  nonstationary).
+- :mod:`repro.env` — the slotted DTMDP environment and its exact model.
+- :mod:`repro.mdp` — finite-MDP solvers (VI / PI / the LP baseline).
+- :mod:`repro.baselines` — timeout / predictive / oracle comparators.
+- :mod:`repro.adaptive` — the model-based adaptive pipeline Q-DPM
+  replaces.
+- :mod:`repro.sim` — event-driven continuous-time simulator.
+- :mod:`repro.experiments` — harnesses for every figure/claim.
+- :mod:`repro.extensions` — QoS-constrained and fuzzy Q-DPM.
+"""
+
+from .core import QDPM, QLearningAgent, QTable
+from .device import (
+    PowerState,
+    PowerStateMachine,
+    Transition,
+    abstract_three_state,
+    get_preset,
+)
+from .env import SlottedDPMEnv, build_dpm_model
+from .mdp import FiniteMDP, linear_programming, policy_iteration, value_iteration
+from .workload import (
+    ConstantRate,
+    Exponential,
+    Pareto,
+    PiecewiseConstantRate,
+    Trace,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "QDPM",
+    "QLearningAgent",
+    "QTable",
+    "PowerState",
+    "Transition",
+    "PowerStateMachine",
+    "abstract_three_state",
+    "get_preset",
+    "SlottedDPMEnv",
+    "build_dpm_model",
+    "FiniteMDP",
+    "value_iteration",
+    "policy_iteration",
+    "linear_programming",
+    "Trace",
+    "Exponential",
+    "Pareto",
+    "ConstantRate",
+    "PiecewiseConstantRate",
+]

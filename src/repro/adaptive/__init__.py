@@ -1,0 +1,15 @@
+"""Model-based adaptive DPM: estimator, change detection, re-optimization."""
+
+from .change_detect import BernoulliCUSUM, PageHinkley
+from .estimator import ExponentialEstimator, SlidingWindowEstimator
+from .model_based import AdaptationEvent, AdaptationLog, ModelBasedAdaptiveDPM
+
+__all__ = [
+    "SlidingWindowEstimator",
+    "ExponentialEstimator",
+    "BernoulliCUSUM",
+    "PageHinkley",
+    "ModelBasedAdaptiveDPM",
+    "AdaptationEvent",
+    "AdaptationLog",
+]

@@ -1,0 +1,149 @@
+"""Terminal line plots and tables for the experiment harness.
+
+The figures of the paper are reproduced as ASCII charts printed by the
+benchmarks and the CLI — no plotting dependency needed, and the output is
+archived verbatim in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+#: glyphs assigned to successive series
+_GLYPHS = "*o+x#@%&"
+
+
+def ascii_chart(
+    x: np.ndarray,
+    series: Dict[str, np.ndarray],
+    width: int = 78,
+    height: int = 18,
+    title: str = "",
+    y_label: str = "",
+    vlines: Sequence[float] = (),
+    hlines: Dict[str, float] = None,
+) -> str:
+    """Render one or more aligned series as an ASCII chart.
+
+    Parameters
+    ----------
+    x:
+        Common x-coordinates (monotone).
+    series:
+        Mapping name -> y array (same length as ``x``).
+    vlines:
+        X positions marked with vertical bars (Fig. 2 switching points).
+    hlines:
+        Mapping name -> y value drawn as a horizontal dashed reference
+        (Fig. 1 optimal line).
+    """
+    x = np.asarray(x, dtype=float)
+    if x.size == 0 or not series:
+        return "(no data)"
+    hlines = hlines or {}
+    ys = [np.asarray(v, dtype=float) for v in series.values()]
+    for y in ys:
+        if y.shape != x.shape:
+            raise ValueError("all series must align with x")
+    y_all = np.concatenate(ys + [np.asarray(list(hlines.values()))]
+                           if hlines else ys)
+    y_min = float(np.nanmin(y_all))
+    y_max = float(np.nanmax(y_all))
+    if y_max <= y_min:
+        y_max = y_min + 1.0
+    pad = 0.05 * (y_max - y_min)
+    y_min -= pad
+    y_max += pad
+    x_min, x_max = float(x[0]), float(x[-1])
+    if x_max <= x_min:
+        x_max = x_min + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+
+    def col_of(xv: float) -> int:
+        return int(round((xv - x_min) / (x_max - x_min) * (width - 1)))
+
+    def row_of(yv: float) -> int:
+        frac = (yv - y_min) / (y_max - y_min)
+        return int(round((1.0 - frac) * (height - 1)))
+
+    for xv in vlines:
+        if x_min <= xv <= x_max:
+            c = col_of(xv)
+            for r in range(height):
+                grid[r][c] = "|"
+    for value in hlines.values():
+        r = row_of(value)
+        if 0 <= r < height:
+            for c in range(width):
+                if grid[r][c] == " ":
+                    grid[r][c] = "-"
+    for glyph, y in zip(_GLYPHS, ys):
+        for xv, yv in zip(x, y):
+            if np.isnan(yv):
+                continue
+            r, c = row_of(float(yv)), col_of(float(xv))
+            if 0 <= r < height and 0 <= c < width:
+                grid[r][c] = glyph
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    legend = "  ".join(
+        f"{glyph}={name}" for glyph, name in zip(_GLYPHS, series)
+    )
+    extra = "  ".join(f"--={name}" for name in hlines)
+    if legend or extra:
+        lines.append((legend + ("  " + extra if extra else "")).strip())
+    top = f"{y_max:.3f}"
+    bottom = f"{y_min:.3f}"
+    label_w = max(len(top), len(bottom), len(y_label)) + 1
+    for i, row in enumerate(grid):
+        if i == 0:
+            label = top
+        elif i == height - 1:
+            label = bottom
+        elif i == height // 2 and y_label:
+            label = y_label
+        else:
+            label = ""
+        lines.append(f"{label:>{label_w}} |" + "".join(row))
+    lines.append(" " * (label_w + 2) + f"{x_min:.0f}" + " " * max(1, width - 16)
+                 + f"{x_max:.0f}")
+    return "\n".join(lines)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence],
+    title: str = "",
+) -> str:
+    """Monospace table with auto-sized columns."""
+    str_rows = [[_fmt_cell(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError("row length does not match headers")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    sep = "-+-".join("-" * w for w in widths)
+    out: List[str] = []
+    if title:
+        out.append(title)
+    out.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    out.append(sep)
+    for row in str_rows:
+        out.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(out)
+
+
+def _fmt_cell(cell) -> str:
+    if isinstance(cell, float):
+        if cell == 0:
+            return "0"
+        if abs(cell) >= 1e5 or abs(cell) < 1e-3:
+            return f"{cell:.3e}"
+        return f"{cell:.4g}"
+    return str(cell)

@@ -1,0 +1,115 @@
+"""Metrics over learning curves: convergence and response times.
+
+Quantifies the two figure claims:
+
+- Fig. 1 — *convergence time*: first record point after which the learner
+  stays within a tolerance band of the optimal reference.
+- Fig. 2 — *response time*: slots needed after each switching point to
+  re-enter the band around the new segment's optimum; "responds almost
+  instantly" becomes a number.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+
+def convergence_point(
+    slots: np.ndarray,
+    series: np.ndarray,
+    target: float,
+    tolerance: float,
+    sustain: int = 3,
+) -> Optional[int]:
+    """First slot index at which ``series`` enters ``target +- tolerance``
+    and stays there for ``sustain`` consecutive record points (to the end
+    of the data or at least ``sustain`` points).
+
+    Returns None if the series never settles.
+    """
+    slots = np.asarray(slots)
+    series = np.asarray(series)
+    if slots.shape != series.shape:
+        raise ValueError("slots and series must be aligned")
+    if sustain < 1:
+        raise ValueError("sustain must be >= 1")
+    inside = np.abs(series - target) <= tolerance
+    n = len(inside)
+    for i in range(n):
+        if not inside[i]:
+            continue
+        horizon = min(n, i + sustain)
+        if inside[i:horizon].all():
+            return int(slots[i])
+    return None
+
+
+@dataclass(frozen=True)
+class SwitchResponse:
+    """Recovery behaviour after one regime switch."""
+
+    switch_slot: int
+    target: float               #: new segment's optimal value
+    dip: float                  #: worst series value in the segment
+    recovery_slot: Optional[int]  #: slot of re-entry into the band
+    response_slots: Optional[int]  #: recovery_slot - switch_slot
+
+
+def switch_responses(
+    slots: np.ndarray,
+    series: np.ndarray,
+    switch_points: Sequence[int],
+    targets: Sequence[float],
+    tolerance: float,
+    sustain: int = 3,
+    horizon: Optional[int] = None,
+) -> List[SwitchResponse]:
+    """Per-switch recovery analysis for a Fig. 2-style run.
+
+    ``targets`` holds the optimal value of each segment *after* the
+    corresponding switch (len == len(switch_points)).
+    """
+    slots = np.asarray(slots)
+    series = np.asarray(series)
+    if len(switch_points) != len(targets):
+        raise ValueError("switch_points and targets must be aligned")
+    results: List[SwitchResponse] = []
+    bounds = list(switch_points) + [int(slots[-1]) + 1 if len(slots) else 0]
+    for i, (switch, target) in enumerate(zip(switch_points, targets)):
+        seg_end = bounds[i + 1] if horizon is None else min(bounds[i + 1], horizon)
+        mask = (slots >= switch) & (slots < seg_end)
+        seg_slots = slots[mask]
+        seg_series = series[mask]
+        if seg_slots.size == 0:
+            results.append(SwitchResponse(switch, target, float("nan"), None, None))
+            continue
+        dip = float(seg_series.min())
+        rec = convergence_point(seg_slots, seg_series, target, tolerance, sustain)
+        response = None if rec is None else int(rec - switch)
+        results.append(SwitchResponse(switch, target, dip, rec, response))
+    return results
+
+
+def steady_state_mean(series: np.ndarray, tail_fraction: float = 0.25) -> float:
+    """Mean of the trailing fraction of a series (post-burn-in estimate)."""
+    series = np.asarray(series)
+    if series.size == 0:
+        raise ValueError("series is empty")
+    if not 0.0 < tail_fraction <= 1.0:
+        raise ValueError("tail_fraction must be in (0, 1]")
+    start = int(series.size * (1.0 - tail_fraction))
+    return float(series[start:].mean())
+
+
+def regret_vs_reference(
+    series: np.ndarray,
+    reference: float,
+) -> float:
+    """Mean shortfall of a series against a fixed reference value."""
+    series = np.asarray(series)
+    if series.size == 0:
+        raise ValueError("series is empty")
+    return float(np.mean(reference - series))

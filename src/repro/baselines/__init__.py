@@ -1,0 +1,29 @@
+"""DPM baseline policies: event-driven classics and slotted references."""
+
+from .event_policies import (
+    AdaptiveTimeout,
+    AlwaysOn,
+    FixedTimeout,
+    GreedySleep,
+    MultiLevelTimeout,
+    OracleShutdown,
+    PredictiveShutdown,
+)
+from .slotted_policies import (
+    always_on_policy,
+    greedy_sleep_policy,
+    threshold_policy,
+)
+
+__all__ = [
+    "AlwaysOn",
+    "GreedySleep",
+    "FixedTimeout",
+    "AdaptiveTimeout",
+    "PredictiveShutdown",
+    "MultiLevelTimeout",
+    "OracleShutdown",
+    "always_on_policy",
+    "greedy_sleep_policy",
+    "threshold_policy",
+]

@@ -1,0 +1,264 @@
+"""Classic event-driven DPM baselines.
+
+The comparator families every DPM paper (including this one, implicitly
+via its citations) measures against:
+
+- :class:`AlwaysOn` — never leaves the wait state; the energy baseline.
+- :class:`GreedySleep` — shuts down the instant the device idles.
+- :class:`FixedTimeout` — shut down after a fixed linger; the policy every
+  OS actually ships.  ``timeout = break-even`` is the classic
+  2-competitive choice.
+- :class:`AdaptiveTimeout` — multiplicative-increase/decrease timeout
+  adaptation (Douglis et al. style).
+- :class:`PredictiveShutdown` — exponential-average prediction of the next
+  idle length (Hwang & Wu); sleeps immediately when the prediction
+  exceeds break-even.
+- :class:`MultiLevelTimeout` — staged descent through several rest states
+  at increasing thresholds (for 3+-state devices).
+- :class:`OracleShutdown` — clairvoyant lower bound: knows the true next
+  arrival and sleeps exactly when profitable.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence, Tuple
+
+from ..device import PowerStateMachine
+from ..sim.policy_api import NEVER, EventPolicy, IdleContext, IdleDecision
+
+
+def _deepest_profitable_state(device: PowerStateMachine) -> str:
+    """Deepest rest state reachable for shutdown decisions (lowest power)."""
+    home = device.initial_state
+    candidates = [
+        name
+        for name in device.sleep_states_by_depth(home)
+        if device.can_transition(name, home)
+        or any(device.can_transition(name, s) for s in device.service_states())
+    ]
+    if not candidates:
+        raise ValueError(f"device {device.name!r} has no usable rest state")
+    return min(candidates, key=lambda n: device.state(n).power)
+
+
+class AlwaysOn(EventPolicy):
+    """Never power down; the reference consumer all savings are measured
+    against (and the zero-latency-penalty extreme)."""
+
+    name = "always_on"
+
+    def on_idle(self, ctx: IdleContext) -> IdleDecision:
+        return IdleDecision(target_state=None, timeout=NEVER)
+
+
+class GreedySleep(EventPolicy):
+    """Power down immediately on idleness (maximum shutdown aggression)."""
+
+    name = "greedy"
+
+    def __init__(self, target_state: Optional[str] = None) -> None:
+        self._target = target_state
+
+    def on_idle(self, ctx: IdleContext) -> IdleDecision:
+        target = self._target or _deepest_profitable_state(ctx.device)
+        return IdleDecision(target_state=target, timeout=0.0)
+
+
+class FixedTimeout(EventPolicy):
+    """Shut down after ``timeout`` seconds of idleness.
+
+    ``timeout=None`` defaults to the target's break-even time, which makes
+    the policy 2-competitive against the offline oracle on any input.
+    """
+
+    name = "timeout"
+
+    def __init__(
+        self,
+        timeout: Optional[float] = None,
+        target_state: Optional[str] = None,
+    ) -> None:
+        if timeout is not None and timeout < 0:
+            raise ValueError(f"timeout must be >= 0, got {timeout}")
+        self._timeout = timeout
+        self._target = target_state
+
+    def on_idle(self, ctx: IdleContext) -> IdleDecision:
+        target = self._target or _deepest_profitable_state(ctx.device)
+        timeout = self._timeout
+        if timeout is None:
+            timeout = ctx.device.break_even_time(target, ctx.device.initial_state)
+        return IdleDecision(target_state=target, timeout=timeout)
+
+
+class AdaptiveTimeout(EventPolicy):
+    """Timeout that adapts to the observed idle-length process.
+
+    After an idle period that would have paid for a shutdown the timeout
+    shrinks (be more aggressive); after one that would not, it grows.
+    Multiplicative adaptation clipped to ``[min_timeout, max_timeout]``.
+    """
+
+    name = "adaptive_timeout"
+
+    def __init__(
+        self,
+        initial_timeout: float,
+        target_state: Optional[str] = None,
+        grow: float = 1.5,
+        shrink: float = 0.7,
+        min_timeout: float = 1e-3,
+        max_timeout: float = 1e3,
+    ) -> None:
+        if initial_timeout < 0:
+            raise ValueError("initial_timeout must be >= 0")
+        if not (grow > 1.0 and 0.0 < shrink < 1.0):
+            raise ValueError("need grow > 1 and 0 < shrink < 1")
+        if not 0 < min_timeout <= max_timeout:
+            raise ValueError("need 0 < min_timeout <= max_timeout")
+        self._initial = float(initial_timeout)
+        self._timeout = float(initial_timeout)
+        self._target = target_state
+        self._grow = grow
+        self._shrink = shrink
+        self._min = min_timeout
+        self._max = max_timeout
+        self._break_even: Optional[float] = None
+
+    def reset(self) -> None:
+        self._timeout = self._initial
+        self._break_even = None
+
+    def on_idle(self, ctx: IdleContext) -> IdleDecision:
+        target = self._target or _deepest_profitable_state(ctx.device)
+        if self._break_even is None:
+            self._break_even = ctx.device.break_even_time(
+                target, ctx.device.initial_state
+            )
+        return IdleDecision(target_state=target, timeout=self._timeout)
+
+    def on_idle_end(self, idle_length: float) -> None:
+        if self._break_even is None:
+            return
+        if idle_length > self._break_even + self._timeout:
+            self._timeout = max(self._min, self._timeout * self._shrink)
+        elif idle_length < self._break_even:
+            self._timeout = min(self._max, self._timeout * self._grow)
+
+    @property
+    def current_timeout(self) -> float:
+        """The timeout the next idle period will use."""
+        return self._timeout
+
+
+class PredictiveShutdown(EventPolicy):
+    """Hwang & Wu exponential-average idle-length predictor.
+
+    Predicts the next idle length as
+    ``pred <- a * last_idle + (1 - a) * pred`` and shuts down *immediately*
+    when the prediction exceeds the break-even time (no timeout linger —
+    the whole point of prediction is to skip the wait).
+    """
+
+    name = "predictive"
+
+    def __init__(
+        self,
+        smoothing: float = 0.5,
+        target_state: Optional[str] = None,
+        initial_prediction: float = 0.0,
+    ) -> None:
+        if not 0.0 < smoothing <= 1.0:
+            raise ValueError(f"smoothing must be in (0, 1], got {smoothing}")
+        self._alpha = float(smoothing)
+        self._target = target_state
+        self._initial_prediction = float(initial_prediction)
+        self._prediction = float(initial_prediction)
+
+    def reset(self) -> None:
+        self._prediction = self._initial_prediction
+
+    def on_idle(self, ctx: IdleContext) -> IdleDecision:
+        target = self._target or _deepest_profitable_state(ctx.device)
+        break_even = ctx.device.break_even_time(target, ctx.device.initial_state)
+        if self._prediction > break_even:
+            return IdleDecision(target_state=target, timeout=0.0)
+        return IdleDecision(target_state=None, timeout=NEVER)
+
+    def on_idle_end(self, idle_length: float) -> None:
+        self._prediction = (
+            self._alpha * idle_length + (1.0 - self._alpha) * self._prediction
+        )
+
+    @property
+    def prediction(self) -> float:
+        """Current idle-length prediction."""
+        return self._prediction
+
+
+class MultiLevelTimeout(EventPolicy):
+    """Staged descent: enter deeper states at increasing idle thresholds.
+
+    ``levels`` is a list of ``(threshold_seconds, state_name)`` sorted by
+    threshold.  The first level acts as the initial timeout; deeper levels
+    are re-armed on each fall (the simulator re-consults the policy only
+    at idle start, so this policy plans the *first* descent and relies on
+    subsequent idle periods for deeper ones; the common two-level disk
+    idle->standby pattern is expressed directly).
+    """
+
+    name = "multilevel_timeout"
+
+    def __init__(self, levels: Sequence[Tuple[float, str]]) -> None:
+        levels = list(levels)
+        if not levels:
+            raise ValueError("need at least one (threshold, state) level")
+        thresholds = [t for t, _ in levels]
+        if thresholds != sorted(thresholds):
+            raise ValueError("levels must be sorted by threshold")
+        if any(t < 0 for t in thresholds):
+            raise ValueError("thresholds must be >= 0")
+        self._levels = levels
+
+    def on_idle(self, ctx: IdleContext) -> IdleDecision:
+        threshold, state = self._levels[0]
+        return IdleDecision(target_state=state, timeout=threshold)
+
+
+class OracleShutdown(EventPolicy):
+    """Clairvoyant policy: the offline lower bound of every comparison.
+
+    Requires the simulator's ``oracle=True`` mode (the context then
+    carries the true next arrival).  Sleeps immediately iff the upcoming
+    idle period is longer than the break-even time of the most profitable
+    rest state for that length.
+    """
+
+    name = "oracle"
+
+    def on_idle(self, ctx: IdleContext) -> IdleDecision:
+        if ctx.next_arrival is None:
+            # no more arrivals: sleep in the deepest state forever
+            return IdleDecision(
+                target_state=_deepest_profitable_state(ctx.device), timeout=0.0
+            )
+        idle_length = ctx.next_arrival - ctx.now
+        home = ctx.device.initial_state
+        best_state: Optional[str] = None
+        best_energy = ctx.device.state(ctx.wait_state).power * idle_length
+        for name in ctx.device.sleep_states_by_depth(home):
+            if not (
+                ctx.device.can_transition(home, name)
+                or ctx.device.can_transition(ctx.wait_state, name)
+            ):
+                continue
+            if not ctx.device.can_transition(name, home):
+                continue
+            energy = ctx.device.idle_energy(name, idle_length, home)
+            if energy < best_energy:
+                best_energy = energy
+                best_state = name
+        if best_state is None:
+            return IdleDecision(target_state=None, timeout=NEVER)
+        return IdleDecision(target_state=best_state, timeout=0.0)

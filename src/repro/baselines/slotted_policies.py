@@ -1,0 +1,93 @@
+"""Reference policies for the slotted environment.
+
+Fixed (non-learning) policies over the exact slotted state space, used as
+context lines in figures and as sanity anchors in tests: the always-on
+policy defines the energy baseline, the greedy-sleep policy the maximum-
+saving / worst-latency extreme, and the threshold policy is the shape the
+optimal policy usually takes (sleep when idle and the queue is empty,
+wake when the backlog crosses a threshold).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..env.slotted_env import SlottedDPMEnv
+from ..mdp import DeterministicPolicy
+
+
+def _actions_template(env: SlottedDPMEnv) -> np.ndarray:
+    """Start from the mandatory action in each state (transition modes
+    have exactly one allowed action)."""
+    actions = np.empty(env.n_states, dtype=int)
+    for state in range(env.n_states):
+        actions[state] = env.allowed_actions(state)[0]
+    return actions
+
+
+def always_on_policy(env: SlottedDPMEnv) -> DeterministicPolicy:
+    """Stay in the home servicing state forever."""
+    home_action = env.mode_space.action_index(env.device.initial_state)
+    actions = _actions_template(env)
+    for state in range(env.n_states):
+        allowed = env.allowed_actions(state)
+        if home_action in allowed:
+            actions[state] = home_action
+    return DeterministicPolicy(actions)
+
+
+def greedy_sleep_policy(
+    env: SlottedDPMEnv, sleep_state: Optional[str] = None
+) -> DeterministicPolicy:
+    """Sleep whenever the queue is empty; wake as soon as work exists."""
+    device = env.device
+    if sleep_state is None:
+        sleep_state = device.deepest_state()
+    sleep_action = env.mode_space.action_index(sleep_state)
+    home_action = env.mode_space.action_index(device.initial_state)
+    actions = _actions_template(env)
+    for state in range(env.n_states):
+        allowed = env.allowed_actions(state)
+        _, queue = env.decode(state)
+        want = sleep_action if queue == 0 else home_action
+        if want in allowed:
+            actions[state] = want
+    return DeterministicPolicy(actions)
+
+
+def threshold_policy(
+    env: SlottedDPMEnv,
+    wake_threshold: int = 1,
+    sleep_state: Optional[str] = None,
+) -> DeterministicPolicy:
+    """Sleep on empty queue; wake when the backlog reaches the threshold.
+
+    ``wake_threshold=1`` equals :func:`greedy_sleep_policy`; larger values
+    batch requests, trading latency for fewer wake-ups.
+    """
+    if wake_threshold < 1:
+        raise ValueError(f"wake_threshold must be >= 1, got {wake_threshold}")
+    device = env.device
+    if sleep_state is None:
+        sleep_state = device.deepest_state()
+    sleep_action = env.mode_space.action_index(sleep_state)
+    home_action = env.mode_space.action_index(device.initial_state)
+    actions = _actions_template(env)
+    for state in range(env.n_states):
+        allowed = env.allowed_actions(state)
+        mode, queue = env.decode(state)
+        if queue >= wake_threshold:
+            want = home_action
+        elif queue == 0:
+            want = sleep_action
+        else:
+            # between empty and threshold: hold the current mode
+            if mode.kind == "steady":
+                want = env.mode_space.action_index(mode.state)
+            else:
+                want = actions[state]
+        if want in allowed:
+            actions[state] = want
+    return DeterministicPolicy(actions)

@@ -1,0 +1,115 @@
+"""Command-line entry point: run any reproduction experiment.
+
+Usage::
+
+    python -m repro fig1            # Fig. 1  convergence on optimal policy
+    python -m repro fig2            # Fig. 2  rapid response
+    python -m repro overhead        # CLAIM-EFF / CLAIM-MEM tables
+    python -m repro variation       # CLAIM-VAR drift tolerance
+    python -m repro policies        # EXT-POLICY event-driven table
+    python -m repro all             # everything, in order
+
+Each command prints the same ASCII figure/table recorded in
+EXPERIMENTS.md.  ``--quick`` shrinks horizons ~10x for smoke runs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import sys
+from typing import Callable, Dict, List, Optional
+
+from .experiments import (
+    Fig1Config,
+    Fig2Config,
+    OverheadConfig,
+    PolicyTableConfig,
+    VariationConfig,
+    run_fig1,
+    run_fig2,
+    run_overhead,
+    run_policy_table,
+    run_variation,
+)
+
+
+def _fig1(quick: bool) -> str:
+    config = Fig1Config()
+    if quick:
+        config = dataclasses.replace(config, n_slots=30_000, record_every=1_000)
+    return run_fig1(config).render()
+
+
+def _fig2(quick: bool) -> str:
+    config = Fig2Config()
+    if quick:
+        config = dataclasses.replace(
+            config, segment_slots=8_000, record_every=500, mb_min_samples=400,
+            mb_freeze_slots=800,
+        )
+    return run_fig2(config).render()
+
+
+def _overhead(quick: bool) -> str:
+    config = OverheadConfig()
+    if quick:
+        config = dataclasses.replace(
+            config, queue_capacities=(4, 8), n_q_ops=2_000
+        )
+    return run_overhead(config).render()
+
+
+def _variation(quick: bool) -> str:
+    config = VariationConfig()
+    if quick:
+        config = dataclasses.replace(
+            config, n_slots=20_000, warmup_slots=15_000
+        )
+    return run_variation(config).render()
+
+
+def _policies(quick: bool) -> str:
+    config = PolicyTableConfig()
+    if quick:
+        config = dataclasses.replace(config, duration=5_000.0)
+    return run_policy_table(config).render()
+
+
+_COMMANDS: Dict[str, Callable[[bool], str]] = {
+    "fig1": _fig1,
+    "fig2": _fig2,
+    "overhead": _overhead,
+    "variation": _variation,
+    "policies": _policies,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="repro-qdpm",
+        description="Reproduce the experiments of the Q-DPM paper (DATE 2005).",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(_COMMANDS) + ["all"],
+        help="which experiment to run",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="shrink horizons ~10x for a fast smoke run",
+    )
+    args = parser.parse_args(argv)
+
+    names = sorted(_COMMANDS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        print(f"=== {name} ===")
+        print(_COMMANDS[name](args.quick))
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,36 @@
+"""Q-DPM core: Q-table, schedules, exploration, TD agents, controller."""
+
+from .double_q import DoubleQLearningAgent
+from .exploration import Boltzmann, EpsilonGreedy, ExplorationStrategy, Greedy
+from .qdpm import QDPM, RunHistory
+from .qlambda import WatkinsQLambdaAgent
+from .qlearning import ExpectedSarsaAgent, QLearningAgent, SarsaAgent, TDAgent
+from .qtable import QTable
+from .schedules import (
+    Constant,
+    ExponentialDecay,
+    HarmonicDecay,
+    LinearDecay,
+    Schedule,
+)
+
+__all__ = [
+    "QTable",
+    "Schedule",
+    "Constant",
+    "LinearDecay",
+    "ExponentialDecay",
+    "HarmonicDecay",
+    "ExplorationStrategy",
+    "Greedy",
+    "EpsilonGreedy",
+    "Boltzmann",
+    "TDAgent",
+    "QLearningAgent",
+    "SarsaAgent",
+    "ExpectedSarsaAgent",
+    "DoubleQLearningAgent",
+    "WatkinsQLambdaAgent",
+    "QDPM",
+    "RunHistory",
+]

@@ -1,0 +1,118 @@
+"""Double Q-learning (van Hasselt, 2010) for the DPM setting.
+
+Motivated by an artifact this reproduction actually observed: plain
+Q-learning's max-bootstrap *overestimates* rarely-visited pairs (EXPERIMENTS.md,
+FIG1 caveat), which can leave "stay asleep with a full queue" looking
+spuriously attractive in a frozen greedy snapshot.  Double Q-learning
+keeps two tables and decouples action *selection* (argmax on one table)
+from action *evaluation* (value from the other), removing the positive
+bias at the cost of 2x memory — still tiny by CLAIM-MEM standards.
+
+Drop-in compatible with :class:`~repro.core.qdpm.QDPM` (it subclasses
+:class:`~repro.core.qlearning.TDAgent`); acting uses the *sum* of the two
+tables, the standard choice.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+from .exploration import ExplorationStrategy
+from .qlearning import TDAgent
+from .qtable import QTable
+from .schedules import Schedule
+
+
+class DoubleQLearningAgent(TDAgent):
+    """Tabular Double Q-learning.
+
+    On each update, a fair coin picks which table to write:
+
+        A-update:  Q_A(s,a) <- (1-lr) Q_A(s,a) +
+                   lr * (r + beta * Q_B(s', argmax_b Q_A(s', b)))
+
+    and symmetrically for B.  ``self.table`` (inherited) holds the *sum*
+    Q_A + Q_B and is what action selection and policy extraction read —
+    so every :class:`~repro.core.exploration.ExplorationStrategy` and the
+    :class:`~repro.core.qdpm.QDPM` controller work unchanged.
+    """
+
+    def __init__(
+        self,
+        n_observations: int,
+        n_actions: int,
+        discount: float = 0.95,
+        learning_rate: Union[float, Schedule] = 0.1,
+        exploration: Optional[ExplorationStrategy] = None,
+        initial_q: float = 0.0,
+        seed: Optional[int] = None,
+    ) -> None:
+        super().__init__(
+            n_observations=n_observations,
+            n_actions=n_actions,
+            discount=discount,
+            learning_rate=learning_rate,
+            exploration=exploration,
+            initial_q=initial_q,
+            seed=seed,
+        )
+        half = initial_q / 2.0
+        self._table_a = QTable(n_observations, n_actions, initial_value=half)
+        self._table_b = QTable(n_observations, n_actions, initial_value=half)
+
+    @property
+    def table_a(self) -> QTable:
+        """First of the two independent estimators."""
+        return self._table_a
+
+    @property
+    def table_b(self) -> QTable:
+        """Second of the two independent estimators."""
+        return self._table_b
+
+    def _bootstrap(self, next_observation: int, next_allowed: Sequence[int]) -> float:
+        """Unused: :meth:`update` overrides the whole TD step."""
+        raise NotImplementedError("DoubleQLearningAgent overrides update()")
+
+    def _refresh_sum(self, observation: int, action: int) -> None:
+        self.table.set(
+            observation,
+            action,
+            self._table_a.get(observation, action)
+            + self._table_b.get(observation, action),
+        )
+
+    def update(
+        self,
+        observation: int,
+        action: int,
+        reward: float,
+        next_observation: int,
+        next_allowed: Sequence[int],
+        terminal: bool = False,
+    ) -> float:
+        """One double-estimator TD update; returns the absolute change of
+        the summed table entry."""
+        if self._rng.random() < 0.5:
+            selector, evaluator = self._table_a, self._table_b
+        else:
+            selector, evaluator = self._table_b, self._table_a
+
+        if terminal:
+            target = reward
+        else:
+            best = selector.best_action(next_observation, next_allowed)
+            target = reward + self.discount * evaluator.get(next_observation, best)
+
+        lr = self._lr.value(selector.visits(observation, action))
+        delta = selector.update_toward(observation, action, target, lr)
+        # keep the acting table (the sum) and its visit counter in sync;
+        # the zero-learning-rate update increments the visit count only
+        self._refresh_sum(observation, action)
+        self.table.update_toward(
+            observation, action, self.table.get(observation, action), 0.0
+        )
+        self._step += 1
+        return delta

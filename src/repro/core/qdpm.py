@@ -1,0 +1,232 @@
+"""The Q-DPM controller: the paper's power manager.
+
+Couples a tabular TD agent (Q-learning by default) to a
+:class:`~repro.env.SlottedDPMEnv` through an observation map.  On each
+slot the controller
+
+1. observes the system state,
+2. selects a power command (epsilon-greedy over the Q-table),
+3. applies it, receives the reinforcement signal (energy + performance
+   penalty), and
+4. performs the O(|A|) Q-update of the paper's Eqn. 3.
+
+That loop — two table rows touched per slot, no parameter estimator, no
+mode-switch controller, no policy re-optimization — is the entire runtime
+of the technique, which is the paper's efficiency argument.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from ..env.observation import FullObservation, ObservationMap
+from ..env.slotted_env import SlottedDPMEnv
+from ..mdp import DeterministicPolicy
+from .exploration import EpsilonGreedy, ExplorationStrategy
+from .qlearning import QLearningAgent, TDAgent
+
+
+@dataclass
+class RunHistory:
+    """Per-slot traces recorded by :meth:`QDPM.run`.
+
+    Arrays are aligned: index ``i`` describes slot ``slot[i]``.  When a
+    ``record_every`` stride is used, entries are per-window means (energy,
+    reward, queue) over the stride.
+    """
+
+    slots: np.ndarray            #: slot index at each record point
+    energy: np.ndarray           #: mean energy per slot in the window
+    reward: np.ndarray           #: mean reward per slot in the window
+    queue: np.ndarray            #: mean end-of-slot queue in the window
+    saving_ratio: np.ndarray     #: windowed energy-saving ratio vs always-on
+    td_error: np.ndarray         #: mean absolute TD change in the window
+
+    def __len__(self) -> int:
+        return int(self.slots.size)
+
+
+class QDPM:
+    """Q-learning dynamic power manager.
+
+    Parameters
+    ----------
+    env:
+        The slotted environment to control.
+    agent:
+        A :class:`~repro.core.qlearning.TDAgent`; defaults to Watkins'
+        Q-learning with the paper's constant alpha / epsilon, sized to the
+        observation space.
+    observation:
+        Observation map; defaults to full observability (Fig. 1 setting).
+    discount, learning_rate, epsilon, seed:
+        Convenience knobs forwarded to the default agent when ``agent``
+        is not supplied.
+    """
+
+    def __init__(
+        self,
+        env: SlottedDPMEnv,
+        agent: Optional[TDAgent] = None,
+        observation: Optional[ObservationMap] = None,
+        discount: float = 0.95,
+        learning_rate: float = 0.1,
+        epsilon: float = 0.1,
+        seed: Optional[int] = None,
+    ) -> None:
+        self.env = env
+        self.observation = (
+            observation if observation is not None else FullObservation(env)
+        )
+        if agent is None:
+            agent = QLearningAgent(
+                n_observations=self.observation.n_observations,
+                n_actions=env.n_actions,
+                discount=discount,
+                learning_rate=learning_rate,
+                exploration=EpsilonGreedy(epsilon),
+                seed=seed,
+            )
+        if agent.table.n_observations != self.observation.n_observations:
+            raise ValueError(
+                f"agent table has {agent.table.n_observations} rows but the "
+                f"observation space has {self.observation.n_observations}"
+            )
+        if agent.table.n_actions != env.n_actions:
+            raise ValueError(
+                f"agent table has {agent.table.n_actions} actions but the "
+                f"environment has {env.n_actions}"
+            )
+        self.agent = agent
+
+    # ------------------------------------------------------------------ #
+    # one slot of control — the entire runtime of Q-DPM
+    # ------------------------------------------------------------------ #
+
+    def control_step(self, learn: bool = True) -> tuple:
+        """Observe, act, (optionally) learn; returns (reward, info)."""
+        state = self.env.state
+        obs = self.observation.observe(state)
+        allowed = self.env.allowed_actions(state)
+        if learn:
+            action = self.agent.select_action(obs, allowed)
+        else:
+            action = self.agent.greedy_action(obs, allowed)
+        next_state, reward, info = self.env.step(action)
+        delta = 0.0
+        if learn:
+            next_obs = self.observation.observe(next_state)
+            next_allowed = self.env.allowed_actions(next_state)
+            delta = self.agent.update(
+                obs, action, reward, next_obs, next_allowed
+            )
+        return reward, info, delta
+
+    def run(
+        self,
+        n_slots: int,
+        learn: bool = True,
+        record_every: int = 1000,
+        callback: Optional[Callable[[int], None]] = None,
+    ) -> RunHistory:
+        """Control the environment for ``n_slots`` slots.
+
+        Records windowed means every ``record_every`` slots (the windowed
+        energy-saving ratio is the Fig. 1 y-axis).  ``callback(slot)`` is
+        invoked at each record point — experiments use it to snapshot the
+        greedy policy.
+        """
+        if n_slots < 1:
+            raise ValueError(f"n_slots must be >= 1, got {n_slots}")
+        if record_every < 1:
+            raise ValueError(f"record_every must be >= 1, got {record_every}")
+        always_on = self.env.always_on_power() * self.env.slot_length
+
+        slots: List[int] = []
+        energy: List[float] = []
+        reward_hist: List[float] = []
+        queue_hist: List[float] = []
+        saving: List[float] = []
+        td: List[float] = []
+
+        win_energy = win_reward = win_queue = win_td = 0.0
+        win_count = 0
+        for _ in range(n_slots):
+            reward, info, delta = self.control_step(learn=learn)
+            win_energy += info.energy
+            win_reward += reward
+            win_queue += info.queue
+            win_td += delta
+            win_count += 1
+            if win_count == record_every:
+                slots.append(info.slot)
+                energy.append(win_energy / win_count)
+                reward_hist.append(win_reward / win_count)
+                queue_hist.append(win_queue / win_count)
+                ratio = 1.0 - (win_energy / win_count) / always_on if always_on > 0 else 0.0
+                saving.append(ratio)
+                td.append(win_td / win_count)
+                if callback is not None:
+                    callback(info.slot)
+                win_energy = win_reward = win_queue = win_td = 0.0
+                win_count = 0
+        if win_count:
+            # final partial window
+            slots.append(self.env.current_slot - 1)
+            energy.append(win_energy / win_count)
+            reward_hist.append(win_reward / win_count)
+            queue_hist.append(win_queue / win_count)
+            ratio = 1.0 - (win_energy / win_count) / always_on if always_on > 0 else 0.0
+            saving.append(ratio)
+            td.append(win_td / win_count)
+        return RunHistory(
+            slots=np.asarray(slots),
+            energy=np.asarray(energy),
+            reward=np.asarray(reward_hist),
+            queue=np.asarray(queue_hist),
+            saving_ratio=np.asarray(saving),
+            td_error=np.asarray(td),
+        )
+
+    # ------------------------------------------------------------------ #
+    # policy extraction
+    # ------------------------------------------------------------------ #
+
+    def greedy_policy(self, prefer_visited: bool = True) -> DeterministicPolicy:
+        """Greedy environment-state policy induced by the current Q-table.
+
+        Well-defined for coarse observations too (all states sharing an
+        observation share an action); with
+        :class:`~repro.env.FullObservation` this is directly comparable to
+        the exact solver's policy.
+
+        ``prefer_visited`` (default) restricts the per-state argmax to
+        actions that have received at least one Q-update whenever any
+        exist, and falls back to the home-state command otherwise.
+        Without it, never-updated entries retain their (optimistic)
+        initial value and a frozen extraction can "choose" actions the
+        agent never tried — good for exploration while learning, nonsense
+        in a deployed snapshot.
+        """
+        table = self.agent.table
+        home_action = self.env.mode_space.action_index(
+            self.env.device.initial_state
+        )
+        actions = np.empty(self.env.n_states, dtype=int)
+        for state in range(self.env.n_states):
+            obs = self.observation.observe(state)
+            allowed = self.env.allowed_actions(state)
+            if prefer_visited:
+                visited = [a for a in allowed if table.visits(obs, a) > 0]
+                if visited:
+                    actions[state] = table.best_action(obs, visited)
+                elif home_action in allowed:
+                    actions[state] = home_action
+                else:
+                    actions[state] = allowed[0]
+            else:
+                actions[state] = self.agent.greedy_action(obs, allowed)
+        return DeterministicPolicy(actions)

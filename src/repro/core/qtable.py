@@ -1,0 +1,173 @@
+"""The Q-table: the entire run-time data structure of Q-DPM.
+
+The paper: "Q values can be encoded in a |s| x |a| table that requires a
+little bit memory space.  Hence, it is feasible to implement Q-DPM on
+almost any embedded nodes."  This module is that table, plus the visit
+counters used by decaying learning rates and the masking needed because
+not every power command is legal in every mode.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+import numpy as np
+
+
+class QTable:
+    """Dense tabular action-value function with action masking.
+
+    Parameters
+    ----------
+    n_observations, n_actions:
+        Table dimensions.
+    initial_value:
+        Optimistic or pessimistic initialization of every entry.
+    dtype:
+        Storage dtype; ``np.float32`` halves the footprint on an
+        embedded target, ``float64`` (default) removes rounding concerns.
+    """
+
+    def __init__(
+        self,
+        n_observations: int,
+        n_actions: int,
+        initial_value: float = 0.0,
+        dtype: type = np.float64,
+    ) -> None:
+        if n_observations < 1 or n_actions < 1:
+            raise ValueError("table dimensions must be >= 1")
+        self._q = np.full((n_observations, n_actions), initial_value, dtype=dtype)
+        self._visits = np.zeros((n_observations, n_actions), dtype=np.int64)
+
+    @property
+    def n_observations(self) -> int:
+        """Number of observation rows."""
+        return self._q.shape[0]
+
+    @property
+    def n_actions(self) -> int:
+        """Number of action columns."""
+        return self._q.shape[1]
+
+    @property
+    def values(self) -> np.ndarray:
+        """Copy of the raw Q matrix."""
+        return self._q.copy()
+
+    @property
+    def visit_counts(self) -> np.ndarray:
+        """Copy of the per-pair update counters."""
+        return self._visits.copy()
+
+    def get(self, observation: int, action: int) -> float:
+        """Q(observation, action)."""
+        return float(self._q[observation, action])
+
+    def set(self, observation: int, action: int, value: float) -> None:
+        """Overwrite one entry (used by tests and warm starts)."""
+        self._q[observation, action] = value
+
+    def visits(self, observation: int, action: int) -> int:
+        """Number of updates applied to the pair so far."""
+        return int(self._visits[observation, action])
+
+    # ------------------------------------------------------------------ #
+    # the two O(|A|) runtime operations of Q-DPM
+    # ------------------------------------------------------------------ #
+
+    def best_action(
+        self,
+        observation: int,
+        allowed: Sequence[int],
+        rng: Optional[np.random.Generator] = None,
+    ) -> int:
+        """Greedy action among ``allowed``; random tie-break if ``rng``.
+
+        Raises
+        ------
+        ValueError
+            If ``allowed`` is empty.
+        """
+        allowed = np.asarray(allowed, dtype=int)
+        if allowed.size == 0:
+            raise ValueError("allowed action set must be non-empty")
+        row = self._q[observation, allowed]
+        best = row.max()
+        ties = allowed[row >= best - 1e-12]
+        if rng is not None and ties.size > 1:
+            return int(rng.choice(ties))
+        return int(ties[0])
+
+    def max_value(self, observation: int, allowed: Sequence[int]) -> float:
+        """max_a Q(observation, a) over the allowed actions."""
+        allowed = np.asarray(allowed, dtype=int)
+        if allowed.size == 0:
+            raise ValueError("allowed action set must be non-empty")
+        return float(self._q[observation, allowed].max())
+
+    def update_toward(
+        self,
+        observation: int,
+        action: int,
+        target: float,
+        learning_rate: float,
+    ) -> float:
+        """Relaxation step ``Q <- (1 - lr) Q + lr * target`` (paper Eqn. 3).
+
+        Returns the absolute change (the "temporal-difference magnitude"),
+        which convergence diagnostics track.
+        """
+        if not 0.0 <= learning_rate <= 1.0:
+            raise ValueError(f"learning_rate must be in [0, 1], got {learning_rate}")
+        old = self._q[observation, action]
+        new = (1.0 - learning_rate) * old + learning_rate * target
+        self._q[observation, action] = new
+        self._visits[observation, action] += 1
+        return float(abs(new - old))
+
+    # ------------------------------------------------------------------ #
+    # reporting
+    # ------------------------------------------------------------------ #
+
+    def memory_bytes(self) -> int:
+        """Bytes held by the Q matrix itself (the CLAIM-MEM number)."""
+        return int(self._q.nbytes)
+
+    def greedy_actions(self, allowed_per_obs: Iterable[Sequence[int]]) -> np.ndarray:
+        """Vector of greedy actions given per-observation allowed sets."""
+        out = np.empty(self.n_observations, dtype=int)
+        for obs, allowed in enumerate(allowed_per_obs):
+            out[obs] = self.best_action(obs, allowed)
+        return out
+
+    def copy(self) -> "QTable":
+        """Deep copy (used for snapshotting during experiments)."""
+        clone = QTable(self.n_observations, self.n_actions)
+        clone._q = self._q.copy()
+        clone._visits = self._visits.copy()
+        return clone
+
+    # ------------------------------------------------------------------ #
+    # persistence (warm-starting a deployed controller)
+    # ------------------------------------------------------------------ #
+
+    def save(self, path: str) -> None:
+        """Persist values and visit counts to an ``.npz`` file."""
+        np.savez_compressed(path, q=self._q, visits=self._visits)
+
+    @classmethod
+    def load(cls, path: str) -> "QTable":
+        """Restore a table written by :meth:`save`."""
+        with np.load(path) as data:
+            q = data["q"]
+            visits = data["visits"]
+        if q.ndim != 2 or q.shape != visits.shape:
+            raise ValueError(f"corrupt Q-table file {path!r}")
+        table = cls(q.shape[0], q.shape[1], dtype=q.dtype.type)
+        table._q = q.copy()
+        table._visits = visits.astype(np.int64).copy()
+        return table
+
+    def __repr__(self) -> str:
+        return f"QTable({self.n_observations}x{self.n_actions})"

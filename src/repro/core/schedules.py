@@ -1,0 +1,103 @@
+"""Scalar parameter schedules (learning rate, exploration probability).
+
+The paper uses a fixed learning rate and a fixed exploration probability.
+Constant schedules keep the controller *permanently plastic* — exactly
+what makes Q-DPM track nonstationary workloads (a 1/n decay would freeze
+the policy and lose the Fig. 2 behaviour).  Decaying schedules are
+provided for the stationary-convergence ablations.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+
+
+class Schedule(ABC):
+    """A scalar as a function of a step counter ``n`` (0-based)."""
+
+    @abstractmethod
+    def value(self, n: int) -> float:
+        """Schedule value at step ``n``."""
+
+    def __call__(self, n: int) -> float:
+        return self.value(n)
+
+
+class Constant(Schedule):
+    """Fixed value — the paper's choice for both alpha and epsilon."""
+
+    def __init__(self, value: float) -> None:
+        self._value = float(value)
+
+    def value(self, n: int) -> float:
+        return self._value
+
+    def __repr__(self) -> str:
+        return f"Constant({self._value})"
+
+
+class LinearDecay(Schedule):
+    """Linear interpolation ``start -> end`` over ``steps`` steps."""
+
+    def __init__(self, start: float, end: float, steps: int) -> None:
+        if steps <= 0:
+            raise ValueError(f"steps must be > 0, got {steps}")
+        self._start = float(start)
+        self._end = float(end)
+        self._steps = int(steps)
+
+    def value(self, n: int) -> float:
+        if n >= self._steps:
+            return self._end
+        frac = n / self._steps
+        return self._start + (self._end - self._start) * frac
+
+    def __repr__(self) -> str:
+        return f"LinearDecay({self._start}->{self._end} over {self._steps})"
+
+
+class ExponentialDecay(Schedule):
+    """``start * decay^n``, floored at ``minimum``."""
+
+    def __init__(self, start: float, decay: float, minimum: float = 0.0) -> None:
+        if not 0.0 < decay <= 1.0:
+            raise ValueError(f"decay must be in (0, 1], got {decay}")
+        if minimum < 0:
+            raise ValueError("minimum must be >= 0")
+        self._start = float(start)
+        self._decay = float(decay)
+        self._minimum = float(minimum)
+
+    def value(self, n: int) -> float:
+        return max(self._minimum, self._start * self._decay ** n)
+
+    def __repr__(self) -> str:
+        return (
+            f"ExponentialDecay(start={self._start}, decay={self._decay}, "
+            f"min={self._minimum})"
+        )
+
+
+class HarmonicDecay(Schedule):
+    """``start / (1 + n / tau)`` — the Robbins-Monro-compatible decay.
+
+    Satisfies the stochastic-approximation conditions (sum = inf, sum of
+    squares < inf), so Q-learning with it converges almost surely in a
+    stationary environment.
+    """
+
+    def __init__(self, start: float, tau: float = 1.0, minimum: float = 0.0) -> None:
+        if tau <= 0:
+            raise ValueError(f"tau must be > 0, got {tau}")
+        if minimum < 0:
+            raise ValueError("minimum must be >= 0")
+        self._start = float(start)
+        self._tau = float(tau)
+        self._minimum = float(minimum)
+
+    def value(self, n: int) -> float:
+        return max(self._minimum, self._start / (1.0 + n / self._tau))
+
+    def __repr__(self) -> str:
+        return f"HarmonicDecay(start={self._start}, tau={self._tau})"

@@ -1,0 +1,242 @@
+"""Power-state machine: the complete power model of one device.
+
+:class:`PowerStateMachine` bundles the states and transitions of a device,
+validates the model on construction, and offers the analytical quantities
+classic DPM policies rely on (round-trip energies, break-even times).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from .power_state import PowerState, Transition
+
+
+class PowerStateMachine:
+    """The power model of a single power-managed component.
+
+    Parameters
+    ----------
+    name:
+        Human-readable device name.
+    states:
+        All power states; names must be unique and exactly one state
+        typically has ``can_service=True`` (more are allowed).
+    transitions:
+        Directed transition edges between states.
+    initial_state:
+        Name of the state the device starts in; defaults to the first
+        servicing state, else the first state.
+
+    Raises
+    ------
+    ValueError
+        On duplicate state names, transitions referencing unknown states,
+        duplicate transition edges, or no servicing state at all.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        states: Sequence[PowerState],
+        transitions: Sequence[Transition],
+        initial_state: Optional[str] = None,
+    ) -> None:
+        if not states:
+            raise ValueError("a PowerStateMachine needs at least one state")
+        self.name = name
+        self._states: Dict[str, PowerState] = {}
+        for st in states:
+            if st.name in self._states:
+                raise ValueError(f"duplicate state name {st.name!r}")
+            self._states[st.name] = st
+
+        self._transitions: Dict[Tuple[str, str], Transition] = {}
+        for tr in transitions:
+            if tr.source not in self._states:
+                raise ValueError(f"transition from unknown state {tr.source!r}")
+            if tr.target not in self._states:
+                raise ValueError(f"transition to unknown state {tr.target!r}")
+            if tr.key in self._transitions:
+                raise ValueError(f"duplicate transition {tr.source}->{tr.target}")
+            self._transitions[tr.key] = tr
+
+        if not any(st.can_service for st in states):
+            raise ValueError(f"device {name!r} has no state that can service requests")
+
+        if initial_state is None:
+            servicing = [st.name for st in states if st.can_service]
+            initial_state = servicing[0] if servicing else states[0].name
+        if initial_state not in self._states:
+            raise ValueError(f"initial state {initial_state!r} is not a state")
+        self.initial_state = initial_state
+
+    # ------------------------------------------------------------------ #
+    # lookups
+    # ------------------------------------------------------------------ #
+
+    @property
+    def state_names(self) -> List[str]:
+        """State names in declaration order."""
+        return list(self._states)
+
+    @property
+    def states(self) -> List[PowerState]:
+        """All states in declaration order."""
+        return list(self._states.values())
+
+    @property
+    def transitions(self) -> List[Transition]:
+        """All transition edges in declaration order."""
+        return list(self._transitions.values())
+
+    def state(self, name: str) -> PowerState:
+        """Look up a state by name."""
+        try:
+            return self._states[name]
+        except KeyError:
+            raise KeyError(f"unknown power state {name!r} on device {self.name!r}")
+
+    def has_state(self, name: str) -> bool:
+        """True if ``name`` is a state of this device."""
+        return name in self._states
+
+    def transition(self, source: str, target: str) -> Transition:
+        """Look up the transition edge ``source -> target``."""
+        try:
+            return self._transitions[(source, target)]
+        except KeyError:
+            raise KeyError(
+                f"device {self.name!r} has no transition {source!r} -> {target!r}"
+            )
+
+    def can_transition(self, source: str, target: str) -> bool:
+        """True if a direct edge ``source -> target`` exists."""
+        return (source, target) in self._transitions
+
+    def targets_from(self, source: str) -> List[str]:
+        """Names of states directly reachable from ``source``."""
+        self.state(source)
+        return [dst for (src, dst) in self._transitions if src == source]
+
+    def service_states(self) -> List[str]:
+        """Names of the states in which requests are serviced."""
+        return [st.name for st in self.states if st.can_service]
+
+    def deepest_state(self) -> str:
+        """Name of the lowest-power state (ties broken by order)."""
+        return min(self.states, key=lambda st: st.power).name
+
+    def highest_power_state(self) -> str:
+        """Name of the highest-power state (ties broken by order)."""
+        return max(self.states, key=lambda st: st.power).name
+
+    # ------------------------------------------------------------------ #
+    # analytical quantities
+    # ------------------------------------------------------------------ #
+
+    def round_trip(self, from_state: str, to_state: str) -> Tuple[float, float]:
+        """Energy and latency of going ``from_state -> to_state -> from_state``.
+
+        Returns
+        -------
+        (energy, latency):
+            Sums over the down and up transitions.
+        """
+        down = self.transition(from_state, to_state)
+        up = self.transition(to_state, from_state)
+        return down.energy + up.energy, down.latency + up.latency
+
+    def idle_energy(self, rest_state: str, idle_length: float, home_state: str) -> float:
+        """Energy of spending an idle period of ``idle_length`` in ``rest_state``.
+
+        The device starts and must end in ``home_state`` (the state in which
+        it services requests).  If ``rest_state == home_state`` this is just
+        residence energy.  Otherwise the round-trip transition energy is paid
+        and the remaining time is spent at the rest state's power.  When the
+        idle period is shorter than the round-trip latency, the wake-up
+        completes *after* the period ends; the overshoot energy is still
+        charged here (pessimistic accounting, standard in break-even
+        analysis).
+        """
+        if idle_length < 0:
+            raise ValueError("idle_length must be >= 0")
+        if rest_state == home_state:
+            return self.state(home_state).energy(idle_length)
+        rt_energy, rt_latency = self.round_trip(home_state, rest_state)
+        resident = max(0.0, idle_length - rt_latency)
+        return rt_energy + self.state(rest_state).energy(resident)
+
+    def break_even_time(self, rest_state: str, home_state: Optional[str] = None) -> float:
+        """Minimum idle length for which ``rest_state`` beats staying home.
+
+        The classic DPM break-even time ``T_be``: an (oracle) policy should
+        move to ``rest_state`` exactly when the upcoming idle period exceeds
+        this value.  Solves ``P_home * T = E_rt + P_rest * (T - L_rt)`` and
+        clamps at the round-trip latency ``L_rt``.
+
+        Raises
+        ------
+        ValueError
+            If the rest state does not save power relative to home.
+        """
+        if home_state is None:
+            home_state = self.initial_state
+        p_home = self.state(home_state).power
+        p_rest = self.state(rest_state).power
+        if rest_state == home_state:
+            return 0.0
+        if p_rest >= p_home:
+            raise ValueError(
+                f"{rest_state!r} (P={p_rest}) does not save power over "
+                f"{home_state!r} (P={p_home})"
+            )
+        rt_energy, rt_latency = self.round_trip(home_state, rest_state)
+        t_be = (rt_energy - p_rest * rt_latency) / (p_home - p_rest)
+        return max(t_be, rt_latency)
+
+    def sleep_states_by_depth(self, home_state: Optional[str] = None) -> List[str]:
+        """Non-home states ordered from shallowest (highest power) to deepest."""
+        if home_state is None:
+            home_state = self.initial_state
+        others = [st for st in self.states if st.name != home_state]
+        return [st.name for st in sorted(others, key=lambda s: -s.power)]
+
+    # ------------------------------------------------------------------ #
+    # serialization
+    # ------------------------------------------------------------------ #
+
+    def to_dict(self) -> dict:
+        """Serialize the full machine to a plain dict (JSON-friendly)."""
+        return {
+            "name": self.name,
+            "initial_state": self.initial_state,
+            "states": [st.to_dict() for st in self.states],
+            "transitions": [tr.to_dict() for tr in self.transitions],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "PowerStateMachine":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            name=data["name"],
+            states=[PowerState.from_dict(d) for d in data["states"]],
+            transitions=[Transition.from_dict(d) for d in data["transitions"]],
+            initial_state=data.get("initial_state"),
+        )
+
+    def to_json(self) -> str:
+        """Serialize to a JSON string."""
+        return json.dumps(self.to_dict(), indent=2)
+
+    @classmethod
+    def from_json(cls, text: str) -> "PowerStateMachine":
+        """Inverse of :meth:`to_json`."""
+        return cls.from_dict(json.loads(text))
+
+    def __repr__(self) -> str:
+        return (
+            f"PowerStateMachine({self.name!r}, states={self.state_names}, "
+            f"transitions={len(self._transitions)})"
+        )

@@ -1,0 +1,134 @@
+"""Primitive data types for device power modeling.
+
+A power-managed component (disk, CPU, NIC, radio) is described by a set of
+:class:`PowerState` (each with a steady-state power draw and a flag saying
+whether requests can be serviced there) and a set of :class:`Transition`
+edges (each with an energy cost and a latency).  This is the standard
+system-level DPM abstraction of Benini, Bogliolo & De Micheli (TVLSI 2000),
+which the Q-DPM paper builds on.
+
+Units are SI by convention (watts, joules, seconds), but nothing in the
+library depends on the absolute scale: normalized "abstract" devices are
+equally valid and are what the slotted experiments use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class PowerState:
+    """One steady operating mode of a power-managed device.
+
+    Parameters
+    ----------
+    name:
+        Unique identifier, e.g. ``"active"``, ``"idle"``, ``"sleep"``.
+    power:
+        Steady-state power draw while residing in this state (watts).
+    can_service:
+        True if pending requests are processed while in this state.
+        Typically only the highest-power state services requests.
+    """
+
+    name: str
+    power: float
+    can_service: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("PowerState.name must be a non-empty string")
+        if self.power < 0:
+            raise ValueError(
+                f"PowerState {self.name!r}: power must be >= 0, got {self.power}"
+            )
+
+    def energy(self, duration: float) -> float:
+        """Energy consumed by residing in this state for ``duration`` seconds."""
+        if duration < 0:
+            raise ValueError(f"duration must be >= 0, got {duration}")
+        return self.power * duration
+
+    def to_dict(self) -> dict:
+        """Serialize to a plain dict (JSON-friendly)."""
+        return {
+            "name": self.name,
+            "power": self.power,
+            "can_service": self.can_service,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "PowerState":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            name=data["name"],
+            power=float(data["power"]),
+            can_service=bool(data.get("can_service", False)),
+        )
+
+
+@dataclass(frozen=True)
+class Transition:
+    """A commanded power-mode change.
+
+    Parameters
+    ----------
+    source, target:
+        Names of the endpoint :class:`PowerState` s.
+    energy:
+        Total energy consumed by performing the transition (joules).
+    latency:
+        Wall-clock time the transition takes (seconds); the device can
+        neither service requests nor accept new commands while in flight.
+    """
+
+    source: str
+    target: str
+    energy: float
+    latency: float
+
+    def __post_init__(self) -> None:
+        if self.source == self.target:
+            raise ValueError(
+                f"self-transition {self.source!r} -> {self.target!r} is not allowed"
+            )
+        if self.energy < 0:
+            raise ValueError(
+                f"Transition {self.source}->{self.target}: energy must be >= 0"
+            )
+        if self.latency < 0:
+            raise ValueError(
+                f"Transition {self.source}->{self.target}: latency must be >= 0"
+            )
+
+    @property
+    def key(self) -> tuple:
+        """(source, target) pair used as the lookup key."""
+        return (self.source, self.target)
+
+    @property
+    def mean_power(self) -> float:
+        """Average power draw during the transition (0 for instant ones)."""
+        if self.latency == 0:
+            return 0.0
+        return self.energy / self.latency
+
+    def to_dict(self) -> dict:
+        """Serialize to a plain dict (JSON-friendly)."""
+        return {
+            "source": self.source,
+            "target": self.target,
+            "energy": self.energy,
+            "latency": self.latency,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Transition":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            source=data["source"],
+            target=data["target"],
+            energy=float(data["energy"]),
+            latency=float(data["latency"]),
+        )

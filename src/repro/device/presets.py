@@ -1,0 +1,183 @@
+"""Ready-made device power models.
+
+Representative values compiled from the system-level DPM literature
+(Benini, Bogliolo & De Micheli, TVLSI 2000; Simunic et al.; Intel
+StrongARM SA-1100 datasheet figures as commonly cited).  Absolute numbers
+are "literature-representative", not vendor-certified; every experiment in
+this repository depends only on the *ratios* between state powers and
+transition costs, which these presets preserve.
+
+The :func:`abstract_three_state` preset is the normalized device used by
+the slotted DTMDP experiments (Fig. 1 / Fig. 2 reproductions); the others
+drive the event-driven simulator examples.
+"""
+
+from __future__ import annotations
+
+from .machine import PowerStateMachine
+from .power_state import PowerState, Transition
+
+
+def abstract_three_state(
+    active_power: float = 1.0,
+    idle_power: float = 0.4,
+    sleep_power: float = 0.05,
+    sleep_down_energy: float = 0.4,
+    sleep_up_energy: float = 1.2,
+    sleep_down_latency: float = 1.0,
+    sleep_up_latency: float = 3.0,
+) -> PowerStateMachine:
+    """Normalized three-state device (active / idle / sleep).
+
+    This is the canonical testbench device of the slotted experiments: one
+    servicing state, a shallow idle state reachable instantaneously, and a
+    deep sleep state with a costly round trip.  Defaults give a break-even
+    time of a few slots, so neither "always sleep" nor "never sleep" is
+    optimal — the policy decision is non-trivial, as in the paper.
+    """
+    states = [
+        PowerState("active", active_power, can_service=True),
+        PowerState("idle", idle_power),
+        PowerState("sleep", sleep_power),
+    ]
+    transitions = [
+        Transition("active", "idle", energy=0.0, latency=0.0),
+        Transition("idle", "active", energy=0.0, latency=0.0),
+        Transition("active", "sleep", sleep_down_energy, sleep_down_latency),
+        Transition("sleep", "active", sleep_up_energy, sleep_up_latency),
+        Transition("idle", "sleep", sleep_down_energy, sleep_down_latency),
+    ]
+    return PowerStateMachine("abstract3", states, transitions, initial_state="active")
+
+
+def two_state(
+    on_power: float = 1.0,
+    off_power: float = 0.0,
+    down_energy: float = 0.2,
+    up_energy: float = 0.8,
+    down_latency: float = 0.5,
+    up_latency: float = 1.5,
+) -> PowerStateMachine:
+    """Minimal on/off device, the textbook competitive-analysis setting."""
+    states = [
+        PowerState("on", on_power, can_service=True),
+        PowerState("off", off_power),
+    ]
+    transitions = [
+        Transition("on", "off", down_energy, down_latency),
+        Transition("off", "on", up_energy, up_latency),
+    ]
+    return PowerStateMachine("two_state", states, transitions, initial_state="on")
+
+
+def mobile_hard_disk() -> PowerStateMachine:
+    """Mobile hard-disk drive (Fujitsu MHF-2043AT class, Benini et al. survey).
+
+    Busy 2.3 W, idle 0.95 W, standby (spun down) 0.13 W; spin-down takes
+    ~0.67 s, spin-up ~1.6 s at elevated power.
+    """
+    states = [
+        PowerState("busy", 2.3, can_service=True),
+        PowerState("idle", 0.95),
+        PowerState("standby", 0.13),
+    ]
+    transitions = [
+        Transition("busy", "idle", energy=0.0, latency=0.0),
+        Transition("idle", "busy", energy=0.0, latency=0.0),
+        Transition("idle", "standby", energy=0.36, latency=0.67),
+        Transition("standby", "busy", energy=4.39, latency=1.6),
+        Transition("busy", "standby", energy=0.36, latency=0.67),
+    ]
+    return PowerStateMachine("mobile_hdd", states, transitions, initial_state="busy")
+
+
+def strongarm_sa1100() -> PowerStateMachine:
+    """Intel StrongARM SA-1100 processor (run / idle / sleep).
+
+    Run 400 mW, idle 50 mW, sleep 0.16 mW; idle->run is ~10 us (treated as
+    free at DPM timescales), sleep->run takes ~160 ms.  Powers in watts.
+    """
+    states = [
+        PowerState("run", 0.4, can_service=True),
+        PowerState("idle", 0.05),
+        PowerState("sleep", 0.00016),
+    ]
+    transitions = [
+        Transition("run", "idle", energy=0.0, latency=1e-5),
+        Transition("idle", "run", energy=0.0, latency=1e-5),
+        Transition("run", "sleep", energy=0.016, latency=0.09),
+        Transition("sleep", "run", energy=0.064, latency=0.16),
+        Transition("idle", "sleep", energy=0.016, latency=0.09),
+    ]
+    return PowerStateMachine("sa1100", states, transitions, initial_state="run")
+
+
+def wlan_card() -> PowerStateMachine:
+    """802.11 WLAN interface (transmit-capable on state, doze, off).
+
+    On (rx/tx average) ~1.4 W, doze ~0.045 W with ~1 ms wake, off ~0 W
+    with a costly reassociation on wake.
+    """
+    states = [
+        PowerState("on", 1.4, can_service=True),
+        PowerState("doze", 0.045),
+        PowerState("off", 0.0),
+    ]
+    transitions = [
+        Transition("on", "doze", energy=0.001, latency=0.001),
+        Transition("doze", "on", energy=0.002, latency=0.001),
+        Transition("on", "off", energy=0.1, latency=0.3),
+        Transition("off", "on", energy=1.2, latency=3.5),
+        Transition("doze", "off", energy=0.1, latency=0.3),
+    ]
+    return PowerStateMachine("wlan", states, transitions, initial_state="on")
+
+
+def sensor_node_radio() -> PowerStateMachine:
+    """Low-power sensor-node radio (CC2420 class) — the paper's motivating
+    "biosensor node" platform.
+
+    Rx/tx ~56 mW, idle ~1.3 mW, power-down ~0.06 mW; wake from power-down
+    costs ~1 ms of oscillator start-up.
+    """
+    states = [
+        PowerState("rxtx", 0.056, can_service=True),
+        PowerState("idle", 0.0013),
+        PowerState("down", 0.00006),
+    ]
+    transitions = [
+        Transition("rxtx", "idle", energy=0.0, latency=0.000192),
+        Transition("idle", "rxtx", energy=0.0, latency=0.000192),
+        Transition("rxtx", "down", energy=0.0000005, latency=0.0005),
+        Transition("down", "rxtx", energy=0.00006, latency=0.001),
+        Transition("idle", "down", energy=0.0000005, latency=0.0005),
+    ]
+    return PowerStateMachine("sensor_radio", states, transitions, initial_state="rxtx")
+
+
+#: Registry of all presets by name, for CLI / config lookup.
+PRESETS = {
+    "abstract3": abstract_three_state,
+    "two_state": two_state,
+    "mobile_hdd": mobile_hard_disk,
+    "sa1100": strongarm_sa1100,
+    "wlan": wlan_card,
+    "sensor_radio": sensor_node_radio,
+}
+
+
+def get_preset(name: str) -> PowerStateMachine:
+    """Instantiate a preset device by registry name.
+
+    Raises
+    ------
+    KeyError
+        With the list of known names if ``name`` is not a preset.
+    """
+    try:
+        factory = PRESETS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown device preset {name!r}; known presets: {sorted(PRESETS)}"
+        )
+    return factory()

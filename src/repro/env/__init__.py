@@ -1,0 +1,21 @@
+"""Slotted DPM environment and its exact DTMDP model."""
+
+from .model_builder import DPMModel, PolicyPerformance, build_dpm_model
+from .observation import FullObservation, ObservationMap, QueueBucketObservation
+from .slotted_env import EnvTotals, SlottedDPMEnv, StepInfo
+from .states import Mode, ModeSpace, StepEffect
+
+__all__ = [
+    "Mode",
+    "ModeSpace",
+    "StepEffect",
+    "SlottedDPMEnv",
+    "StepInfo",
+    "EnvTotals",
+    "DPMModel",
+    "PolicyPerformance",
+    "build_dpm_model",
+    "ObservationMap",
+    "FullObservation",
+    "QueueBucketObservation",
+]

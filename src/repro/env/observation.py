@@ -1,0 +1,117 @@
+"""Observation mappings: what the Power Manager actually sees.
+
+The paper's Q-table is indexed by an |s| x |a| encoding of the observed
+system state.  How much of the true environment state the PM observes is
+a design choice with a cost/performance trade-off (the ablation bench
+``test_ablation_observation``):
+
+- :class:`FullObservation` — the PM sees the exact environment state
+  (mode incl. transition countdowns, exact queue).  Q-learning can then
+  converge to the true optimum (Fig. 1 protocol).
+- :class:`QueueBucketObservation` — queue lengths are bucketed and
+  transition countdowns collapsed; a smaller table that learns faster but
+  may lose optimality.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import List, Sequence
+
+from .slotted_env import SlottedDPMEnv
+
+
+class ObservationMap(ABC):
+    """Maps environment state indices to (smaller) observation indices."""
+
+    @property
+    @abstractmethod
+    def n_observations(self) -> int:
+        """Size of the observation space."""
+
+    @abstractmethod
+    def observe(self, state: int) -> int:
+        """Observation index for environment state ``state``."""
+
+    @abstractmethod
+    def label(self, observation: int) -> str:
+        """Readable name for an observation index."""
+
+
+class FullObservation(ObservationMap):
+    """Identity map: the PM observes the exact environment state."""
+
+    def __init__(self, env: SlottedDPMEnv) -> None:
+        self._env = env
+
+    @property
+    def n_observations(self) -> int:
+        return self._env.n_states
+
+    def observe(self, state: int) -> int:
+        if not 0 <= state < self._env.n_states:
+            raise ValueError(f"state index out of range: {state}")
+        return state
+
+    def label(self, observation: int) -> str:
+        return self._env.state_label(observation)
+
+
+class QueueBucketObservation(ObservationMap):
+    """Coarse map: steady-state-or-inflight mode x bucketed queue.
+
+    All countdown modes of one transition collapse onto a single
+    "in-flight toward X" pseudo-mode, and the queue is reduced to bucket
+    indices by ``boundaries`` (e.g. ``[1, 4]`` gives buckets
+    {0}, {1..3}, {4..cap}).
+    """
+
+    def __init__(self, env: SlottedDPMEnv, boundaries: Sequence[int] = (1, 4)) -> None:
+        bounds = list(boundaries)
+        if bounds != sorted(bounds) or len(set(bounds)) != len(bounds):
+            raise ValueError("boundaries must be strictly increasing")
+        if bounds and (bounds[0] < 1 or bounds[-1] > env.queue_capacity):
+            raise ValueError(
+                f"boundaries must lie in [1, queue_capacity={env.queue_capacity}]"
+            )
+        self._env = env
+        self._bounds = bounds
+        # collapse countdown modes: key = (kind, state, source)
+        self._mode_groups: List[tuple] = []
+        self._group_of_mode: List[int] = []
+        seen = {}
+        for mode in env.mode_space.modes:
+            key = (mode.kind, mode.state, mode.source)
+            if key not in seen:
+                seen[key] = len(self._mode_groups)
+                self._mode_groups.append(key)
+            self._group_of_mode.append(seen[key])
+        self._n_buckets = len(bounds) + 1
+
+    @property
+    def n_observations(self) -> int:
+        return len(self._mode_groups) * self._n_buckets
+
+    def _bucket(self, queue: int) -> int:
+        for i, b in enumerate(self._bounds):
+            if queue < b:
+                return i
+        return len(self._bounds)
+
+    def observe(self, state: int) -> int:
+        mode, queue = self._env.decode(state)
+        mode_index = self._env.mode_space.modes.index(mode)
+        group = self._group_of_mode[mode_index]
+        return group * self._n_buckets + self._bucket(queue)
+
+    def label(self, observation: int) -> str:
+        group, bucket = divmod(observation, self._n_buckets)
+        kind, state, source = self._mode_groups[group]
+        mode_name = state if kind == "steady" else f"{source}->{state}"
+        lo = 0 if bucket == 0 else self._bounds[bucket - 1]
+        hi = (
+            self._bounds[bucket] - 1
+            if bucket < len(self._bounds)
+            else self._env.queue_capacity
+        )
+        return f"{mode_name}|q={lo}..{hi}"

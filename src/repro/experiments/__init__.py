@@ -1,0 +1,37 @@
+"""Experiment harnesses reproducing every figure, table, and claim."""
+
+from .config import (
+    EnvConfig,
+    Fig1Config,
+    Fig2Config,
+    OverheadConfig,
+    PolicyTableConfig,
+    VariationConfig,
+)
+from .fig1_convergence import Fig1Result, run_fig1
+from .fig2_nonstationary import Fig2Result, run_fig2
+from .overhead import OverheadResult, OverheadRow, run_overhead
+from .policy_table import PolicyTableResult, PolicyTableRow, run_policy_table
+from .variation import VariationResult, VariationRow, run_variation
+
+__all__ = [
+    "EnvConfig",
+    "Fig1Config",
+    "Fig2Config",
+    "OverheadConfig",
+    "VariationConfig",
+    "PolicyTableConfig",
+    "run_fig1",
+    "Fig1Result",
+    "run_fig2",
+    "Fig2Result",
+    "run_overhead",
+    "OverheadResult",
+    "OverheadRow",
+    "run_variation",
+    "VariationResult",
+    "VariationRow",
+    "run_policy_table",
+    "PolicyTableResult",
+    "PolicyTableRow",
+]

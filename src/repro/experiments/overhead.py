@@ -1,0 +1,143 @@
+"""CLAIM-EFF / CLAIM-MEM reproduction: runtime and memory overhead.
+
+The paper's efficiency claims, quantified:
+
+- "On each step, the DPM daemon only needs to select the maximum Q(s, a)
+  and update the Q(s, a) using Eqn. 3" — we time that pair of O(|A|)
+  operations.
+- "the widely applied linear programming policy optimization runs
+  extremely slow" — we time one LP policy optimization (plus policy /
+  value iteration for context) on the same MDP.
+- "Q values can be encoded in a |s| x |a| table that requires a little
+  bit memory" — we compare the Q-table bytes with the explicit model
+  bytes the model-based flow must hold.
+
+Swept over queue capacities to show how the gap scales with state count.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from ..analysis import format_table
+from ..core import QTable
+from ..device import get_preset
+from ..env import build_dpm_model
+from .config import OverheadConfig
+
+
+@dataclass
+class OverheadRow:
+    """One row of the overhead table (one state-space size)."""
+
+    queue_capacity: int
+    n_states: int
+    n_actions: int
+    q_step_us: float        #: one greedy select + one Q update (microseconds)
+    lp_ms: float            #: one LP policy optimization (milliseconds)
+    pi_ms: float            #: one policy iteration solve
+    vi_ms: float            #: one value iteration solve
+    lp_over_q: float        #: LP cost / Q step cost
+    q_table_kb: float       #: Q-table footprint
+    model_kb: float         #: explicit model footprint
+
+    @property
+    def model_over_table(self) -> float:
+        """Memory blow-up of holding the model instead of the table."""
+        return self.model_kb / self.q_table_kb if self.q_table_kb else float("inf")
+
+
+@dataclass
+class OverheadResult:
+    """The full sweep."""
+
+    config: OverheadConfig
+    rows: List[OverheadRow]
+
+    def render(self) -> str:
+        """Text table for the CLAIM-EFF / CLAIM-MEM record."""
+        headers = [
+            "Qcap", "|S|", "|A|", "Q step (us)", "LP (ms)", "PI (ms)",
+            "VI (ms)", "LP/Qstep", "Qtab (KB)", "model (KB)", "model/Qtab",
+        ]
+        rows = [
+            [
+                r.queue_capacity, r.n_states, r.n_actions,
+                round(r.q_step_us, 2), round(r.lp_ms, 2), round(r.pi_ms, 2),
+                round(r.vi_ms, 2), round(r.lp_over_q),
+                round(r.q_table_kb, 1), round(r.model_kb, 1),
+                round(r.model_over_table),
+            ]
+            for r in self.rows
+        ]
+        return format_table(
+            headers, rows,
+            title="CLAIM-EFF / CLAIM-MEM: per-adaptation cost and memory",
+        )
+
+
+def _time_q_step(n_states: int, n_actions: int, reps: int) -> float:
+    """Microseconds for one greedy select + one Eqn.-3 update."""
+    table = QTable(n_states, n_actions, initial_value=0.0)
+    rng = np.random.default_rng(0)
+    obs = rng.integers(0, n_states, size=reps)
+    nxt = rng.integers(0, n_states, size=reps)
+    rewards = rng.normal(size=reps)
+    allowed = list(range(n_actions))
+    start = time.perf_counter()
+    for i in range(reps):
+        action = table.best_action(int(obs[i]), allowed)
+        target = rewards[i] + 0.95 * table.max_value(int(nxt[i]), allowed)
+        table.update_toward(int(obs[i]), action, target, 0.1)
+    elapsed = time.perf_counter() - start
+    return elapsed / reps * 1e6
+
+
+def _time_solver(model, discount: float, method: str) -> float:
+    """Milliseconds for one offline solve."""
+    start = time.perf_counter()
+    model.solve(discount, method)
+    return (time.perf_counter() - start) * 1e3
+
+
+def run_overhead(config: OverheadConfig = OverheadConfig()) -> OverheadResult:
+    """Run the overhead sweep; wall-clock timings are machine-relative,
+    the *ratios* are the reproduced claim."""
+    device = get_preset(config.env.device)
+    rows: List[OverheadRow] = []
+    for qcap in config.queue_capacities:
+        model = build_dpm_model(
+            device,
+            arrival_rate=config.arrival_rate,
+            slot_length=config.env.slot_length,
+            queue_capacity=qcap,
+            p_serve=config.env.p_serve,
+            perf_weight=config.env.perf_weight,
+            loss_penalty=config.env.loss_penalty,
+        )
+        n_states = model.mdp.n_states
+        n_actions = model.mdp.n_actions
+        q_us = _time_q_step(n_states, n_actions, config.n_q_ops)
+        lp_ms = _time_solver(model, config.env.discount, "linear_programming")
+        pi_ms = _time_solver(model, config.env.discount, "policy_iteration")
+        vi_ms = _time_solver(model, config.env.discount, "value_iteration")
+        mem = model.mdp.memory_bytes()
+        rows.append(
+            OverheadRow(
+                queue_capacity=qcap,
+                n_states=n_states,
+                n_actions=n_actions,
+                q_step_us=q_us,
+                lp_ms=lp_ms,
+                pi_ms=pi_ms,
+                vi_ms=vi_ms,
+                lp_over_q=(lp_ms * 1e3) / q_us if q_us > 0 else float("inf"),
+                q_table_kb=mem["q_table_bytes"] / 1024,
+                model_kb=mem["model_bytes"] / 1024,
+            )
+        )
+    return OverheadResult(config=config, rows=rows)

@@ -1,0 +1,140 @@
+"""EXT-POLICY: cross-policy comparison on the event-driven simulator.
+
+The standard table of the DPM literature, giving the figure reproductions
+their context: every classic policy family on the same realistic device
+and traces, reporting power, saving (normalized to the always-on policy's
+measured power), latency, and shutdown quality.  Two workload families:
+memoryless (exponential) and heavy-tailed (Pareto) idle behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from ..analysis import format_table
+from ..baselines import (
+    AdaptiveTimeout,
+    AlwaysOn,
+    FixedTimeout,
+    GreedySleep,
+    OracleShutdown,
+    PredictiveShutdown,
+)
+from ..device import get_preset
+from ..sim import DPMSimulator, SimReport
+from ..workload import Exponential, Pareto, Trace, renewal_trace
+from .config import PolicyTableConfig
+
+
+@dataclass
+class PolicyTableRow:
+    """One (policy, trace) cell of the comparison."""
+
+    policy: str
+    trace: str
+    mean_power: float
+    saving_vs_always_on: float
+    mean_latency: float
+    p95_latency: float
+    n_shutdowns: int
+    n_wrong_shutdowns: int
+
+
+@dataclass
+class PolicyTableResult:
+    """The full policy x workload grid."""
+
+    config: PolicyTableConfig
+    rows: List[PolicyTableRow]
+
+    def render(self) -> str:
+        headers = [
+            "trace", "policy", "power (W)", "saving", "latency (s)",
+            "p95 lat", "shutdowns", "wrong",
+        ]
+        rows = [
+            [
+                r.trace, r.policy, round(r.mean_power, 4),
+                round(r.saving_vs_always_on, 4), round(r.mean_latency, 3),
+                round(r.p95_latency, 3), r.n_shutdowns, r.n_wrong_shutdowns,
+            ]
+            for r in self.rows
+        ]
+        return format_table(
+            headers, rows,
+            title="EXT-POLICY: event-driven policy comparison "
+                  f"(device={self.config.device})",
+        )
+
+
+def _policies(config: PolicyTableConfig, break_even: float):
+    """The policy roster, oracle last (it needs the oracle context)."""
+    return [
+        (AlwaysOn(), False),
+        (GreedySleep(), False),
+        (FixedTimeout(), False),  # timeout = break-even (2-competitive)
+        (FixedTimeout(config.timeout_scale_alt * break_even), False),
+        (AdaptiveTimeout(initial_timeout=break_even), False),
+        (PredictiveShutdown(smoothing=0.5), False),
+        (OracleShutdown(), True),
+    ]
+
+
+def _policy_label(policy, break_even: float, config: PolicyTableConfig) -> str:
+    if isinstance(policy, FixedTimeout):
+        timeout = policy._timeout  # noqa: SLF001 - reporting only
+        if timeout is None:
+            return f"timeout(Tbe={break_even:.2f}s)"
+        return f"timeout({timeout:.2f}s)"
+    return policy.name
+
+
+def run_policy_table(
+    config: PolicyTableConfig = PolicyTableConfig(),
+) -> PolicyTableResult:
+    """Run the full grid; deterministic given the config seed."""
+    device = get_preset(config.device)
+    deepest = device.deepest_state()
+    break_even = device.break_even_time(deepest, device.initial_state)
+
+    rng = np.random.default_rng(config.seed)
+    traces: Dict[str, Trace] = {
+        f"exp(rate={config.exp_rate})": renewal_trace(
+            Exponential(config.exp_rate), config.duration, rng
+        ),
+        f"pareto(a={config.pareto_alpha})": renewal_trace(
+            Pareto(config.pareto_alpha, config.pareto_xm), config.duration, rng
+        ),
+    }
+
+    rows: List[PolicyTableRow] = []
+    for trace_name, trace in traces.items():
+        # normalize saving to the measured always-on power on this trace
+        baseline_report = DPMSimulator(
+            device, AlwaysOn(), service_time=config.service_time
+        ).run(trace)
+        base_power = baseline_report.mean_power
+        for policy, oracle in _policies(config, break_even):
+            sim = DPMSimulator(
+                device, policy, service_time=config.service_time, oracle=oracle
+            )
+            report: SimReport = sim.run(trace)
+            saving = (
+                1.0 - report.mean_power / base_power if base_power > 0 else 0.0
+            )
+            rows.append(
+                PolicyTableRow(
+                    policy=_policy_label(policy, break_even, config),
+                    trace=trace_name,
+                    mean_power=report.mean_power,
+                    saving_vs_always_on=saving,
+                    mean_latency=report.mean_latency,
+                    p95_latency=report.p95_latency,
+                    n_shutdowns=report.n_shutdowns,
+                    n_wrong_shutdowns=report.n_wrong_shutdowns,
+                )
+            )
+    return PolicyTableResult(config=config, rows=rows)

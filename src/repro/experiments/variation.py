@@ -1,0 +1,179 @@
+"""CLAIM-VAR reproduction: "tolerant to small scale variations".
+
+The paper asserts that Q-DPM's most attractive extra property is
+tolerance to the small, continuous parameter drift real systems exhibit.
+Protocol: modulate the arrival rate sinusoidally around a base value
+(chosen on the policy-structure boundary so the drift crosses decision
+boundaries) and compare
+
+- a *frozen* optimal policy, solved once for the base rate (what a
+  non-adaptive model-based deployment would run), against
+- Q-DPM, pre-trained at the base rate and left learning during the drift.
+
+Measured finding (recorded in EXPERIMENTS.md): *tolerance* holds in the
+graceful-degradation sense — Q-DPM's payoff moves only slightly as the
+amplitude grows, and its gap to the frozen policy stays a roughly
+constant learning/exploration tax rather than compounding.  It does
+*not* overtake the frozen optimal policy at these drift sizes: a frozen
+optimal policy is itself surprisingly robust (symmetric drift averages
+out), which the paper's qualitative claim glosses over.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from ..analysis import format_table
+from ..core import QDPM
+from ..device import get_preset
+from ..env import SlottedDPMEnv, build_dpm_model
+from ..mdp import DeterministicPolicy
+from ..workload import ConstantRate, SinusoidalRate
+from .config import VariationConfig
+
+
+@dataclass
+class VariationRow:
+    """Result at one drift amplitude."""
+
+    amplitude: float
+    frozen_reward: float     #: mean reward/slot of the frozen optimal policy
+    qdpm_reward: float       #: mean reward/slot of continuously learning Q-DPM
+    frozen_saving: float
+    qdpm_saving: float
+
+    @property
+    def reward_gap(self) -> float:
+        """Q-DPM advantage (positive = Q-DPM better)."""
+        return self.qdpm_reward - self.frozen_reward
+
+
+@dataclass
+class VariationResult:
+    """Sweep over drift amplitudes."""
+
+    config: VariationConfig
+    rows: List[VariationRow]
+
+    def render(self) -> str:
+        headers = [
+            "amplitude", "frozen reward", "Q-DPM reward", "gap",
+            "frozen saving", "Q-DPM saving",
+        ]
+        rows = [
+            [
+                r.amplitude, round(r.frozen_reward, 4), round(r.qdpm_reward, 4),
+                round(r.reward_gap, 4), round(r.frozen_saving, 4),
+                round(r.qdpm_saving, 4),
+            ]
+            for r in self.rows
+        ]
+        return format_table(
+            headers, rows,
+            title="CLAIM-VAR: frozen optimal policy vs continuously-learning "
+                  "Q-DPM under sinusoidal rate drift",
+        )
+
+
+def _run_policy(env: SlottedDPMEnv, policy: DeterministicPolicy,
+                n_slots: int) -> tuple:
+    """Execute a fixed policy; returns (mean reward, saving ratio)."""
+    total_reward = 0.0
+    for _ in range(n_slots):
+        state = env.state
+        action = policy(state)
+        if action not in env.allowed_actions(state):
+            action = env.allowed_actions(state)[0]
+        _, reward, _ = env.step(action)
+        total_reward += reward
+    return total_reward / n_slots, env.energy_saving_ratio()
+
+
+def _pretrain(config: VariationConfig) -> QDPM:
+    """Q-DPM trained to steady state at the base rate."""
+    device = get_preset(config.env.device)
+    env = SlottedDPMEnv(
+        device,
+        ConstantRate(config.base_rate),
+        slot_length=config.env.slot_length,
+        queue_capacity=config.env.queue_capacity,
+        p_serve=config.env.p_serve,
+        perf_weight=config.env.perf_weight,
+        loss_penalty=config.env.loss_penalty,
+        seed=config.seed,
+    )
+    controller = QDPM(
+        env,
+        discount=config.env.discount,
+        learning_rate=config.learning_rate,
+        epsilon=config.epsilon,
+        seed=config.seed + 1,
+    )
+    controller.run(config.warmup_slots, record_every=config.warmup_slots)
+    return controller
+
+
+def run_variation(config: VariationConfig = VariationConfig()) -> VariationResult:
+    """Run the drift-tolerance sweep."""
+    device = get_preset(config.env.device)
+    frozen_model = build_dpm_model(
+        device,
+        arrival_rate=config.base_rate,
+        slot_length=config.env.slot_length,
+        queue_capacity=config.env.queue_capacity,
+        p_serve=config.env.p_serve,
+        perf_weight=config.env.perf_weight,
+        loss_penalty=config.env.loss_penalty,
+    )
+    frozen_policy = frozen_model.solve(
+        config.env.discount, "policy_iteration"
+    ).policy
+
+    rows: List[VariationRow] = []
+    for amplitude in config.amplitudes:
+        schedule = SinusoidalRate(config.base_rate, amplitude, config.period)
+
+        env_frozen = SlottedDPMEnv(
+            device,
+            schedule,
+            slot_length=config.env.slot_length,
+            queue_capacity=config.env.queue_capacity,
+            p_serve=config.env.p_serve,
+            perf_weight=config.env.perf_weight,
+            loss_penalty=config.env.loss_penalty,
+            seed=config.seed + 100,
+        )
+        frozen_reward, frozen_saving = _run_policy(
+            env_frozen, frozen_policy, config.n_slots
+        )
+
+        controller = _pretrain(config)
+        env_q = SlottedDPMEnv(
+            device,
+            schedule,
+            slot_length=config.env.slot_length,
+            queue_capacity=config.env.queue_capacity,
+            p_serve=config.env.p_serve,
+            perf_weight=config.env.perf_weight,
+            loss_penalty=config.env.loss_penalty,
+            seed=config.seed + 100,  # same workload realization
+        )
+        controller.env = env_q
+        controller.observation = type(controller.observation)(env_q)
+        hist = controller.run(config.n_slots, record_every=config.n_slots)
+        qdpm_reward = float(hist.reward.mean())
+        qdpm_saving = env_q.energy_saving_ratio()
+
+        rows.append(
+            VariationRow(
+                amplitude=amplitude,
+                frozen_reward=frozen_reward,
+                qdpm_reward=qdpm_reward,
+                frozen_saving=frozen_saving,
+                qdpm_saving=qdpm_saving,
+            )
+        )
+    return VariationResult(config=config, rows=rows)

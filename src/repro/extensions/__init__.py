@@ -1,0 +1,12 @@
+"""Paper future-work extensions: QoS-constrained and fuzzy Q-DPM."""
+
+from .fuzzy import FuzzyQLearningAgent, NoisyQueueObservation, triangular_membership
+from .qos import QoSHistory, QoSQDPM
+
+__all__ = [
+    "QoSQDPM",
+    "QoSHistory",
+    "NoisyQueueObservation",
+    "FuzzyQLearningAgent",
+    "triangular_membership",
+]

@@ -1,0 +1,148 @@
+"""Fuzzy Q-DPM for noisy environments (the paper's second future-work item).
+
+"... and Fuzzy Q-DPM in noisy environment."  Real power managers read the
+backlog through imperfect counters (shared registers, delayed interrupts).
+We model this with :class:`NoisyQueueObservation` — the observed queue
+length is corrupted by symmetric +-1 noise — and counter it with
+:class:`FuzzyQLearningAgent`, which treats the observed queue as a fuzzy
+set: a triangular membership over the neighbouring queue levels.  Both
+action-value lookups and TD updates are membership-weighted averages, so
+a single corrupted reading cannot yank one table cell far off.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.exploration import EpsilonGreedy, ExplorationStrategy
+from ..core.qlearning import QLearningAgent
+from ..env.observation import ObservationMap
+from ..env.slotted_env import SlottedDPMEnv
+
+
+class NoisyQueueObservation(ObservationMap):
+    """Observation channel that corrupts the queue reading.
+
+    With probability ``noise`` the reported queue length is off by +-1
+    (clipped to the valid range).  The mode component is read exactly.
+    The map is stochastic — two calls on the same state may differ — which
+    is precisely the difficulty the fuzzy agent addresses.
+    """
+
+    def __init__(
+        self, env: SlottedDPMEnv, noise: float = 0.2, seed: Optional[int] = None
+    ) -> None:
+        if not 0.0 <= noise <= 1.0:
+            raise ValueError(f"noise must be in [0, 1], got {noise}")
+        self._env = env
+        self.noise = float(noise)
+        self._rng = np.random.default_rng(seed)
+
+    @property
+    def n_observations(self) -> int:
+        return self._env.n_states
+
+    def observe(self, state: int) -> int:
+        mode_index, queue = divmod(state, self._env.queue_capacity + 1)
+        if self._rng.random() < self.noise:
+            queue += int(self._rng.choice((-1, 1)))
+            queue = int(np.clip(queue, 0, self._env.queue_capacity))
+        return mode_index * (self._env.queue_capacity + 1) + queue
+
+    def label(self, observation: int) -> str:
+        return self._env.state_label(observation)
+
+
+def triangular_membership(
+    queue: int, capacity: int, spread: float = 0.5
+) -> List[Tuple[int, float]]:
+    """Membership of an observed queue reading over neighbouring levels.
+
+    Weight 1 at the reading, ``spread`` at the two adjacent levels,
+    normalized.  ``spread=0`` degenerates to crisp (plain Q-learning).
+    """
+    if not 0.0 <= spread <= 1.0:
+        raise ValueError(f"spread must be in [0, 1], got {spread}")
+    members = [(queue, 1.0)]
+    if spread > 0:
+        if queue > 0:
+            members.append((queue - 1, spread))
+        if queue < capacity:
+            members.append((queue + 1, spread))
+    total = sum(w for _, w in members)
+    return [(q, w / total) for q, w in members]
+
+
+class FuzzyQLearningAgent(QLearningAgent):
+    """Q-learning with fuzzy (membership-weighted) reads and writes.
+
+    Requires the environment's flat state indexing (mode x queue); the
+    agent de-flattens each observation, builds the queue membership, and
+
+    - acts on the membership-weighted Q row, and
+    - spreads each TD update across member cells in proportion to their
+      membership (fuzzy inference followed by defuzzified update).
+    """
+
+    def __init__(
+        self,
+        env: SlottedDPMEnv,
+        spread: float = 0.5,
+        **kwargs,
+    ) -> None:
+        super().__init__(
+            n_observations=env.n_states,
+            n_actions=env.n_actions,
+            **kwargs,
+        )
+        self._capacity = env.queue_capacity
+        self._spread = float(spread)
+
+    def _members(self, observation: int) -> List[Tuple[int, float]]:
+        base = self._capacity + 1
+        mode_index, queue = divmod(observation, base)
+        return [
+            (mode_index * base + q, w)
+            for q, w in triangular_membership(queue, self._capacity, self._spread)
+        ]
+
+    def _fuzzy_q(self, observation: int, action: int) -> float:
+        return sum(w * self.table.get(obs, action) for obs, w in
+                   self._members(observation))
+
+    def select_action(self, observation: int, allowed: Sequence[int]) -> int:
+        # epsilon-exploration as usual, but exploitation on the fuzzy value
+        if isinstance(self.exploration, EpsilonGreedy):
+            eps = self.exploration.epsilon_at(self.steps)
+            if self._rng.random() < eps:
+                return int(self._rng.choice(np.asarray(allowed, dtype=int)))
+        values = [self._fuzzy_q(observation, a) for a in allowed]
+        best = int(np.argmax(values))
+        return int(list(allowed)[best])
+
+    def _bootstrap(self, next_observation: int, next_allowed: Sequence[int]) -> float:
+        return max(self._fuzzy_q(next_observation, a) for a in next_allowed)
+
+    def update(
+        self,
+        observation: int,
+        action: int,
+        reward: float,
+        next_observation: int,
+        next_allowed: Sequence[int],
+        terminal: bool = False,
+    ) -> float:
+        if terminal:
+            target = reward
+        else:
+            target = reward + self.discount * self._bootstrap(
+                next_observation, next_allowed
+            )
+        total_delta = 0.0
+        for obs, weight in self._members(observation):
+            lr = self.learning_rate_for(obs, action) * weight
+            total_delta += self.table.update_toward(obs, action, target, lr)
+        self._step += 1
+        return total_delta

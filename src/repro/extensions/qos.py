@@ -1,0 +1,164 @@
+"""QoS-guaranteed Q-DPM (the paper's first future-work item).
+
+"There is still a lot of rewarding research remaining to perform, such as
+QoS guaranteed Q-DPM" — implemented here as a Lagrangian primal-dual
+constrained Q-learning controller: minimize energy subject to a mean
+backlog (latency, via Little's law) constraint.
+
+The reward the agent maximizes is ``-(energy) - lambda * queue`` where
+the multiplier adapts on a slow timescale:
+
+    lambda <- max(0, lambda + kappa * (mean_queue_window - target_queue))
+
+When the constraint is violated the multiplier grows and the policy
+shifts toward performance; when it is slack the multiplier decays and the
+policy saves more energy.  The usual two-timescale argument applies: the
+Q-table converges per multiplier value, the multiplier climbs the dual.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from ..core.exploration import EpsilonGreedy
+from ..core.qlearning import QLearningAgent
+from ..env.observation import FullObservation, ObservationMap
+from ..env.slotted_env import SlottedDPMEnv
+
+
+@dataclass
+class QoSHistory:
+    """Windowed traces of a constrained run."""
+
+    slots: np.ndarray
+    energy: np.ndarray          #: mean energy per slot in the window
+    queue: np.ndarray           #: mean queue in the window
+    lambda_: np.ndarray         #: multiplier value at window end
+    saving_ratio: np.ndarray
+
+
+class QoSQDPM:
+    """Constrained Q-DPM holding the mean queue at/below a target.
+
+    Parameters
+    ----------
+    env:
+        Environment to control.  Its internal ``perf_weight`` /
+        ``loss_penalty`` still shape the *environment's* reward, but this
+        controller learns from its own Lagrangian reward, so the env is
+        typically built with ``perf_weight=0``.
+    target_queue:
+        Constraint level on the time-average queue length (a latency
+        target divided by the arrival rate, via Little's law).
+    kappa:
+        Dual ascent step size.
+    lambda_init, lambda_max:
+        Initial and maximum multiplier.
+    dual_every:
+        Slots between multiplier updates (the slow timescale).
+    """
+
+    def __init__(
+        self,
+        env: SlottedDPMEnv,
+        target_queue: float,
+        discount: float = 0.95,
+        learning_rate: float = 0.1,
+        epsilon: float = 0.08,
+        kappa: float = 0.01,
+        lambda_init: float = 0.1,
+        lambda_max: float = 50.0,
+        dual_every: int = 500,
+        observation: Optional[ObservationMap] = None,
+        seed: Optional[int] = None,
+    ) -> None:
+        if target_queue < 0:
+            raise ValueError("target_queue must be >= 0")
+        if kappa <= 0:
+            raise ValueError("kappa must be > 0")
+        if dual_every < 1:
+            raise ValueError("dual_every must be >= 1")
+        if not 0 <= lambda_init <= lambda_max:
+            raise ValueError("need 0 <= lambda_init <= lambda_max")
+        self.env = env
+        self.observation = (
+            observation if observation is not None else FullObservation(env)
+        )
+        self.agent = QLearningAgent(
+            n_observations=self.observation.n_observations,
+            n_actions=env.n_actions,
+            discount=discount,
+            learning_rate=learning_rate,
+            exploration=EpsilonGreedy(epsilon),
+            seed=seed,
+        )
+        self.target_queue = float(target_queue)
+        self.kappa = float(kappa)
+        self.lambda_ = float(lambda_init)
+        self.lambda_max = float(lambda_max)
+        self.dual_every = int(dual_every)
+
+    def run(self, n_slots: int, record_every: int = 1000) -> QoSHistory:
+        """Control for ``n_slots`` slots with dual adaptation."""
+        if n_slots < 1:
+            raise ValueError("n_slots must be >= 1")
+        always_on = self.env.always_on_power() * self.env.slot_length
+
+        slots: List[int] = []
+        energy_hist: List[float] = []
+        queue_hist: List[float] = []
+        lambda_hist: List[float] = []
+        saving_hist: List[float] = []
+
+        win_energy = win_queue = 0.0
+        win_count = 0
+        dual_queue_sum = 0.0
+        dual_count = 0
+        for _ in range(n_slots):
+            state = self.env.state
+            obs = self.observation.observe(state)
+            allowed = self.env.allowed_actions(state)
+            action = self.agent.select_action(obs, allowed)
+            next_state, _, info = self.env.step(action)
+            # Lagrangian reward replaces the environment's own shaping
+            reward = -info.energy - self.lambda_ * info.queue
+            next_obs = self.observation.observe(next_state)
+            next_allowed = self.env.allowed_actions(next_state)
+            self.agent.update(obs, action, reward, next_obs, next_allowed)
+
+            dual_queue_sum += info.queue
+            dual_count += 1
+            if dual_count == self.dual_every:
+                violation = dual_queue_sum / dual_count - self.target_queue
+                self.lambda_ = float(
+                    np.clip(self.lambda_ + self.kappa * violation, 0.0,
+                            self.lambda_max)
+                )
+                dual_queue_sum = 0.0
+                dual_count = 0
+
+            win_energy += info.energy
+            win_queue += info.queue
+            win_count += 1
+            if win_count == record_every:
+                slots.append(info.slot)
+                energy_hist.append(win_energy / win_count)
+                queue_hist.append(win_queue / win_count)
+                lambda_hist.append(self.lambda_)
+                ratio = (
+                    1.0 - (win_energy / win_count) / always_on
+                    if always_on > 0 else 0.0
+                )
+                saving_hist.append(ratio)
+                win_energy = win_queue = 0.0
+                win_count = 0
+        return QoSHistory(
+            slots=np.asarray(slots),
+            energy=np.asarray(energy_hist),
+            queue=np.asarray(queue_hist),
+            lambda_=np.asarray(lambda_hist),
+            saving_ratio=np.asarray(saving_hist),
+        )

@@ -1,0 +1,83 @@
+"""Policy evaluation: discounted values and long-run averages.
+
+``policy_evaluation`` is the inner linear solve of policy iteration;
+``average_reward`` / ``long_run_state_average`` convert a policy into the
+exact steady-state performance numbers (power, queue, saving ratio) that
+the figure reproductions plot as reference lines.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .dtmc import long_run_occupancy, start_occupancy, stationary_distribution
+from .mdp import FiniteMDP
+from .policy import DeterministicPolicy, induced_chain, induced_reward
+
+
+def policy_evaluation(
+    mdp: FiniteMDP,
+    policy: DeterministicPolicy,
+    discount: float,
+) -> np.ndarray:
+    """Exact discounted value of a policy: solve ``(I - b P_pi) V = R_pi``."""
+    if not 0.0 <= discount < 1.0:
+        raise ValueError(f"discount must be in [0, 1), got {discount}")
+    p_pi = induced_chain(mdp, policy)
+    r_pi = induced_reward(mdp, policy)
+    n = mdp.n_states
+    return np.linalg.solve(np.eye(n) - discount * p_pi, r_pi)
+
+
+def policy_occupancy(
+    mdp: FiniteMDP,
+    policy: DeterministicPolicy,
+    start_state: int = 0,
+) -> np.ndarray:
+    """Long-run state occupancy of the policy-induced chain.
+
+    Exact and start-state-aware: uses the SCC/absorption decomposition of
+    :func:`~repro.mdp.dtmc.start_occupancy`, which handles the reducible
+    chains half-trained greedy policies induce (a start-independent
+    stationary solve could land in an unreachable recurrent class).
+    Falls back to Cesaro power iteration on numerical failure.
+    """
+    p_pi = induced_chain(mdp, policy)
+    try:
+        return start_occupancy(p_pi, start_state)
+    except (ValueError, np.linalg.LinAlgError):
+        start = np.zeros(mdp.n_states)
+        start[start_state] = 1.0
+        return long_run_occupancy(p_pi, start)
+
+
+def average_reward(
+    mdp: FiniteMDP,
+    policy: DeterministicPolicy,
+    start_state: int = 0,
+) -> float:
+    """Exact long-run average reward per step of the policy."""
+    pi = policy_occupancy(mdp, policy, start_state)
+    return float(pi @ induced_reward(mdp, policy))
+
+
+def long_run_state_average(
+    mdp: FiniteMDP,
+    policy: DeterministicPolicy,
+    per_pair_values: np.ndarray,
+    start_state: int = 0,
+) -> float:
+    """Long-run average of an arbitrary per-(s, a) quantity under a policy.
+
+    ``per_pair_values`` is ``(S, A)`` — e.g. the expected energy per slot
+    or expected queue length tables produced by the exact model builder.
+    """
+    per_pair_values = np.asarray(per_pair_values, dtype=float)
+    if per_pair_values.shape != (mdp.n_states, mdp.n_actions):
+        raise ValueError(
+            f"per_pair_values must be (S, A) = "
+            f"({mdp.n_states}, {mdp.n_actions}), got {per_pair_values.shape}"
+        )
+    pi = policy_occupancy(mdp, policy, start_state)
+    per_state = per_pair_values[np.arange(mdp.n_states), policy.actions]
+    return float(pi @ per_state)

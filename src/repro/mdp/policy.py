@@ -1,0 +1,84 @@
+"""Policy containers and helpers shared by all solvers."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .mdp import FiniteMDP
+
+
+class DeterministicPolicy:
+    """A state -> action lookup with validity checking against an MDP."""
+
+    def __init__(self, actions: np.ndarray, mdp: Optional[FiniteMDP] = None) -> None:
+        self._actions = np.asarray(actions, dtype=int).copy()
+        if self._actions.ndim != 1:
+            raise ValueError("actions must be a 1-D array of action indices")
+        if mdp is not None:
+            if self._actions.shape[0] != mdp.n_states:
+                raise ValueError(
+                    f"policy covers {self._actions.shape[0]} states, "
+                    f"MDP has {mdp.n_states}"
+                )
+            bad = ~mdp.allowed[np.arange(mdp.n_states), self._actions]
+            if bad.any():
+                raise ValueError(
+                    "policy plays disallowed actions in states "
+                    f"{np.nonzero(bad)[0].tolist()}"
+                )
+
+    @property
+    def actions(self) -> np.ndarray:
+        """Copy of the action-index array."""
+        return self._actions.copy()
+
+    def __call__(self, state: int) -> int:
+        return int(self._actions[state])
+
+    def __len__(self) -> int:
+        return int(self._actions.shape[0])
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DeterministicPolicy):
+            return NotImplemented
+        return np.array_equal(self._actions, other._actions)
+
+    def __hash__(self) -> int:  # policies are value objects
+        return hash(self._actions.tobytes())
+
+    def agreement(self, other: "DeterministicPolicy") -> float:
+        """Fraction of states on which two policies pick the same action."""
+        if len(self) != len(other):
+            raise ValueError("policies cover different state counts")
+        return float(np.mean(self._actions == other._actions))
+
+    def __repr__(self) -> str:
+        return f"DeterministicPolicy(n_states={len(self)})"
+
+
+def greedy_policy(q_values: np.ndarray, allowed: Optional[np.ndarray] = None,
+                  mdp: Optional[FiniteMDP] = None) -> DeterministicPolicy:
+    """Greedy policy from a Q matrix, restricted to allowed actions."""
+    q = np.asarray(q_values, dtype=float)
+    if q.ndim != 2:
+        raise ValueError("q_values must be (S, A)")
+    if allowed is None and mdp is not None:
+        allowed = mdp.allowed
+    if allowed is not None:
+        q = q.copy()
+        q[~np.asarray(allowed, dtype=bool)] = -np.inf
+    return DeterministicPolicy(np.argmax(q, axis=1), mdp=mdp)
+
+
+def induced_chain(mdp: FiniteMDP, policy: DeterministicPolicy) -> np.ndarray:
+    """Transition matrix of the Markov chain the policy induces."""
+    idx = np.arange(mdp.n_states)
+    return mdp.transition[idx, policy.actions, :]
+
+
+def induced_reward(mdp: FiniteMDP, policy: DeterministicPolicy) -> np.ndarray:
+    """Per-state expected immediate reward under the policy."""
+    idx = np.arange(mdp.n_states)
+    return mdp.reward[idx, policy.actions]

@@ -1,0 +1,58 @@
+"""Howard policy iteration for discounted finite MDPs.
+
+Exact policy evaluation (direct linear solve) alternated with greedy
+improvement.  Terminates in finitely many steps at an optimal policy;
+used as the gold-standard reference the other solvers are tested against.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .evaluation import policy_evaluation
+from .mdp import FiniteMDP
+from .policy import DeterministicPolicy, greedy_policy
+from .value_iteration import SolveResult, q_from_values
+
+
+def _initial_policy(mdp: FiniteMDP) -> DeterministicPolicy:
+    """Any valid starting policy: the first allowed action per state."""
+    actions = np.argmax(mdp.allowed, axis=1)
+    return DeterministicPolicy(actions, mdp=mdp)
+
+
+def policy_iteration(
+    mdp: FiniteMDP,
+    discount: float,
+    max_iter: int = 1_000,
+) -> SolveResult:
+    """Solve the MDP by Howard policy iteration.
+
+    Raises
+    ------
+    ValueError
+        For a discount outside [0, 1).
+    RuntimeError
+        If no fixed point is reached within ``max_iter`` improvement
+        rounds (cannot happen for a finite MDP unless ``max_iter`` is
+        tiny, since each round strictly improves).
+    """
+    if not 0.0 <= discount < 1.0:
+        raise ValueError(f"discount must be in [0, 1), got {discount}")
+    policy = _initial_policy(mdp)
+    values = policy_evaluation(mdp, policy, discount)
+    for it in range(1, max_iter + 1):
+        q = q_from_values(mdp, values, discount)
+        improved = greedy_policy(q, mdp=mdp)
+        # keep the incumbent action on ties to guarantee termination
+        incumbent_q = q[np.arange(mdp.n_states), policy.actions]
+        best_q = q[np.arange(mdp.n_states), improved.actions]
+        keep = incumbent_q >= best_q - 1e-12
+        actions = np.where(keep, policy.actions, improved.actions)
+        new_policy = DeterministicPolicy(actions, mdp=mdp)
+        new_values = policy_evaluation(mdp, new_policy, discount)
+        residual = float(np.abs(new_values - values).max())
+        if new_policy == policy:
+            return SolveResult(new_values, new_policy, it, residual)
+        policy, values = new_policy, new_values
+    raise RuntimeError(f"policy iteration did not converge in {max_iter} rounds")

@@ -1,0 +1,25 @@
+"""Event-driven continuous-time DPM simulation."""
+
+from .events import ARRIVAL, SERVICE_DONE, TIMEOUT, TRANSITION_DONE, Event, EventQueue
+from .policy_api import NEVER, EventPolicy, IdleContext, IdleDecision
+from .simulator import DPMSimulator, default_wait_state
+from .stats import EnergyMeter, IdleTracker, LatencyTracker, SimReport
+
+__all__ = [
+    "Event",
+    "EventQueue",
+    "ARRIVAL",
+    "SERVICE_DONE",
+    "TRANSITION_DONE",
+    "TIMEOUT",
+    "EventPolicy",
+    "IdleContext",
+    "IdleDecision",
+    "NEVER",
+    "DPMSimulator",
+    "default_wait_state",
+    "SimReport",
+    "EnergyMeter",
+    "LatencyTracker",
+    "IdleTracker",
+]

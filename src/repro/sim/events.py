@@ -1,0 +1,74 @@
+"""Event types and the pending-event queue of the event-driven simulator."""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+#: Event kinds, in tie-break priority order (lower fires first at equal time).
+ARRIVAL = "arrival"
+SERVICE_DONE = "service_done"
+TRANSITION_DONE = "transition_done"
+TIMEOUT = "timeout"
+
+
+@dataclass(frozen=True)
+class Event:
+    """One scheduled simulator event."""
+
+    time: float
+    kind: str
+    payload: Any = None
+
+
+class EventQueue:
+    """Min-heap of events with stable FIFO tie-breaking and cancellation."""
+
+    _PRIORITY = {ARRIVAL: 0, SERVICE_DONE: 1, TRANSITION_DONE: 2, TIMEOUT: 3}
+
+    def __init__(self) -> None:
+        self._heap: list = []
+        self._counter = itertools.count()
+        self._cancelled: set = set()
+
+    def push(self, event: Event) -> int:
+        """Schedule an event; returns a ticket usable with :meth:`cancel`."""
+        if event.time < 0:
+            raise ValueError(f"event time must be >= 0, got {event.time}")
+        ticket = next(self._counter)
+        prio = self._PRIORITY.get(event.kind, 9)
+        heapq.heappush(self._heap, (event.time, prio, ticket, event))
+        return ticket
+
+    def cancel(self, ticket: int) -> None:
+        """Mark a scheduled event as void; it will be skipped on pop."""
+        self._cancelled.add(ticket)
+
+    def pop(self) -> Optional[Event]:
+        """Next live event, or None when the queue is drained."""
+        while self._heap:
+            _, _, ticket, event = heapq.heappop(self._heap)
+            if ticket in self._cancelled:
+                self._cancelled.discard(ticket)
+                continue
+            return event
+        return None
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the next live event without removing it."""
+        while self._heap:
+            time_, _, ticket, _ = self._heap[0]
+            if ticket in self._cancelled:
+                heapq.heappop(self._heap)
+                self._cancelled.discard(ticket)
+                continue
+            return time_
+        return None
+
+    def __len__(self) -> int:
+        return len(self._heap) - len(self._cancelled)
+
+    def __bool__(self) -> bool:
+        return self.peek_time() is not None

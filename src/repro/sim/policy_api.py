@@ -1,0 +1,71 @@
+"""Controller interface of the event-driven simulator.
+
+Event-driven DPM policies are *idle-period* policies: each time the device
+drains its queue the policy issues one :class:`IdleDecision` — which rest
+state to fall back to and after how long a timeout.  Arrivals always wake
+the device (service is never optional); the policy is re-consulted at the
+next idle start.  After each idle period the policy receives the realized
+idle length, which is the learning signal for the adaptive and predictive
+baselines.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Optional
+
+from ..device import PowerStateMachine
+
+#: Timeout value meaning "never go down during this idle period".
+NEVER = math.inf
+
+
+@dataclass(frozen=True)
+class IdleDecision:
+    """What to do for the idle period that just began.
+
+    Attributes
+    ----------
+    target_state:
+        Rest state to enter if the idle period survives the timeout;
+        None means stay in the wait state regardless.
+    timeout:
+        Seconds to linger in the wait state before moving; 0 moves
+        immediately, :data:`NEVER` (or ``target_state=None``) never moves.
+    """
+
+    target_state: Optional[str]
+    timeout: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.timeout < 0:
+            raise ValueError(f"timeout must be >= 0, got {self.timeout}")
+
+
+@dataclass(frozen=True)
+class IdleContext:
+    """Information handed to the policy at idle start."""
+
+    now: float                     #: current simulation time
+    device: PowerStateMachine      #: the controlled device model
+    wait_state: str                #: state the device idles in by default
+    next_arrival: Optional[float]  #: oracle peek; None for causal policies
+
+
+class EventPolicy(ABC):
+    """Idle-period power-management policy."""
+
+    #: short name used in report tables
+    name: str = "policy"
+
+    def reset(self) -> None:
+        """Clear learned state before a fresh simulation run."""
+
+    @abstractmethod
+    def on_idle(self, ctx: IdleContext) -> IdleDecision:
+        """Decide the rest state and timeout for the idle period starting now."""
+
+    def on_idle_end(self, idle_length: float) -> None:
+        """Feedback: the idle period that just ended lasted ``idle_length``."""

@@ -1,0 +1,110 @@
+"""Accounting for the event-driven simulator: energy, latency, residency."""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+
+@dataclass
+class SimReport:
+    """Final metrics of one event-driven simulation run."""
+
+    duration: float                 #: simulated seconds
+    total_energy: float             #: joules
+    mean_power: float               #: watts
+    energy_saving_ratio: float      #: vs. always-on at home-state power
+    n_requests: int
+    mean_latency: float             #: seconds per request (arrival->done)
+    p95_latency: float
+    max_latency: float
+    n_shutdowns: int                #: down-transitions taken
+    n_wrong_shutdowns: int          #: idle period shorter than break-even
+    n_idle_periods: int
+    mean_idle_length: float
+    state_residency: Dict[str, float]  #: seconds per power condition
+
+
+class EnergyMeter:
+    """Integrates power over piecewise-constant conditions."""
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self._last_time = start_time
+        self._power = 0.0
+        self._condition = ""
+        self.total_energy = 0.0
+        self.residency: Dict[str, float] = defaultdict(float)
+
+    def set_condition(self, now: float, power: float, label: str) -> None:
+        """Close the current interval and open a new one at ``power``."""
+        if now < self._last_time - 1e-12:
+            raise ValueError(
+                f"time went backwards: {now} < {self._last_time}"
+            )
+        span = max(0.0, now - self._last_time)
+        self.total_energy += self._power * span
+        if self._condition:
+            self.residency[self._condition] += span
+        self._last_time = now
+        self._power = power
+        self._condition = label
+
+    def add_lump(self, energy: float) -> None:
+        """Charge an instantaneous energy cost (zero-latency transition)."""
+        if energy < 0:
+            raise ValueError("lump energy must be >= 0")
+        self.total_energy += energy
+
+    def finish(self, now: float) -> None:
+        """Close the final interval at ``now``."""
+        self.set_condition(now, 0.0, "")
+
+
+class LatencyTracker:
+    """Per-request waiting+service latency collection."""
+
+    def __init__(self) -> None:
+        self._latencies: List[float] = []
+
+    def record(self, arrival_time: float, completion_time: float) -> None:
+        if completion_time < arrival_time - 1e-12:
+            raise ValueError("completion precedes arrival")
+        self._latencies.append(max(0.0, completion_time - arrival_time))
+
+    @property
+    def count(self) -> int:
+        return len(self._latencies)
+
+    def mean(self) -> float:
+        return float(np.mean(self._latencies)) if self._latencies else 0.0
+
+    def percentile(self, q: float) -> float:
+        return float(np.percentile(self._latencies, q)) if self._latencies else 0.0
+
+    def maximum(self) -> float:
+        return float(np.max(self._latencies)) if self._latencies else 0.0
+
+
+class IdleTracker:
+    """Idle-period bookkeeping: lengths, shutdowns, wrong shutdowns."""
+
+    def __init__(self) -> None:
+        self.idle_lengths: List[float] = []
+        self.n_shutdowns = 0
+        self.n_wrong_shutdowns = 0
+
+    def record_idle(self, length: float) -> None:
+        self.idle_lengths.append(max(0.0, length))
+
+    def record_shutdown(self, idle_length: Optional[float], break_even: float) -> None:
+        """Count a down transition; flag it wrong if the idle period it
+        covered was shorter than the target's break-even time."""
+        self.n_shutdowns += 1
+        if idle_length is not None and idle_length < break_even:
+            self.n_wrong_shutdowns += 1
+
+    def mean_idle(self) -> float:
+        return float(np.mean(self.idle_lengths)) if self.idle_lengths else 0.0

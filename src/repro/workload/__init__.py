@@ -1,0 +1,73 @@
+"""Synthetic workload generation: distributions, schedules, sources, traces."""
+
+from .arrivals import (
+    DISTRIBUTIONS,
+    Deterministic,
+    Exponential,
+    HyperExponential,
+    InterArrival,
+    Pareto,
+    Uniform,
+    Weibull,
+    from_dict,
+)
+from .generator import (
+    bernoulli_arrivals,
+    piecewise_renewal_trace,
+    renewal_trace,
+    trace_from_slots,
+)
+from .mmpp import MMPP, two_regime_mmpp
+from .nonstationary import (
+    ConstantRate,
+    PiecewiseConstantRate,
+    RandomWalkRate,
+    RateSchedule,
+    SinusoidalRate,
+    fig2_schedule,
+)
+from .onoff import OnOffSource
+from .trace import Trace, TraceStats
+from .trace_analysis import (
+    IdleHistogram,
+    TraceCharacter,
+    burstiness,
+    characterize,
+    hill_tail_index,
+    idle_histogram,
+    interarrival_autocorrelation,
+)
+
+__all__ = [
+    "InterArrival",
+    "Exponential",
+    "Deterministic",
+    "Uniform",
+    "Pareto",
+    "HyperExponential",
+    "Weibull",
+    "DISTRIBUTIONS",
+    "from_dict",
+    "Trace",
+    "TraceStats",
+    "IdleHistogram",
+    "idle_histogram",
+    "hill_tail_index",
+    "burstiness",
+    "interarrival_autocorrelation",
+    "TraceCharacter",
+    "characterize",
+    "MMPP",
+    "two_regime_mmpp",
+    "OnOffSource",
+    "RateSchedule",
+    "ConstantRate",
+    "PiecewiseConstantRate",
+    "SinusoidalRate",
+    "RandomWalkRate",
+    "fig2_schedule",
+    "renewal_trace",
+    "piecewise_renewal_trace",
+    "bernoulli_arrivals",
+    "trace_from_slots",
+]

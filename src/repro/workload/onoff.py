@@ -1,0 +1,84 @@
+"""ON/OFF bursty request source.
+
+Alternates ON periods (dense request bursts at a fixed intra-burst gap or
+Poisson rate) with OFF silences drawn from an arbitrary distribution.
+This is the simplest generator that produces the *long idle period*
+structure timeout and predictive policies are designed around, and it
+complements :mod:`repro.workload.mmpp` with deterministic burst shapes.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .arrivals import InterArrival
+from .trace import Trace
+
+
+class OnOffSource:
+    """Bursty ON/OFF arrival source.
+
+    Parameters
+    ----------
+    on_duration:
+        Distribution of ON-period lengths (seconds).
+    off_duration:
+        Distribution of OFF-period (silence) lengths.
+    intra_gap:
+        Distribution of gaps between requests *within* an ON period.
+    """
+
+    def __init__(
+        self,
+        on_duration: InterArrival,
+        off_duration: InterArrival,
+        intra_gap: InterArrival,
+    ) -> None:
+        self._on = on_duration
+        self._off = off_duration
+        self._gap = intra_gap
+
+    def generate(
+        self,
+        duration: float,
+        rng: np.random.Generator,
+        start_on: bool = True,
+    ) -> Trace:
+        """Simulate the source for ``duration`` seconds and return a trace."""
+        if duration <= 0:
+            raise ValueError("duration must be > 0")
+        t = 0.0
+        on = start_on
+        arrivals: list = []
+        while t < duration:
+            if on:
+                burst_len = float(self._on.sample(rng, 1)[0])
+                burst_end = min(duration, t + burst_len)
+                # first request at burst start, subsequent ones gap-spaced
+                pos = t
+                while pos < burst_end:
+                    arrivals.append(pos)
+                    pos += float(self._gap.sample(rng, 1)[0])
+                t = burst_end
+            else:
+                t += float(self._off.sample(rng, 1)[0])
+            on = not on
+        return Trace(arrivals, duration=duration)
+
+    def expected_rate(self) -> float:
+        """Long-run average request rate (requests per second).
+
+        Uses renewal-reward over ON+OFF cycles; returns 0 when any of the
+        component means is infinite (heavy-tailed silences).
+        """
+        on_mean = self._on.mean()
+        off_mean = self._off.mean()
+        gap_mean = self._gap.mean()
+        if any(np.isinf(m) for m in (on_mean, off_mean, gap_mean)):
+            return 0.0
+        if gap_mean <= 0:
+            return 0.0
+        per_cycle = on_mean / gap_mean
+        return per_cycle / (on_mean + off_mean)

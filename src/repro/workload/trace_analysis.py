@@ -1,0 +1,156 @@
+"""Trace characterization: the statistics DPM policies key on.
+
+Idle-period structure decides which policy family wins: memoryless gaps
+favour plain timeouts, heavy tails make aggressive shutdown expensive and
+predictors valuable, burstiness rewards adaptivity.  This module
+extracts those characteristics from a :class:`~repro.workload.Trace` —
+idle histograms, a Hill tail-index estimator, burstiness and
+autocorrelation measures — for reports and for choosing policy
+parameters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from .trace import Trace
+
+
+@dataclass(frozen=True)
+class IdleHistogram:
+    """Idle-period histogram with the survival curve timeouts care about."""
+
+    edges: np.ndarray       #: bin edges (len n+1)
+    counts: np.ndarray      #: per-bin counts (len n)
+    survival: np.ndarray    #: P(idle > edge) at each edge (len n+1)
+
+    def fraction_longer_than(self, threshold: float) -> float:
+        """Fraction of idle periods strictly longer than ``threshold``
+        (interpolated on the survival curve; 1.0 below the smallest
+        observed period)."""
+        xs = np.concatenate(([0.0], self.edges))
+        ys = np.concatenate(([1.0], self.survival))
+        return float(np.interp(threshold, xs, ys))
+
+
+def idle_histogram(
+    trace: Trace,
+    service_time: float = 0.0,
+    n_bins: int = 30,
+) -> IdleHistogram:
+    """Histogram + survival curve of the trace's idle periods."""
+    periods = trace.idle_periods(service_time)
+    periods = periods[periods > 0]
+    if periods.size == 0:
+        raise ValueError("trace has no positive idle periods")
+    if n_bins < 1:
+        raise ValueError("n_bins must be >= 1")
+    counts, edges = np.histogram(periods, bins=n_bins)
+    survival = np.array([(periods > e).mean() for e in edges])
+    return IdleHistogram(edges=edges, counts=counts, survival=survival)
+
+
+def hill_tail_index(samples: np.ndarray, tail_fraction: float = 0.1) -> float:
+    """Hill estimator of the power-law tail index alpha.
+
+    Fits the upper ``tail_fraction`` of the sample; for Pareto(alpha)
+    data it is consistent for alpha.  Small alpha (< 2) = heavy tail =
+    greedy shutdown is risky.  Requires at least 10 tail points.
+    """
+    samples = np.asarray(samples, dtype=float)
+    samples = samples[samples > 0]
+    if not 0 < tail_fraction <= 1:
+        raise ValueError("tail_fraction must be in (0, 1]")
+    k = max(int(samples.size * tail_fraction), 2)
+    if samples.size < 10 or k < 2:
+        raise ValueError("need at least 10 positive samples for the Hill estimator")
+    tail = np.sort(samples)[-k:]
+    x_k = tail[0]
+    logs = np.log(tail / x_k)
+    mean_log = logs[1:].mean() if k > 1 else logs.mean()
+    if mean_log <= 0:
+        return float("inf")
+    return float(1.0 / mean_log)
+
+
+def burstiness(trace: Trace) -> float:
+    """Goh-Barabasi burstiness of the inter-arrival process.
+
+    ``B = (sigma - mu) / (sigma + mu)`` over inter-arrival times:
+    -1 = periodic, 0 = Poisson, -> 1 = extremely bursty.
+    """
+    gaps = trace.interarrivals()
+    if gaps.size < 2:
+        raise ValueError("need at least two arrivals")
+    mu = float(gaps.mean())
+    sigma = float(gaps.std())
+    if sigma + mu == 0:
+        return 0.0
+    return (sigma - mu) / (sigma + mu)
+
+
+def interarrival_autocorrelation(trace: Trace, lag: int = 1) -> float:
+    """Lag-k autocorrelation of inter-arrival times (0 for renewal input;
+    positive = clustered gaps, i.e. regime structure a detector can use)."""
+    gaps = trace.interarrivals()
+    if lag < 1:
+        raise ValueError("lag must be >= 1")
+    if gaps.size <= lag + 1:
+        raise ValueError("trace too short for this lag")
+    a = gaps[:-lag] - gaps[:-lag].mean()
+    b = gaps[lag:] - gaps[lag:].mean()
+    denom = np.sqrt((a * a).sum() * (b * b).sum())
+    if denom == 0:
+        return 0.0
+    return float((a * b).sum() / denom)
+
+
+@dataclass(frozen=True)
+class TraceCharacter:
+    """One-call summary used by reports and policy auto-configuration."""
+
+    arrival_rate: float
+    cv_interarrival: float
+    burstiness: float
+    lag1_autocorrelation: float
+    tail_index: Optional[float]     #: None when too few samples
+    mean_idle: float
+    idle_longer_than_breakeven: Optional[float]  #: needs a device
+
+
+def characterize(
+    trace: Trace,
+    service_time: float = 0.0,
+    break_even: Optional[float] = None,
+) -> TraceCharacter:
+    """Compute the full characterization of a trace."""
+    stats = trace.stats()
+    periods = trace.idle_periods(service_time)
+    positive = periods[periods > 0]
+    try:
+        tail = hill_tail_index(positive)
+    except ValueError:
+        tail = None
+    try:
+        burst = burstiness(trace)
+    except ValueError:
+        burst = 0.0
+    try:
+        acf = interarrival_autocorrelation(trace)
+    except ValueError:
+        acf = 0.0
+    longer = None
+    if break_even is not None and positive.size:
+        longer = float((positive > break_even).mean())
+    return TraceCharacter(
+        arrival_rate=stats.arrival_rate,
+        cv_interarrival=stats.cv_interarrival,
+        burstiness=burst,
+        lag1_autocorrelation=acf,
+        tail_index=tail,
+        mean_idle=float(positive.mean()) if positive.size else 0.0,
+        idle_longer_than_breakeven=longer,
+    )

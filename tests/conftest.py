@@ -1,0 +1,42 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.device import abstract_three_state, two_state
+from repro.env import SlottedDPMEnv
+from repro.workload import ConstantRate
+
+
+@pytest.fixture
+def rng():
+    """Deterministic generator for stochastic tests."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def device3():
+    """The canonical three-state device."""
+    return abstract_three_state()
+
+
+@pytest.fixture
+def device2():
+    """Minimal on/off device."""
+    return two_state()
+
+
+@pytest.fixture
+def small_env(device3):
+    """Small slotted environment with stationary arrivals."""
+    return SlottedDPMEnv(
+        device3,
+        ConstantRate(0.15),
+        queue_capacity=4,
+        p_serve=0.9,
+        perf_weight=0.5,
+        loss_penalty=2.0,
+        seed=42,
+    )

@@ -1,0 +1,107 @@
+"""Change detector tests: detect true shifts, hold on stationary input."""
+
+import numpy as np
+import pytest
+
+from repro.adaptive import BernoulliCUSUM, PageHinkley
+
+
+def feed(detector, rng, rate, n):
+    """Feed n Bernoulli(rate) samples; return the first alarm index or None."""
+    for i in range(n):
+        if detector.update(rng.random() < rate):
+            return i
+    return None
+
+
+class TestCUSUM:
+    def test_detects_upward_shift(self, rng):
+        det = BernoulliCUSUM(target_rate=0.1)
+        delay = feed(det, rng, 0.5, 3000)
+        assert delay is not None
+        assert delay < 400
+
+    def test_detects_downward_shift(self, rng):
+        det = BernoulliCUSUM(target_rate=0.4)
+        delay = feed(det, rng, 0.05, 3000)
+        assert delay is not None
+        assert delay < 400
+
+    def test_bigger_shift_detected_faster(self):
+        delays_small = []
+        delays_big = []
+        for seed in range(10):
+            r = np.random.default_rng(seed)
+            small = BernoulliCUSUM(0.1)
+            delays_small.append(feed(small, r, 0.25, 5000) or 5000)
+            r = np.random.default_rng(seed)
+            big = BernoulliCUSUM(0.1)
+            delays_big.append(feed(big, r, 0.8, 5000) or 5000)
+        assert np.mean(delays_big) < np.mean(delays_small)
+
+    def test_quiet_on_stationary_stream(self):
+        rng = np.random.default_rng(7)
+        det = BernoulliCUSUM(target_rate=0.3)
+        alarms = sum(det.update(rng.random() < 0.3) for _ in range(20_000))
+        assert alarms == 0
+
+    def test_reset_rearms(self, rng):
+        det = BernoulliCUSUM(0.1, drift=0.02, threshold=5.0)
+        feed(det, rng, 0.9, 100)
+        det.reset(0.9)
+        assert det.slots_since_reset == 0
+        assert det.target_rate == 0.9
+        # now 0.9 is normal: no alarm
+        assert feed(det, rng, 0.9, 500) is None
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BernoulliCUSUM(1.5)
+        with pytest.raises(ValueError):
+            BernoulliCUSUM(0.5, drift=-0.1)
+        with pytest.raises(ValueError):
+            BernoulliCUSUM(0.5, threshold=0.0)
+        with pytest.raises(ValueError):
+            BernoulliCUSUM(0.5).reset(target_rate=2.0)
+
+
+class TestPageHinkley:
+    def test_detects_downward_shift(self, rng):
+        det = PageHinkley()
+        for _ in range(3000):
+            det.update(rng.random() < 0.4)
+        delay = feed(det, rng, 0.02, 5000)
+        assert delay is not None
+        assert delay < 1000
+
+    def test_detects_upward_shift(self, rng):
+        det = PageHinkley()
+        for _ in range(3000):
+            det.update(rng.random() < 0.05)
+        delay = feed(det, rng, 0.5, 5000)
+        assert delay is not None
+        assert delay < 600
+
+    def test_quiet_on_stationary(self):
+        rng = np.random.default_rng(3)
+        det = PageHinkley()
+        alarms = sum(det.update(rng.random() < 0.3) for _ in range(20_000))
+        assert alarms == 0
+
+    def test_running_mean(self, rng):
+        det = PageHinkley()
+        for _ in range(2000):
+            det.update(rng.random() < 0.25)
+        assert det.running_mean == pytest.approx(0.25, abs=0.04)
+
+    def test_reset_with_seed_rate(self):
+        det = PageHinkley()
+        det.update(True)
+        det.reset(target_rate=0.7)
+        assert det.running_mean == 0.7
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PageHinkley(delta=-0.1)
+        with pytest.raises(ValueError):
+            PageHinkley(lambda_=0.0)

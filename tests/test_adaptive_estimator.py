@@ -1,0 +1,108 @@
+"""Parameter estimator tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.adaptive import ExponentialEstimator, SlidingWindowEstimator
+
+
+class TestSlidingWindow:
+    def test_prior_before_data(self):
+        est = SlidingWindowEstimator(window=100, prior_rate=0.3)
+        assert est.estimate() == 0.3
+        assert est.n_samples == 0
+
+    def test_mle_is_window_mean(self):
+        est = SlidingWindowEstimator(window=4)
+        for x in (1, 0, 1, 1):
+            est.update(x)
+        assert est.estimate() == pytest.approx(0.75)
+
+    def test_window_slides(self):
+        est = SlidingWindowEstimator(window=2)
+        est.update(1)
+        est.update(1)
+        est.update(0)
+        est.update(0)
+        assert est.estimate() == 0.0
+        assert est.n_samples == 2
+
+    def test_tracks_bernoulli_rate(self, rng):
+        est = SlidingWindowEstimator(window=5000)
+        for x in rng.random(20_000) < 0.27:
+            est.update(bool(x))
+        assert est.estimate() == pytest.approx(0.27, abs=0.02)
+
+    def test_reset(self):
+        est = SlidingWindowEstimator(window=10)
+        est.update(1)
+        est.reset(prior_rate=0.8)
+        assert est.n_samples == 0
+        assert est.estimate() == 0.8
+
+    def test_confidence_interval_shrinks(self, rng):
+        est = SlidingWindowEstimator(window=10_000)
+        for x in rng.random(100) < 0.5:
+            est.update(bool(x))
+        wide = est.confidence_interval()
+        for x in rng.random(9_900) < 0.5:
+            est.update(bool(x))
+        narrow = est.confidence_interval()
+        assert (narrow[1] - narrow[0]) < (wide[1] - wide[0])
+
+    def test_ci_contains_truth_usually(self, rng):
+        est = SlidingWindowEstimator(window=2000)
+        for x in rng.random(2000) < 0.4:
+            est.update(bool(x))
+        low, high = est.confidence_interval()
+        assert low <= 0.4 <= high
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SlidingWindowEstimator(window=0)
+        with pytest.raises(ValueError):
+            SlidingWindowEstimator(prior_rate=1.5)
+        with pytest.raises(ValueError):
+            SlidingWindowEstimator().reset(prior_rate=-0.1)
+
+    @given(bits=st.lists(st.booleans(), min_size=1, max_size=50))
+    @settings(max_examples=50, deadline=None)
+    def test_estimate_always_in_unit_interval(self, bits):
+        est = SlidingWindowEstimator(window=10)
+        for b in bits:
+            est.update(b)
+        assert 0.0 <= est.estimate() <= 1.0
+
+
+class TestExponential:
+    def test_prior_before_data(self):
+        est = ExponentialEstimator(prior_rate=0.6)
+        assert est.estimate() == 0.6
+
+    def test_update_formula(self):
+        est = ExponentialEstimator(smoothing=0.5, prior_rate=0.0)
+        est.update(True)
+        assert est.estimate() == pytest.approx(0.5)
+        est.update(True)
+        assert est.estimate() == pytest.approx(0.75)
+
+    def test_tracks_rate(self, rng):
+        est = ExponentialEstimator(smoothing=0.005)
+        for x in rng.random(20_000) < 0.15:
+            est.update(bool(x))
+        assert est.estimate() == pytest.approx(0.15, abs=0.03)
+
+    def test_reset(self):
+        est = ExponentialEstimator(prior_rate=0.5)
+        est.update(True)
+        est.reset()
+        assert est.estimate() == 0.5
+        assert est.n_samples == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ExponentialEstimator(smoothing=0.0)
+        with pytest.raises(ValueError):
+            ExponentialEstimator(prior_rate=-0.5)

@@ -1,0 +1,72 @@
+"""ASCII chart and table rendering tests."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import ascii_chart, format_table
+
+
+class TestChart:
+    def test_contains_series_glyphs_and_legend(self):
+        x = np.arange(10, dtype=float)
+        chart = ascii_chart(x, {"alpha": x, "beta": x[::-1]})
+        assert "*" in chart
+        assert "o" in chart
+        assert "*=alpha" in chart
+        assert "o=beta" in chart
+
+    def test_vlines_drawn(self):
+        x = np.arange(100, dtype=float)
+        chart = ascii_chart(x, {"s": np.zeros(100)}, vlines=[50])
+        assert "|" in chart.splitlines()[4]
+
+    def test_hlines_drawn_and_legended(self):
+        x = np.arange(10, dtype=float)
+        chart = ascii_chart(x, {"s": x}, hlines={"ref": 5.0})
+        assert "--=ref" in chart
+        assert "-" in chart
+
+    def test_title_and_labels(self):
+        x = np.arange(5, dtype=float)
+        chart = ascii_chart(x, {"s": x}, title="My Title", y_label="power")
+        assert chart.splitlines()[0] == "My Title"
+        assert "power" in chart
+
+    def test_empty_data(self):
+        assert ascii_chart(np.array([]), {}) == "(no data)"
+
+    def test_misaligned_series_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_chart(np.arange(3, dtype=float), {"s": np.zeros(5)})
+
+    def test_constant_series_no_crash(self):
+        x = np.arange(4, dtype=float)
+        chart = ascii_chart(x, {"s": np.full(4, 2.0)})
+        assert "*" in chart
+
+    def test_nan_values_skipped(self):
+        x = np.arange(4, dtype=float)
+        y = np.array([1.0, np.nan, 3.0, 4.0])
+        chart = ascii_chart(x, {"s": y})
+        assert "*" in chart
+
+
+class TestTable:
+    def test_alignment_and_content(self):
+        text = format_table(
+            ["name", "value"], [["a", 1], ["long-name", 2.5]], title="T"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1]
+        assert all("|" in line for line in lines[1:] if "-+-" not in line)
+
+    def test_row_length_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [["only-one"]])
+
+    def test_float_formatting(self):
+        text = format_table(["x"], [[0.000012345], [123456.0], [0.5], [0]])
+        assert "1.234e-05" in text
+        assert "1.235e+05" in text or "1.234e+05" in text
+        assert "0.5" in text

@@ -1,0 +1,56 @@
+"""Bootstrap CI tests."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import CI, bootstrap_ci
+
+
+class TestBootstrapCI:
+    def test_ci_contains_point_estimate(self, rng):
+        samples = rng.normal(5.0, 1.0, size=200)
+        ci = bootstrap_ci(samples, rng=rng)
+        assert ci.low <= ci.estimate <= ci.high
+        assert ci.contains(ci.estimate)
+
+    def test_ci_covers_true_mean_for_normal_data(self):
+        hits = 0
+        for seed in range(20):
+            rng = np.random.default_rng(seed)
+            samples = rng.normal(2.0, 1.0, size=150)
+            ci = bootstrap_ci(samples, confidence=0.95, rng=rng)
+            hits += ci.contains(2.0)
+        assert hits >= 16  # ~95% coverage, generous slack
+
+    def test_narrower_with_more_data(self, rng):
+        small = bootstrap_ci(rng.normal(0, 1, size=20), rng=rng)
+        large = bootstrap_ci(rng.normal(0, 1, size=5000), rng=rng)
+        assert large.half_width < small.half_width
+
+    def test_custom_statistic(self, rng):
+        samples = rng.exponential(1.0, size=500)
+        ci = bootstrap_ci(samples, statistic=np.median, rng=rng)
+        assert ci.estimate == pytest.approx(np.median(samples))
+
+    def test_single_sample_degenerate(self):
+        ci = bootstrap_ci(np.array([3.0]))
+        assert ci.low == ci.high == ci.estimate == 3.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bootstrap_ci(np.array([]))
+        with pytest.raises(ValueError):
+            bootstrap_ci(np.array([1.0]), confidence=1.5)
+        with pytest.raises(ValueError):
+            bootstrap_ci(np.array([1.0]), n_resamples=0)
+
+    def test_str_format(self):
+        ci = CI(1.0, 0.5, 1.5, 0.95)
+        text = str(ci)
+        assert "1" in text and "0.5" in text
+
+    def test_deterministic_default_rng(self):
+        samples = np.arange(50, dtype=float)
+        a = bootstrap_ci(samples)
+        b = bootstrap_ci(samples)
+        assert (a.low, a.high) == (b.low, b.high)

@@ -1,0 +1,106 @@
+"""Competitive analysis tests: ski-rental structure of shutdown policies."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    competitive_report,
+    deterministic_lower_bound_ratio,
+    idle_period_energy_oracle,
+    idle_period_energy_timeout,
+)
+from repro.device import PowerState, PowerStateMachine, Transition, two_state
+
+
+def ski_device():
+    """on 1 W / off 0 W, round trip costs exactly 2 J with zero latency:
+    break-even = 2 s — the textbook ski-rental instance."""
+    states = [PowerState("on", 1.0, can_service=True), PowerState("off", 0.0)]
+    transitions = [
+        Transition("on", "off", 1.0, 0.0),
+        Transition("off", "on", 1.0, 0.0),
+    ]
+    return PowerStateMachine("ski", states, transitions, initial_state="on")
+
+
+class TestPeriodEnergies:
+    def test_short_idle_no_shutdown(self):
+        device = ski_device()
+        assert idle_period_energy_timeout(device, 1.0, timeout=2.0) == 1.0
+
+    def test_long_idle_with_shutdown(self):
+        device = ski_device()
+        # wait 2 s (2 J) + round trip (2 J) + rest at 0 W
+        assert idle_period_energy_timeout(device, 10.0, timeout=2.0) == 4.0
+
+    def test_immediate_shutdown(self):
+        device = ski_device()
+        assert idle_period_energy_timeout(device, 10.0, timeout=0.0) == 2.0
+
+    def test_oracle_picks_min(self):
+        device = ski_device()
+        assert idle_period_energy_oracle(device, 1.0) == 1.0   # stay
+        assert idle_period_energy_oracle(device, 10.0) == 2.0  # sleep
+
+    def test_oracle_indifferent_at_break_even(self):
+        device = ski_device()
+        assert idle_period_energy_oracle(device, 2.0) == pytest.approx(2.0)
+
+    def test_validation(self):
+        device = ski_device()
+        with pytest.raises(ValueError):
+            idle_period_energy_timeout(device, -1.0, 0.0)
+        with pytest.raises(ValueError):
+            idle_period_energy_timeout(device, 1.0, -0.5)
+
+
+class TestCompetitiveRatio:
+    def test_break_even_timeout_is_2_competitive(self):
+        """The theorem: per period, timeout = break-even never exceeds 2x
+        the oracle — and the adversarial period (just past break-even)
+        attains exactly 2."""
+        device = ski_device()
+        lengths = np.concatenate([
+            np.linspace(0.01, 10.0, 500),
+            [2.0 + 1e-9],  # the adversarial input
+        ])
+        report = competitive_report(device, lengths)  # timeout = T_be
+        bound = deterministic_lower_bound_ratio()
+        assert report.worst_period_ratio <= bound + 1e-6
+        assert report.worst_period_ratio == pytest.approx(bound, abs=1e-3)
+        assert 1.0 <= report.ratio <= bound
+
+    def test_greedy_is_unboundedly_bad_on_short_periods(self):
+        device = ski_device()
+        short = np.full(100, 0.01)
+        report = competitive_report(device, short, timeout=0.0)
+        assert report.worst_period_ratio > 50
+
+    def test_never_sleep_bounded_by_long_periods(self):
+        device = ski_device()
+        long = np.full(10, 100.0)
+        report = competitive_report(device, long, timeout=np.inf)
+        # stay pays 100, oracle pays 2: ratio 50
+        assert report.ratio == pytest.approx(50.0)
+
+    def test_aggregate_consistency(self):
+        device = ski_device()
+        lengths = np.array([1.0, 5.0])
+        report = competitive_report(device, lengths, timeout=2.0)
+        assert report.policy_energy == pytest.approx(1.0 + 4.0)
+        assert report.oracle_energy == pytest.approx(1.0 + 2.0)
+        assert report.n_periods == 2
+
+    def test_real_preset_device(self):
+        device = two_state()
+        rng = np.random.default_rng(0)
+        lengths = rng.exponential(5.0, size=2_000)
+        report = competitive_report(device, lengths)
+        assert 1.0 <= report.ratio <= 2.0 + 1e-9
+        assert report.worst_period_ratio <= 2.0 + 1e-9
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            competitive_report(ski_device(), np.array([]))
+        with pytest.raises(ValueError):
+            competitive_report(ski_device(), np.array([-1.0]))

@@ -1,0 +1,104 @@
+"""Curve metric tests."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    convergence_point,
+    regret_vs_reference,
+    steady_state_mean,
+    switch_responses,
+)
+
+
+class TestConvergencePoint:
+    def test_simple_convergence(self):
+        slots = np.array([0, 10, 20, 30, 40])
+        series = np.array([0.0, 0.5, 0.9, 0.95, 0.93])
+        assert convergence_point(slots, series, 0.95, 0.06, sustain=2) == 20
+
+    def test_requires_sustained_entry(self):
+        slots = np.array([0, 10, 20, 30, 40])
+        series = np.array([0.95, 0.0, 0.0, 0.95, 0.95])
+        assert convergence_point(slots, series, 0.95, 0.01, sustain=2) == 30
+
+    def test_never_converges(self):
+        slots = np.array([0, 10])
+        series = np.array([0.0, 0.1])
+        assert convergence_point(slots, series, 1.0, 0.05) is None
+
+    def test_sustain_past_end_allowed(self):
+        slots = np.array([0, 10])
+        series = np.array([0.0, 1.0])
+        assert convergence_point(slots, series, 1.0, 0.05, sustain=5) == 10
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            convergence_point(np.array([1]), np.array([1, 2]), 0.0, 0.1)
+        with pytest.raises(ValueError):
+            convergence_point(np.array([1]), np.array([1.0]), 0.0, 0.1, sustain=0)
+
+
+class TestSwitchResponses:
+    def test_recovery_measured_per_switch(self):
+        slots = np.arange(0, 100, 10)
+        series = np.array([1.0, 1.0, 1.0, 0.2, 0.5, 1.0, 1.0, 1.0, 1.0, 1.0])
+        responses = switch_responses(
+            slots, series, switch_points=[30], targets=[1.0],
+            tolerance=0.05, sustain=2,
+        )
+        assert len(responses) == 1
+        resp = responses[0]
+        assert resp.switch_slot == 30
+        assert resp.dip == pytest.approx(0.2)
+        assert resp.recovery_slot == 50
+        assert resp.response_slots == 20
+
+    def test_never_recovers(self):
+        slots = np.arange(0, 50, 10)
+        series = np.array([1.0, 1.0, 0.2, 0.3, 0.2])
+        responses = switch_responses(
+            slots, series, [20], [1.0], tolerance=0.05
+        )
+        assert responses[0].response_slots is None
+
+    def test_multiple_switches_segmented(self):
+        slots = np.arange(0, 120, 10)
+        series = np.concatenate([
+            np.full(4, 1.0),    # slots 0-30
+            [0.0, 1.0, 1.0, 1.0],  # switch at 40, recovers at 50
+            [0.2, 0.8, 0.8, 0.8],  # switch at 80, recovers at 90
+        ])
+        responses = switch_responses(
+            slots, series, [40, 80], [1.0, 0.8], tolerance=0.05, sustain=2
+        )
+        assert responses[0].response_slots == 10
+        assert responses[1].response_slots == 10
+
+    def test_alignment_validation(self):
+        with pytest.raises(ValueError):
+            switch_responses(np.array([0]), np.array([1.0]), [1], [], 0.1)
+
+
+class TestSteadyStateMean:
+    def test_tail_mean(self):
+        series = np.array([0.0, 0.0, 0.0, 1.0])
+        assert steady_state_mean(series, tail_fraction=0.25) == 1.0
+
+    def test_full_mean(self):
+        assert steady_state_mean(np.array([1.0, 3.0]), 1.0) == 2.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            steady_state_mean(np.array([]))
+        with pytest.raises(ValueError):
+            steady_state_mean(np.array([1.0]), 0.0)
+
+
+class TestRegret:
+    def test_mean_shortfall(self):
+        assert regret_vs_reference(np.array([0.8, 0.6]), 1.0) == pytest.approx(0.3)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            regret_vs_reference(np.array([]), 1.0)

@@ -1,0 +1,171 @@
+"""Event-driven baseline policy logic tests (decision level)."""
+
+import math
+
+import pytest
+
+from repro.baselines import (
+    AdaptiveTimeout,
+    AlwaysOn,
+    FixedTimeout,
+    GreedySleep,
+    MultiLevelTimeout,
+    OracleShutdown,
+    PredictiveShutdown,
+)
+from repro.device import mobile_hard_disk
+from repro.sim import NEVER, IdleContext
+
+
+def ctx(next_arrival=None, device=None):
+    device = device or mobile_hard_disk()
+    return IdleContext(
+        now=100.0, device=device, wait_state="idle", next_arrival=next_arrival
+    )
+
+
+class TestAlwaysOn:
+    def test_never_sleeps(self):
+        decision = AlwaysOn().on_idle(ctx())
+        assert decision.target_state is None
+        assert math.isinf(decision.timeout)
+
+
+class TestGreedySleep:
+    def test_immediate_deepest(self):
+        decision = GreedySleep().on_idle(ctx())
+        assert decision.target_state == "standby"
+        assert decision.timeout == 0.0
+
+    def test_explicit_target(self):
+        decision = GreedySleep("idle").on_idle(ctx())
+        assert decision.target_state == "idle"
+
+
+class TestFixedTimeout:
+    def test_break_even_default(self):
+        device = mobile_hard_disk()
+        decision = FixedTimeout().on_idle(ctx(device=device))
+        expected = device.break_even_time("standby", "busy")
+        assert decision.timeout == pytest.approx(expected)
+
+    def test_explicit_timeout(self):
+        assert FixedTimeout(5.0).on_idle(ctx()).timeout == 5.0
+
+    def test_negative_timeout_rejected(self):
+        with pytest.raises(ValueError):
+            FixedTimeout(-1.0)
+
+
+class TestAdaptiveTimeout:
+    def test_shrinks_after_long_idle(self):
+        policy = AdaptiveTimeout(initial_timeout=10.0)
+        policy.on_idle(ctx())          # sets break-even internally
+        policy.on_idle_end(1000.0)     # way past break-even + timeout
+        assert policy.current_timeout < 10.0
+
+    def test_grows_after_short_idle(self):
+        policy = AdaptiveTimeout(initial_timeout=10.0)
+        policy.on_idle(ctx())
+        policy.on_idle_end(0.1)        # shorter than break-even
+        assert policy.current_timeout > 10.0
+
+    def test_neutral_zone_keeps_timeout(self):
+        policy = AdaptiveTimeout(initial_timeout=10.0)
+        policy.on_idle(ctx())
+        be = mobile_hard_disk().break_even_time("standby", "busy")
+        policy.on_idle_end(be + 5.0)   # between be and be + timeout
+        assert policy.current_timeout == 10.0
+
+    def test_clipping(self):
+        policy = AdaptiveTimeout(
+            initial_timeout=1.0, min_timeout=0.5, max_timeout=2.0,
+            grow=10.0, shrink=0.01,
+        )
+        policy.on_idle(ctx())
+        policy.on_idle_end(0.0)
+        assert policy.current_timeout == 2.0
+        policy.on_idle_end(1e9)
+        assert policy.current_timeout == 0.5
+
+    def test_reset_restores_initial(self):
+        policy = AdaptiveTimeout(initial_timeout=7.5)
+        policy.on_idle(ctx())
+        policy.on_idle_end(0.0)
+        policy.reset()
+        assert policy.current_timeout == 7.5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AdaptiveTimeout(-1.0)
+        with pytest.raises(ValueError):
+            AdaptiveTimeout(1.0, grow=0.5)
+        with pytest.raises(ValueError):
+            AdaptiveTimeout(1.0, shrink=1.5)
+        with pytest.raises(ValueError):
+            AdaptiveTimeout(1.0, min_timeout=5.0, max_timeout=1.0)
+
+
+class TestPredictive:
+    def test_low_prediction_stays_on(self):
+        policy = PredictiveShutdown(initial_prediction=0.0)
+        decision = policy.on_idle(ctx())
+        assert decision.target_state is None
+
+    def test_high_prediction_sleeps_immediately(self):
+        policy = PredictiveShutdown(initial_prediction=1000.0)
+        decision = policy.on_idle(ctx())
+        assert decision.target_state == "standby"
+        assert decision.timeout == 0.0
+
+    def test_exponential_average_update(self):
+        policy = PredictiveShutdown(smoothing=0.5, initial_prediction=0.0)
+        policy.on_idle_end(10.0)
+        assert policy.prediction == pytest.approx(5.0)
+        policy.on_idle_end(10.0)
+        assert policy.prediction == pytest.approx(7.5)
+
+    def test_reset(self):
+        policy = PredictiveShutdown(initial_prediction=2.0)
+        policy.on_idle_end(100.0)
+        policy.reset()
+        assert policy.prediction == 2.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PredictiveShutdown(smoothing=0.0)
+
+
+class TestMultiLevel:
+    def test_first_level_used(self):
+        policy = MultiLevelTimeout([(2.0, "idle"), (10.0, "standby")])
+        decision = policy.on_idle(ctx())
+        assert decision.target_state == "idle"
+        assert decision.timeout == 2.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MultiLevelTimeout([])
+        with pytest.raises(ValueError):
+            MultiLevelTimeout([(5.0, "a"), (1.0, "b")])
+        with pytest.raises(ValueError):
+            MultiLevelTimeout([(-1.0, "a")])
+
+
+class TestOracle:
+    def test_long_idle_sleeps(self):
+        device = mobile_hard_disk()
+        be = device.break_even_time("standby", "busy")
+        decision = OracleShutdown().on_idle(
+            ctx(next_arrival=100.0 + 10 * be, device=device)
+        )
+        assert decision.target_state == "standby"
+        assert decision.timeout == 0.0
+
+    def test_short_idle_stays(self):
+        decision = OracleShutdown().on_idle(ctx(next_arrival=100.01))
+        assert decision.target_state is None
+
+    def test_no_future_arrivals_sleeps_deepest(self):
+        decision = OracleShutdown().on_idle(ctx(next_arrival=None))
+        assert decision.target_state == "standby"

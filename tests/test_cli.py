@@ -1,0 +1,50 @@
+"""CLI entry point tests."""
+
+import pytest
+
+import repro.cli as cli
+
+
+class TestArgs:
+    def test_unknown_experiment_exits(self):
+        with pytest.raises(SystemExit):
+            cli.main(["warp-drive"])
+
+    def test_no_args_exits(self):
+        with pytest.raises(SystemExit):
+            cli.main([])
+
+
+class TestDispatch:
+    def test_single_experiment(self, monkeypatch, capsys):
+        monkeypatch.setitem(cli._COMMANDS, "fig1", lambda quick: "FAKE-FIG1")
+        assert cli.main(["fig1"]) == 0
+        out = capsys.readouterr().out
+        assert "=== fig1 ===" in out
+        assert "FAKE-FIG1" in out
+
+    def test_all_runs_everything(self, monkeypatch, capsys):
+        calls = []
+        for name in list(cli._COMMANDS):
+            monkeypatch.setitem(
+                cli._COMMANDS, name,
+                lambda quick, name=name: calls.append(name) or f"ran-{name}",
+            )
+        assert cli.main(["all"]) == 0
+        assert sorted(calls) == sorted(cli._COMMANDS)
+
+    def test_quick_flag_forwarded(self, monkeypatch):
+        seen = {}
+        monkeypatch.setitem(
+            cli._COMMANDS, "fig1", lambda quick: seen.setdefault("q", quick) or ""
+        )
+        cli.main(["fig1", "--quick"])
+        assert seen["q"] is True
+
+
+class TestRealQuickRun:
+    def test_overhead_quick_end_to_end(self, capsys):
+        assert cli.main(["overhead", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "CLAIM-EFF" in out
+        assert "LP/Qstep" in out

@@ -1,0 +1,91 @@
+"""Exploration strategy tests."""
+
+import numpy as np
+import pytest
+
+from repro.core import Boltzmann, Constant, EpsilonGreedy, Greedy, LinearDecay, QTable
+
+
+@pytest.fixture
+def table():
+    t = QTable(1, 4)
+    t.set(0, 2, 10.0)  # clear greedy winner
+    return t
+
+
+class TestGreedy:
+    def test_picks_best(self, table, rng):
+        assert Greedy().select(table, 0, [0, 1, 2, 3], 0, rng) == 2
+
+    def test_respects_mask(self, table, rng):
+        # action 2 (the global best) is masked; ties break among the rest
+        picks = {Greedy().select(table, 0, [0, 1, 3], 0, rng) for _ in range(30)}
+        assert picks <= {0, 1, 3}
+
+
+class TestEpsilonGreedy:
+    def test_zero_epsilon_is_greedy(self, table, rng):
+        strat = EpsilonGreedy(0.0)
+        assert all(
+            strat.select(table, 0, [0, 1, 2, 3], i, rng) == 2 for i in range(50)
+        )
+
+    def test_one_epsilon_is_uniform(self, table, rng):
+        strat = EpsilonGreedy(1.0)
+        picks = [strat.select(table, 0, [0, 1, 2, 3], i, rng) for i in range(2000)]
+        counts = np.bincount(picks, minlength=4)
+        assert (counts > 400).all()  # near 500 each
+
+    def test_intermediate_epsilon_rate(self, table, rng):
+        strat = EpsilonGreedy(0.4)
+        picks = [strat.select(table, 0, [0, 1, 2, 3], i, rng) for i in range(4000)]
+        greedy_frac = np.mean([p == 2 for p in picks])
+        assert greedy_frac == pytest.approx(1 - 0.4 + 0.4 / 4, abs=0.04)
+
+    def test_only_allowed_actions(self, table, rng):
+        strat = EpsilonGreedy(1.0)
+        picks = {strat.select(table, 0, [1, 3], i, rng) for i in range(100)}
+        assert picks <= {1, 3}
+
+    def test_empty_allowed_raises(self, table, rng):
+        with pytest.raises(ValueError):
+            EpsilonGreedy(0.5).select(table, 0, [], 0, rng)
+
+    def test_scheduled_epsilon(self, table, rng):
+        strat = EpsilonGreedy(LinearDecay(1.0, 0.0, steps=10))
+        assert strat.epsilon_at(0) == 1.0
+        assert strat.epsilon_at(10) == 0.0
+        # at step >= 10, pure greedy
+        assert all(
+            strat.select(table, 0, [0, 1, 2, 3], 20, rng) == 2 for _ in range(20)
+        )
+
+
+class TestBoltzmann:
+    def test_low_temperature_is_greedy(self, table, rng):
+        strat = Boltzmann(0.01)
+        picks = [strat.select(table, 0, [0, 1, 2, 3], i, rng) for i in range(100)]
+        assert all(p == 2 for p in picks)
+
+    def test_high_temperature_is_nearly_uniform(self, table, rng):
+        strat = Boltzmann(1e6)
+        picks = [strat.select(table, 0, [0, 1, 2, 3], i, rng) for i in range(2000)]
+        counts = np.bincount(picks, minlength=4)
+        assert (counts > 350).all()
+
+    def test_zero_temperature_greedy_fallback(self, table, rng):
+        assert Boltzmann(Constant(0.0)).select(table, 0, [0, 1, 2, 3], 0, rng) == 2
+
+    def test_preference_ordering(self, rng):
+        t = QTable(1, 3)
+        t.set(0, 0, 0.0)
+        t.set(0, 1, 1.0)
+        t.set(0, 2, 2.0)
+        strat = Boltzmann(1.0)
+        picks = [strat.select(t, 0, [0, 1, 2], i, rng) for i in range(3000)]
+        counts = np.bincount(picks, minlength=3)
+        assert counts[0] < counts[1] < counts[2]
+
+    def test_empty_allowed_raises(self, table, rng):
+        with pytest.raises(ValueError):
+            Boltzmann(1.0).select(table, 0, [], 0, rng)

@@ -1,0 +1,66 @@
+"""Q-table persistence tests (warm-starting deployed controllers)."""
+
+import numpy as np
+import pytest
+
+from repro.core import QDPM, QLearningAgent, QTable
+from repro.device import abstract_three_state
+from repro.env import SlottedDPMEnv
+from repro.workload import ConstantRate
+
+
+class TestSaveLoad:
+    def test_roundtrip_values_and_visits(self, tmp_path):
+        table = QTable(6, 3, initial_value=-1.0)
+        rng = np.random.default_rng(0)
+        for _ in range(200):
+            table.update_toward(
+                int(rng.integers(6)), int(rng.integers(3)),
+                float(rng.normal()), 0.3,
+            )
+        path = str(tmp_path / "table.npz")
+        table.save(path)
+        clone = QTable.load(path)
+        assert np.array_equal(clone.values, table.values)
+        assert np.array_equal(clone.visit_counts, table.visit_counts)
+
+    def test_float32_dtype_preserved(self, tmp_path):
+        table = QTable(2, 2, dtype=np.float32)
+        path = str(tmp_path / "t32.npz")
+        table.save(path)
+        clone = QTable.load(path)
+        assert clone.values.dtype == np.float32
+
+    def test_corrupt_file_rejected(self, tmp_path):
+        path = str(tmp_path / "bad.npz")
+        np.savez(path, q=np.zeros((2, 2)), visits=np.zeros((3, 3)))
+        with pytest.raises(ValueError, match="corrupt"):
+            QTable.load(path)
+
+    def test_warm_start_resumes_learning(self, tmp_path):
+        """Train, persist, restore into a fresh controller: the restored
+        controller performs immediately at trained level."""
+        def make_env(seed):
+            return SlottedDPMEnv(
+                abstract_three_state(), ConstantRate(0.15),
+                queue_capacity=4, p_serve=0.9, seed=seed,
+            )
+
+        env = make_env(1)
+        controller = QDPM(env, learning_rate=0.1, epsilon=0.08, seed=2)
+        controller.run(60_000, record_every=10_000)
+        path = str(tmp_path / "trained.npz")
+        controller.agent.table.save(path)
+
+        env2 = make_env(3)
+        agent = QLearningAgent(env2.n_states, env2.n_actions,
+                               discount=0.95, learning_rate=0.1, seed=4)
+        agent.table = QTable.load(path)
+        warm = QDPM(env2, agent=agent)
+        hist = warm.run(10_000, record_every=5_000)
+
+        env3 = make_env(3)
+        cold = QDPM(env3, learning_rate=0.1, epsilon=0.08, seed=4)
+        cold_hist = cold.run(10_000, record_every=5_000)
+
+        assert hist.reward[0] > cold_hist.reward[0] + 0.3

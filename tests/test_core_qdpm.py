@@ -1,0 +1,126 @@
+"""QDPM controller tests."""
+
+import numpy as np
+import pytest
+
+from repro.core import QDPM, QLearningAgent
+from repro.device import abstract_three_state
+from repro.env import QueueBucketObservation, SlottedDPMEnv, build_dpm_model
+from repro.workload import ConstantRate
+
+
+def make_env(seed=0, rate=0.15, cap=4):
+    return SlottedDPMEnv(
+        abstract_three_state(), ConstantRate(rate),
+        queue_capacity=cap, p_serve=0.9, seed=seed,
+    )
+
+
+class TestConstruction:
+    def test_default_agent_sized_to_env(self):
+        env = make_env()
+        ctrl = QDPM(env, seed=1)
+        assert ctrl.agent.table.n_observations == env.n_states
+        assert ctrl.agent.table.n_actions == env.n_actions
+
+    def test_mismatched_agent_rejected(self):
+        env = make_env()
+        bad = QLearningAgent(3, env.n_actions)
+        with pytest.raises(ValueError, match="rows"):
+            QDPM(env, agent=bad)
+        bad2 = QLearningAgent(env.n_states, env.n_actions + 1)
+        with pytest.raises(ValueError, match="actions"):
+            QDPM(env, agent=bad2)
+
+    def test_coarse_observation_accepted(self):
+        env = make_env()
+        obs = QueueBucketObservation(env, boundaries=(1,))
+        ctrl = QDPM(env, observation=obs, seed=1)
+        assert ctrl.agent.table.n_observations == obs.n_observations
+
+
+class TestRun:
+    def test_history_shapes(self):
+        ctrl = QDPM(make_env(), seed=1)
+        hist = ctrl.run(5_000, record_every=1_000)
+        assert len(hist) == 5
+        for arr in (hist.energy, hist.reward, hist.queue,
+                    hist.saving_ratio, hist.td_error):
+            assert arr.shape == (5,)
+        assert hist.slots.tolist() == [999, 1999, 2999, 3999, 4999]
+
+    def test_partial_tail_window(self):
+        ctrl = QDPM(make_env(), seed=1)
+        hist = ctrl.run(2_500, record_every=1_000)
+        assert len(hist) == 3
+        assert hist.slots[-1] == 2_499
+
+    def test_callback_invoked_per_window(self):
+        ctrl = QDPM(make_env(), seed=1)
+        seen = []
+        ctrl.run(3_000, record_every=1_000, callback=seen.append)
+        assert seen == [999, 1999, 2999]
+
+    def test_invalid_args(self):
+        ctrl = QDPM(make_env(), seed=1)
+        with pytest.raises(ValueError):
+            ctrl.run(0)
+        with pytest.raises(ValueError):
+            ctrl.run(10, record_every=0)
+
+    def test_no_learning_mode_freezes_table(self):
+        ctrl = QDPM(make_env(), seed=1)
+        ctrl.run(500)
+        before = ctrl.agent.table.values
+        ctrl.run(500, learn=False)
+        assert np.array_equal(ctrl.agent.table.values, before)
+
+    def test_learning_improves_over_always_on(self):
+        env = make_env(seed=2, rate=0.05)
+        ctrl = QDPM(env, seed=3)
+        hist = ctrl.run(60_000, record_every=10_000)
+        # with sparse arrivals, learned policy must save energy
+        assert hist.saving_ratio[-1] > 0.2
+        # and it must be serving requests (queue not saturated)
+        assert hist.queue[-1] < env.queue_capacity * 0.9
+
+
+class TestGreedyPolicy:
+    def test_policy_actions_always_allowed(self):
+        env = make_env()
+        ctrl = QDPM(env, seed=1)
+        ctrl.run(2_000)
+        policy = ctrl.greedy_policy()
+        for state in range(env.n_states):
+            assert policy(state) in env.allowed_actions(state)
+
+    def test_prefer_visited_defaults_unvisited_to_home(self):
+        env = make_env()
+        ctrl = QDPM(env, seed=1)  # no learning at all
+        policy = ctrl.greedy_policy(prefer_visited=True)
+        home = env.mode_space.action_index("active")
+        # an ordinary steady state with no visits: home command
+        idle_state = env.encode(env.mode_space.steady_mode_index("idle"), 2)
+        assert policy(idle_state) == home
+
+    def test_without_prefer_visited_uses_raw_argmax(self):
+        env = make_env()
+        ctrl = QDPM(env, seed=1)
+        ctrl.agent.table.set(0, env.mode_space.action_index("sleep"), 1.0)
+        policy = ctrl.greedy_policy(prefer_visited=False)
+        assert policy(0) == env.mode_space.action_index("sleep")
+
+    def test_converges_near_optimal_policy_value(self):
+        """Integration: after training, the extracted policy's exact payoff
+        is within 10% of the optimum."""
+        env = make_env(seed=4, rate=0.15, cap=4)
+        model = build_dpm_model(
+            abstract_three_state(), arrival_rate=0.15,
+            queue_capacity=4, p_serve=0.9,
+        )
+        optimal = model.solve(0.95, "policy_iteration")
+        opt_reward = model.evaluate_policy(optimal.policy).average_reward
+        ctrl = QDPM(env, discount=0.95, learning_rate=0.1, epsilon=0.1, seed=5)
+        ctrl.run(120_000)
+        learned_reward = model.evaluate_policy(ctrl.greedy_policy()).average_reward
+        assert learned_reward >= opt_reward * 1.10  # rewards negative: within 10%

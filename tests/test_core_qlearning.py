@@ -1,0 +1,140 @@
+"""TD agent tests: convergence to known optimal Q-values."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    Boltzmann,
+    EpsilonGreedy,
+    ExpectedSarsaAgent,
+    HarmonicDecay,
+    QLearningAgent,
+    SarsaAgent,
+)
+
+
+class TwoStateWorld:
+    """Deterministic 2-state world with known Q*.
+
+    State 0: action 0 -> stay, reward 0; action 1 -> state 1, reward 0.
+    State 1: action 0 -> stay, reward 1; action 1 -> state 0, reward 0.
+    With discount b: Q*(1, 0) = 1/(1-b); Q*(0, 1) = b/(1-b).
+    """
+
+    def __init__(self):
+        self.state = 0
+
+    def step(self, action):
+        if self.state == 0:
+            if action == 0:
+                return 0, 0.0
+            self.state = 1
+            return 1, 0.0
+        if action == 0:
+            return 1, 1.0
+        self.state = 0
+        return 0, 0.0
+
+
+def drive(agent, n_steps=20_000):
+    world = TwoStateWorld()
+    allowed = [0, 1]
+    obs = world.state
+    for _ in range(n_steps):
+        action = agent.select_action(obs, allowed)
+        next_obs, reward = world.step(action)
+        agent.update(obs, action, reward, next_obs, allowed)
+        obs = next_obs
+    return agent
+
+
+class TestQLearning:
+    def test_converges_to_optimal_q(self):
+        agent = QLearningAgent(2, 2, discount=0.5, learning_rate=0.2,
+                               exploration=EpsilonGreedy(0.3), seed=0)
+        drive(agent)
+        assert agent.table.get(1, 0) == pytest.approx(2.0, abs=0.05)
+        assert agent.table.get(0, 1) == pytest.approx(1.0, abs=0.05)
+        assert agent.greedy_action(0, [0, 1]) == 1
+        assert agent.greedy_action(1, [0, 1]) == 0
+
+    def test_off_policy_with_full_exploration(self):
+        """Q-learning learns the greedy values even acting uniformly."""
+        agent = QLearningAgent(2, 2, discount=0.5, learning_rate=0.2,
+                               exploration=EpsilonGreedy(1.0), seed=1)
+        drive(agent)
+        assert agent.table.get(1, 0) == pytest.approx(2.0, abs=0.05)
+
+    def test_harmonic_lr_converges(self):
+        agent = QLearningAgent(
+            2, 2, discount=0.5, learning_rate=HarmonicDecay(0.5, tau=100),
+            exploration=EpsilonGreedy(0.5), seed=2,
+        )
+        drive(agent, 40_000)
+        assert agent.table.get(1, 0) == pytest.approx(2.0, abs=0.02)
+
+    def test_terminal_update_skips_bootstrap(self):
+        agent = QLearningAgent(2, 2, discount=0.9, learning_rate=1.0, seed=0)
+        agent.table.set(1, 0, 100.0)
+        agent.update(0, 0, 5.0, 1, [0, 1], terminal=True)
+        assert agent.table.get(0, 0) == pytest.approx(5.0)
+
+    def test_steps_counter(self):
+        agent = QLearningAgent(2, 2, seed=0)
+        drive(agent, 100)
+        assert agent.steps == 100
+
+    def test_invalid_discount(self):
+        with pytest.raises(ValueError):
+            QLearningAgent(2, 2, discount=1.0)
+
+    def test_learning_rate_uses_visit_count(self):
+        agent = QLearningAgent(
+            2, 2, learning_rate=HarmonicDecay(1.0, tau=1.0), seed=0
+        )
+        assert agent.learning_rate_for(0, 0) == 1.0
+        agent.update(0, 0, 1.0, 0, [0, 1])
+        assert agent.learning_rate_for(0, 0) == pytest.approx(0.5)
+        # other pairs unaffected
+        assert agent.learning_rate_for(1, 0) == 1.0
+
+
+class TestSarsa:
+    def test_learns_good_policy(self):
+        agent = SarsaAgent(2, 2, discount=0.5, learning_rate=0.2,
+                           exploration=EpsilonGreedy(0.2), seed=3)
+        drive(agent, 30_000)
+        assert agent.greedy_action(0, [0, 1]) == 1
+        assert agent.greedy_action(1, [0, 1]) == 0
+
+    def test_on_policy_values_lower_with_heavy_exploration(self):
+        """SARSA evaluates the exploring policy, so with heavy exploration
+        its value for the risky path is lower than Q-learning's greedy
+        estimate."""
+        q_agent = QLearningAgent(2, 2, discount=0.9, learning_rate=0.1,
+                                 exploration=EpsilonGreedy(0.5), seed=4)
+        s_agent = SarsaAgent(2, 2, discount=0.9, learning_rate=0.1,
+                             exploration=EpsilonGreedy(0.5), seed=4)
+        drive(q_agent, 30_000)
+        drive(s_agent, 30_000)
+        assert s_agent.table.get(1, 0) < q_agent.table.get(1, 0) + 0.1
+
+
+class TestExpectedSarsa:
+    def test_converges(self):
+        agent = ExpectedSarsaAgent(2, 2, discount=0.5, learning_rate=0.2,
+                                   exploration=EpsilonGreedy(0.2), seed=5)
+        drive(agent, 30_000)
+        assert agent.greedy_action(0, [0, 1]) == 1
+
+    def test_requires_epsilon_greedy(self):
+        with pytest.raises(TypeError, match="EpsilonGreedy"):
+            ExpectedSarsaAgent(2, 2, exploration=Boltzmann(1.0))
+
+    def test_expectation_formula(self):
+        agent = ExpectedSarsaAgent(1, 2, discount=1.0 - 1e-9,
+                                   exploration=EpsilonGreedy(0.5), seed=0)
+        agent.table.set(0, 0, 0.0)
+        agent.table.set(0, 1, 4.0)
+        # E = 0.5 * max + 0.5 * mean = 0.5*4 + 0.5*2 = 3
+        assert agent._bootstrap(0, [0, 1]) == pytest.approx(3.0)

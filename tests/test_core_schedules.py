@@ -1,0 +1,79 @@
+"""Parameter schedule tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Constant, ExponentialDecay, HarmonicDecay, LinearDecay
+
+
+class TestConstant:
+    def test_value_everywhere(self):
+        schedule = Constant(0.1)
+        assert schedule(0) == 0.1
+        assert schedule(10**9) == 0.1
+
+
+class TestLinearDecay:
+    def test_endpoints(self):
+        schedule = LinearDecay(1.0, 0.0, steps=100)
+        assert schedule(0) == pytest.approx(1.0)
+        assert schedule(50) == pytest.approx(0.5)
+        assert schedule(100) == 0.0
+        assert schedule(10_000) == 0.0
+
+    def test_invalid_steps(self):
+        with pytest.raises(ValueError):
+            LinearDecay(1.0, 0.0, steps=0)
+
+    @given(n=st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=50, deadline=None)
+    def test_monotone_decreasing(self, n):
+        schedule = LinearDecay(1.0, 0.1, steps=1000)
+        assert schedule(n) >= schedule(n + 1) - 1e-12
+
+
+class TestExponentialDecay:
+    def test_decay_path(self):
+        schedule = ExponentialDecay(1.0, 0.5)
+        assert schedule(0) == 1.0
+        assert schedule(1) == 0.5
+        assert schedule(3) == 0.125
+
+    def test_floor(self):
+        schedule = ExponentialDecay(1.0, 0.1, minimum=0.05)
+        assert schedule(100) == 0.05
+
+    def test_invalid_decay(self):
+        with pytest.raises(ValueError):
+            ExponentialDecay(1.0, 0.0)
+        with pytest.raises(ValueError):
+            ExponentialDecay(1.0, 1.2)
+        with pytest.raises(ValueError):
+            ExponentialDecay(1.0, 0.5, minimum=-1.0)
+
+
+class TestHarmonicDecay:
+    def test_values(self):
+        schedule = HarmonicDecay(1.0, tau=10.0)
+        assert schedule(0) == 1.0
+        assert schedule(10) == pytest.approx(0.5)
+        assert schedule(90) == pytest.approx(0.1)
+
+    def test_robbins_monro_property(self):
+        """Sum diverges, sum of squares converges (finite-horizon proxy:
+        partial sums behave accordingly)."""
+        schedule = HarmonicDecay(1.0, tau=1.0)
+        values = [schedule(n) for n in range(1, 10_000)]
+        assert sum(values) > 8.0           # ~ log growth, unbounded
+        assert sum(v * v for v in values) < 2.0
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            HarmonicDecay(1.0, tau=0.0)
+        with pytest.raises(ValueError):
+            HarmonicDecay(1.0, tau=1.0, minimum=-0.1)
+
+    def test_floor(self):
+        schedule = HarmonicDecay(1.0, tau=1.0, minimum=0.2)
+        assert schedule(10**6) == 0.2

@@ -1,0 +1,159 @@
+"""Double Q-learning and Watkins Q(lambda) agent tests."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    QDPM,
+    DoubleQLearningAgent,
+    EpsilonGreedy,
+    QLearningAgent,
+    WatkinsQLambdaAgent,
+)
+from repro.device import abstract_three_state
+from repro.env import SlottedDPMEnv
+from repro.workload import ConstantRate
+
+
+class TwoStateWorld:
+    """Same world as test_core_qlearning: Q*(1,0) = 1/(1-b), Q*(0,1) = b/(1-b)."""
+
+    def __init__(self):
+        self.state = 0
+
+    def step(self, action):
+        if self.state == 0:
+            if action == 0:
+                return 0, 0.0
+            self.state = 1
+            return 1, 0.0
+        if action == 0:
+            return 1, 1.0
+        self.state = 0
+        return 0, 0.0
+
+
+def drive(agent, n_steps=25_000):
+    world = TwoStateWorld()
+    allowed = [0, 1]
+    obs = world.state
+    for _ in range(n_steps):
+        action = agent.select_action(obs, allowed)
+        next_obs, reward = world.step(action)
+        agent.update(obs, action, reward, next_obs, allowed)
+        obs = next_obs
+    return agent
+
+
+class TestDoubleQ:
+    def test_converges_to_optimal_policy(self):
+        agent = DoubleQLearningAgent(2, 2, discount=0.5, learning_rate=0.2,
+                                     exploration=EpsilonGreedy(0.3), seed=0)
+        drive(agent)
+        assert agent.greedy_action(0, [0, 1]) == 1
+        assert agent.greedy_action(1, [0, 1]) == 0
+
+    def test_sum_table_is_sum_of_halves(self):
+        agent = DoubleQLearningAgent(2, 2, discount=0.5, learning_rate=0.2,
+                                     seed=1)
+        drive(agent, 2_000)
+        for s in range(2):
+            for a in range(2):
+                assert agent.table.get(s, a) == pytest.approx(
+                    agent.table_a.get(s, a) + agent.table_b.get(s, a)
+                )
+
+    def test_both_tables_receive_updates(self):
+        agent = DoubleQLearningAgent(2, 2, seed=2)
+        drive(agent, 2_000)
+        assert agent.table_a.visit_counts.sum() > 100
+        assert agent.table_b.visit_counts.sum() > 100
+
+    def test_sum_table_counts_visits(self):
+        agent = DoubleQLearningAgent(2, 2, seed=3)
+        drive(agent, 500)
+        assert agent.table.visit_counts.sum() == 500
+
+    def test_less_overestimation_on_noisy_bandit(self):
+        """Classic double-Q test: one state, many actions whose rewards are
+        all mean-zero noise.  Plain Q-learning's max-bootstrap drives its
+        value estimate positive; double-Q stays near zero."""
+        rng = np.random.default_rng(0)
+        n_actions = 8
+
+        def run(agent):
+            allowed = list(range(n_actions))
+            for _ in range(20_000):
+                action = agent.select_action(0, allowed)
+                reward = rng.normal(0.0, 1.0)
+                agent.update(0, action, reward, 0, allowed)
+            return max(agent.table.get(0, a) for a in allowed) / (
+                2.0 if isinstance(agent, DoubleQLearningAgent) else 1.0
+            )
+
+        plain = run(QLearningAgent(1, n_actions, discount=0.9,
+                                   learning_rate=0.1,
+                                   exploration=EpsilonGreedy(1.0), seed=4))
+        double = run(DoubleQLearningAgent(1, n_actions, discount=0.9,
+                                          learning_rate=0.1,
+                                          exploration=EpsilonGreedy(1.0),
+                                          seed=4))
+        assert double < plain
+
+    def test_runs_inside_qdpm_controller(self):
+        env = SlottedDPMEnv(abstract_three_state(), ConstantRate(0.15),
+                            queue_capacity=4, p_serve=0.9, seed=5)
+        agent = DoubleQLearningAgent(env.n_states, env.n_actions,
+                                     discount=0.95, learning_rate=0.15, seed=6)
+        controller = QDPM(env, agent=agent)
+        hist = controller.run(30_000, record_every=5_000)
+        assert hist.reward[-1] > hist.reward[0]
+
+
+class TestQLambda:
+    def test_converges_to_optimal_q(self):
+        agent = WatkinsQLambdaAgent(2, 2, discount=0.5, learning_rate=0.1,
+                                    lambda_=0.6,
+                                    exploration=EpsilonGreedy(0.3), seed=7)
+        drive(agent, 30_000)
+        assert agent.table.get(1, 0) == pytest.approx(2.0, abs=0.15)
+        assert agent.greedy_action(0, [0, 1]) == 1
+
+    def test_lambda_zero_matches_plain_qlearning(self):
+        """With lambda = 0 the update reduces exactly to one-step Q-learning
+        (same seed, same trajectory, same table)."""
+        a = WatkinsQLambdaAgent(2, 2, discount=0.5, learning_rate=0.1,
+                                lambda_=0.0, exploration=EpsilonGreedy(0.3),
+                                seed=8)
+        b = QLearningAgent(2, 2, discount=0.5, learning_rate=0.1,
+                           exploration=EpsilonGreedy(0.3), seed=8)
+        drive(a, 3_000)
+        drive(b, 3_000)
+        assert np.allclose(a.table.values, b.table.values, atol=1e-10)
+
+    def test_traces_pruned(self):
+        agent = WatkinsQLambdaAgent(2, 2, lambda_=0.5, trace_floor=1e-2, seed=9)
+        drive(agent, 3_000)
+        assert agent.n_active_traces <= 4  # tiny world: traces stay bounded
+
+    def test_reset_traces(self):
+        agent = WatkinsQLambdaAgent(2, 2, lambda_=0.9, seed=10)
+        drive(agent, 100)
+        agent.reset_traces()
+        assert agent.n_active_traces == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WatkinsQLambdaAgent(2, 2, lambda_=1.0)
+        with pytest.raises(ValueError):
+            WatkinsQLambdaAgent(2, 2, trace_floor=0.0)
+
+    def test_runs_inside_qdpm_controller(self):
+        env = SlottedDPMEnv(abstract_three_state(), ConstantRate(0.15),
+                            queue_capacity=4, p_serve=0.9, seed=11)
+        agent = WatkinsQLambdaAgent(env.n_states, env.n_actions,
+                                    discount=0.95, learning_rate=0.1,
+                                    lambda_=0.7, seed=12)
+        controller = QDPM(env, agent=agent)
+        hist = controller.run(30_000, record_every=5_000)
+        assert hist.reward[-1] > hist.reward[0]

@@ -1,0 +1,184 @@
+"""Unit tests for PowerStateMachine."""
+
+import pytest
+
+from repro.device import PowerState, PowerStateMachine, Transition
+
+
+def make_machine():
+    states = [
+        PowerState("on", 1.0, can_service=True),
+        PowerState("idle", 0.4),
+        PowerState("off", 0.0),
+    ]
+    transitions = [
+        Transition("on", "idle", 0.0, 0.0),
+        Transition("idle", "on", 0.0, 0.0),
+        Transition("on", "off", 0.2, 0.5),
+        Transition("off", "on", 0.8, 1.5),
+    ]
+    return PowerStateMachine("m", states, transitions, initial_state="on")
+
+
+class TestConstruction:
+    def test_basic(self):
+        m = make_machine()
+        assert m.state_names == ["on", "idle", "off"]
+        assert m.initial_state == "on"
+        assert len(m.transitions) == 4
+
+    def test_no_states_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            PowerStateMachine("m", [], [])
+
+    def test_duplicate_state_rejected(self):
+        with pytest.raises(ValueError, match="duplicate state"):
+            PowerStateMachine(
+                "m",
+                [PowerState("a", 1.0, can_service=True), PowerState("a", 2.0)],
+                [],
+            )
+
+    def test_unknown_transition_endpoint_rejected(self):
+        with pytest.raises(ValueError, match="unknown state"):
+            PowerStateMachine(
+                "m",
+                [PowerState("a", 1.0, can_service=True)],
+                [Transition("a", "b", 0, 0)],
+            )
+
+    def test_duplicate_transition_rejected(self):
+        states = [PowerState("a", 1.0, can_service=True), PowerState("b", 0.0)]
+        trs = [Transition("a", "b", 0, 0), Transition("a", "b", 1, 1)]
+        with pytest.raises(ValueError, match="duplicate transition"):
+            PowerStateMachine("m", states, trs)
+
+    def test_no_service_state_rejected(self):
+        with pytest.raises(ValueError, match="service"):
+            PowerStateMachine("m", [PowerState("a", 1.0)], [])
+
+    def test_bad_initial_state_rejected(self):
+        with pytest.raises(ValueError, match="initial"):
+            PowerStateMachine(
+                "m", [PowerState("a", 1.0, can_service=True)], [], initial_state="zz"
+            )
+
+    def test_default_initial_is_servicing(self):
+        states = [PowerState("low", 0.0), PowerState("hi", 1.0, can_service=True)]
+        m = PowerStateMachine("m", states, [Transition("hi", "low", 0, 0),
+                                            Transition("low", "hi", 0, 0)])
+        assert m.initial_state == "hi"
+
+
+class TestLookups:
+    def test_state_lookup(self):
+        m = make_machine()
+        assert m.state("idle").power == 0.4
+
+    def test_unknown_state_raises(self):
+        with pytest.raises(KeyError, match="unknown power state"):
+            make_machine().state("nope")
+
+    def test_has_state(self):
+        m = make_machine()
+        assert m.has_state("off")
+        assert not m.has_state("nope")
+
+    def test_transition_lookup(self):
+        m = make_machine()
+        assert m.transition("on", "off").energy == 0.2
+
+    def test_missing_transition_raises(self):
+        with pytest.raises(KeyError, match="no transition"):
+            make_machine().transition("idle", "off")
+
+    def test_can_transition(self):
+        m = make_machine()
+        assert m.can_transition("on", "off")
+        assert not m.can_transition("idle", "off")
+
+    def test_targets_from(self):
+        assert make_machine().targets_from("on") == ["idle", "off"]
+
+    def test_targets_from_unknown_raises(self):
+        with pytest.raises(KeyError):
+            make_machine().targets_from("zz")
+
+    def test_service_states(self):
+        assert make_machine().service_states() == ["on"]
+
+    def test_deepest_and_highest(self):
+        m = make_machine()
+        assert m.deepest_state() == "off"
+        assert m.highest_power_state() == "on"
+
+    def test_sleep_states_by_depth(self):
+        assert make_machine().sleep_states_by_depth("on") == ["idle", "off"]
+
+
+class TestAnalytics:
+    def test_round_trip(self):
+        energy, latency = make_machine().round_trip("on", "off")
+        assert energy == pytest.approx(1.0)
+        assert latency == pytest.approx(2.0)
+
+    def test_break_even_formula(self):
+        m = make_machine()
+        # (E_rt - P_off * L_rt) / (P_on - P_off) = (1.0 - 0) / 1.0 = 1.0,
+        # clamped at L_rt = 2.0
+        assert m.break_even_time("off", "on") == pytest.approx(2.0)
+
+    def test_break_even_zero_for_home(self):
+        assert make_machine().break_even_time("on", "on") == 0.0
+
+    def test_break_even_rejects_non_saving_state(self):
+        states = [PowerState("a", 1.0, can_service=True), PowerState("b", 2.0)]
+        trs = [Transition("a", "b", 0, 0), Transition("b", "a", 0, 0)]
+        m = PowerStateMachine("m", states, trs)
+        with pytest.raises(ValueError, match="does not save"):
+            m.break_even_time("b", "a")
+
+    def test_idle_energy_home(self):
+        m = make_machine()
+        assert m.idle_energy("on", 5.0, "on") == pytest.approx(5.0)
+
+    def test_idle_energy_long_idle(self):
+        m = make_machine()
+        # round trip 1.0 J over 2.0 s, remainder 8.0 s at 0 W
+        assert m.idle_energy("off", 10.0, "on") == pytest.approx(1.0)
+
+    def test_idle_energy_short_idle_charges_round_trip(self):
+        m = make_machine()
+        assert m.idle_energy("off", 0.5, "on") == pytest.approx(1.0)
+
+    def test_idle_energy_negative_rejected(self):
+        with pytest.raises(ValueError):
+            make_machine().idle_energy("off", -1.0, "on")
+
+    def test_break_even_indifference(self):
+        """At exactly the break-even idle length, both options cost the same
+        (when the break-even exceeds the round-trip latency)."""
+        states = [PowerState("on", 1.0, can_service=True), PowerState("off", 0.1)]
+        trs = [Transition("on", "off", 1.0, 0.2), Transition("off", "on", 1.0, 0.2)]
+        m = PowerStateMachine("m", states, trs)
+        t_be = m.break_even_time("off", "on")
+        stay = m.idle_energy("on", t_be, "on")
+        go = m.idle_energy("off", t_be, "on")
+        assert stay == pytest.approx(go, rel=1e-9)
+
+
+class TestSerialization:
+    def test_roundtrip_dict(self):
+        m = make_machine()
+        clone = PowerStateMachine.from_dict(m.to_dict())
+        assert clone.state_names == m.state_names
+        assert clone.initial_state == m.initial_state
+        assert clone.transition("off", "on").energy == 0.8
+
+    def test_roundtrip_json(self):
+        m = make_machine()
+        clone = PowerStateMachine.from_json(m.to_json())
+        assert clone.to_dict() == m.to_dict()
+
+    def test_repr(self):
+        assert "PowerStateMachine" in repr(make_machine())

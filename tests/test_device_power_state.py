@@ -1,0 +1,78 @@
+"""Unit tests for PowerState and Transition primitives."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.device import PowerState, Transition
+
+
+class TestPowerState:
+    def test_basic_construction(self):
+        st_ = PowerState("active", 2.5, can_service=True)
+        assert st_.name == "active"
+        assert st_.power == 2.5
+        assert st_.can_service
+
+    def test_default_not_servicing(self):
+        assert not PowerState("sleep", 0.1).can_service
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            PowerState("", 1.0)
+
+    def test_negative_power_rejected(self):
+        with pytest.raises(ValueError, match="power"):
+            PowerState("x", -0.1)
+
+    def test_zero_power_allowed(self):
+        assert PowerState("off", 0.0).power == 0.0
+
+    def test_energy(self):
+        assert PowerState("x", 2.0).energy(3.0) == pytest.approx(6.0)
+
+    def test_energy_zero_duration(self):
+        assert PowerState("x", 2.0).energy(0.0) == 0.0
+
+    def test_energy_negative_duration_rejected(self):
+        with pytest.raises(ValueError, match="duration"):
+            PowerState("x", 2.0).energy(-1.0)
+
+    def test_roundtrip_dict(self):
+        st_ = PowerState("idle", 0.4, can_service=True)
+        assert PowerState.from_dict(st_.to_dict()) == st_
+
+    @given(power=st.floats(min_value=0, max_value=1e6, allow_nan=False))
+    def test_energy_scales_linearly(self, power):
+        state = PowerState("s", power)
+        assert state.energy(2.0) == pytest.approx(2 * state.energy(1.0))
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            PowerState("x", 1.0).power = 2.0
+
+
+class TestTransition:
+    def test_basic_construction(self):
+        tr = Transition("on", "off", energy=0.5, latency=1.5)
+        assert tr.key == ("on", "off")
+        assert tr.mean_power == pytest.approx(0.5 / 1.5)
+
+    def test_self_transition_rejected(self):
+        with pytest.raises(ValueError, match="self-transition"):
+            Transition("on", "on", 0.0, 0.0)
+
+    def test_negative_energy_rejected(self):
+        with pytest.raises(ValueError, match="energy"):
+            Transition("a", "b", -1.0, 0.0)
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ValueError, match="latency"):
+            Transition("a", "b", 0.0, -1.0)
+
+    def test_instant_transition_mean_power_zero(self):
+        assert Transition("a", "b", 5.0, 0.0).mean_power == 0.0
+
+    def test_roundtrip_dict(self):
+        tr = Transition("a", "b", 1.25, 0.75)
+        assert Transition.from_dict(tr.to_dict()) == tr

@@ -1,0 +1,64 @@
+"""Preset device models: validity and physical sanity."""
+
+import pytest
+
+from repro.device import PRESETS, get_preset, validate_machine
+from repro.device.validate import ERROR
+
+
+@pytest.mark.parametrize("name", sorted(PRESETS))
+class TestAllPresets:
+    def test_constructs(self, name):
+        machine = get_preset(name)
+        assert machine.state_names
+
+    def test_no_error_issues(self, name):
+        issues = validate_machine(get_preset(name))
+        assert not [i for i in issues if i.severity == ERROR]
+
+    def test_has_servicing_state(self, name):
+        assert get_preset(name).service_states()
+
+    def test_deepest_state_saves_power(self, name):
+        machine = get_preset(name)
+        home = machine.initial_state
+        deepest = machine.deepest_state()
+        assert machine.state(deepest).power < machine.state(home).power
+
+    def test_break_even_positive(self, name):
+        machine = get_preset(name)
+        deepest = machine.deepest_state()
+        t_be = machine.break_even_time(deepest, machine.initial_state)
+        assert t_be > 0
+
+    def test_serialization_roundtrip(self, name):
+        machine = get_preset(name)
+        clone = type(machine).from_json(machine.to_json())
+        assert clone.to_dict() == machine.to_dict()
+
+
+def test_unknown_preset_raises_with_candidates():
+    with pytest.raises(KeyError, match="abstract3"):
+        get_preset("not_a_device")
+
+
+def test_presets_have_distinct_names():
+    names = [get_preset(n).name for n in PRESETS]
+    assert len(set(names)) == len(names)
+
+
+def test_abstract3_break_even_nontrivial():
+    """The canonical testbench device must make the sleep decision
+    non-trivial: break-even strictly between one slot and the horizon."""
+    machine = get_preset("abstract3")
+    t_be = machine.break_even_time("sleep", "active")
+    assert 1.0 < t_be < 100.0
+
+
+def test_two_state_has_exactly_two_states():
+    assert len(get_preset("two_state").state_names) == 2
+
+
+def test_hdd_standby_much_cheaper_than_busy():
+    hdd = get_preset("mobile_hdd")
+    assert hdd.state("standby").power < 0.1 * hdd.state("busy").power

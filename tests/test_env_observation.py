@@ -1,0 +1,73 @@
+"""Observation map tests."""
+
+import pytest
+
+from repro.env import FullObservation, QueueBucketObservation
+
+
+class TestFullObservation:
+    def test_identity(self, small_env):
+        obs = FullObservation(small_env)
+        assert obs.n_observations == small_env.n_states
+        for state in range(small_env.n_states):
+            assert obs.observe(state) == state
+
+    def test_label_passthrough(self, small_env):
+        obs = FullObservation(small_env)
+        assert obs.label(0) == small_env.state_label(0)
+
+    def test_out_of_range(self, small_env):
+        with pytest.raises(ValueError):
+            FullObservation(small_env).observe(small_env.n_states)
+
+
+class TestQueueBucketObservation:
+    def test_smaller_space(self, small_env):
+        obs = QueueBucketObservation(small_env, boundaries=(1, 3))
+        assert obs.n_observations < small_env.n_states
+        # 4 mode groups (3 steady + 1 collapsed transition) x 3 buckets
+        assert obs.n_observations == 4 * 3
+
+    def test_bucket_assignment(self, small_env):
+        obs = QueueBucketObservation(small_env, boundaries=(1, 3))
+        active = small_env.mode_space.steady_mode_index("active")
+        zero = obs.observe(small_env.encode(active, 0))
+        one = obs.observe(small_env.encode(active, 1))
+        two = obs.observe(small_env.encode(active, 2))
+        four = obs.observe(small_env.encode(active, 4))
+        assert zero != one
+        assert one == two        # both in bucket [1, 3)
+        assert two != four       # bucket [3, cap]
+
+    def test_countdown_modes_collapse(self, small_env):
+        obs = QueueBucketObservation(small_env, boundaries=(1,))
+        trans = [
+            i for i, m in enumerate(small_env.mode_space.modes)
+            if m.kind == "trans"
+        ]
+        assert len(trans) == 2
+        a = obs.observe(small_env.encode(trans[0], 0))
+        b = obs.observe(small_env.encode(trans[1], 0))
+        assert a == b
+
+    def test_labels_describe_ranges(self, small_env):
+        obs = QueueBucketObservation(small_env, boundaries=(1, 3))
+        labels = [obs.label(i) for i in range(obs.n_observations)]
+        assert any("q=0..0" in lab for lab in labels)
+        assert any("q=3..4" in lab for lab in labels)
+
+    def test_validation(self, small_env):
+        with pytest.raises(ValueError, match="strictly increasing"):
+            QueueBucketObservation(small_env, boundaries=(3, 1))
+        with pytest.raises(ValueError, match="strictly increasing"):
+            QueueBucketObservation(small_env, boundaries=(2, 2))
+        with pytest.raises(ValueError):
+            QueueBucketObservation(small_env, boundaries=(0,))
+        with pytest.raises(ValueError):
+            QueueBucketObservation(small_env, boundaries=(99,))
+
+    def test_every_state_maps_inside_range(self, small_env):
+        obs = QueueBucketObservation(small_env, boundaries=(2,))
+        seen = {obs.observe(s) for s in range(small_env.n_states)}
+        assert max(seen) < obs.n_observations
+        assert min(seen) >= 0

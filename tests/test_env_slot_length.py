@@ -1,0 +1,77 @@
+"""Slot-length generality: the slotted stack must work for any T_slot.
+
+All headline experiments use T_slot = 1; these tests pin down that the
+discretization (transition countdowns, per-slot energies, model/env
+agreement, Little's-law latency in seconds) stays consistent at other
+slot lengths.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import greedy_sleep_policy
+from repro.device import abstract_three_state
+from repro.env import ModeSpace, SlottedDPMEnv, build_dpm_model
+from repro.workload import ConstantRate
+
+
+class TestDiscretization:
+    def test_countdown_scales_inversely(self, device3):
+        # sleep->active latency 3 s: 3 slots at T=1, 6 at T=0.5, 1 at T=3
+        assert ModeSpace(device3, 1.0).latency_slots("sleep", "active") == 3
+        assert ModeSpace(device3, 0.5).latency_slots("sleep", "active") == 6
+        assert ModeSpace(device3, 3.0).latency_slots("sleep", "active") == 1
+
+    def test_residence_energy_scales_with_slot(self, device3):
+        space = ModeSpace(device3, 0.5)
+        active = space.steady_mode_index("active")
+        effect = space.effect(active, space.action_index("active"))
+        assert effect.energy == pytest.approx(0.5)  # 1 W x 0.5 s
+
+    def test_transition_energy_independent_of_slot(self, device3):
+        """The total wake-up energy must not depend on the discretization."""
+        for slot in (0.5, 1.0, 2.0, 3.0):
+            space = ModeSpace(device3, slot)
+            idx = space.steady_mode_index("sleep")
+            wake = space.action_index("active")
+            total = 0.0
+            for _ in range(space.latency_slots("sleep", "active")):
+                effect = space.effect(idx, wake)
+                total += effect.energy
+                idx = effect.next_mode
+            assert idx == space.steady_mode_index("active")
+            assert total == pytest.approx(1.2), f"slot={slot}"
+
+
+class TestModelEnvAgreementAtHalfSlot:
+    def test_greedy_policy_statistics_match(self):
+        device = abstract_three_state()
+        kwargs = dict(slot_length=0.5, queue_capacity=4, p_serve=0.8,
+                      perf_weight=0.3, loss_penalty=1.0)
+        model = build_dpm_model(device, arrival_rate=0.1, **kwargs)
+        env = SlottedDPMEnv(device, ConstantRate(0.1), seed=9, **kwargs)
+        policy = greedy_sleep_policy(env)
+        rewards = []
+        for _ in range(40_000):
+            state = env.state
+            action = policy(state)
+            if action not in env.allowed_actions(state):
+                action = env.allowed_actions(state)[0]
+            _, r, _ = env.step(action)
+            rewards.append(r)
+        exact = model.evaluate_policy(policy)
+        assert np.mean(rewards) == pytest.approx(exact.average_reward, abs=0.04)
+        # latency reported in seconds, not slots
+        assert env.totals.mean_latency(0.5) == pytest.approx(
+            exact.mean_latency, rel=0.25
+        )
+
+    def test_optimal_policy_solvable_at_any_slot(self):
+        device = abstract_three_state()
+        for slot in (0.25, 2.0):
+            model = build_dpm_model(
+                device, arrival_rate=0.15, slot_length=slot, queue_capacity=4
+            )
+            result = model.solve(0.95, "policy_iteration")
+            perf = model.evaluate_policy(result.policy)
+            assert 0.0 <= perf.energy_saving_ratio < 1.0

@@ -1,0 +1,148 @@
+"""ModeSpace enumeration and per-slot step effects."""
+
+import pytest
+
+from repro.device import PowerState, PowerStateMachine, Transition, abstract_three_state
+from repro.env import ModeSpace
+
+
+class TestEnumeration:
+    def test_abstract3_mode_count(self, device3):
+        # sleep->active latency 3 => countdown modes [2], [1];
+        # active->sleep latency 1 and idle->sleep latency 1 => none;
+        # so 3 steady + 2 countdown = 5
+        space = ModeSpace(device3, slot_length=1.0)
+        assert space.n_modes == 5
+        assert space.n_actions == 3
+
+    def test_mode_labels(self, device3):
+        space = ModeSpace(device3)
+        labels = [m.label for m in space.modes]
+        assert "active" in labels
+        assert "sleep->active[2]" in labels
+        assert "sleep->active[1]" in labels
+
+    def test_slot_length_changes_countdowns(self, device3):
+        # slot 3.0 => sleep->active takes ceil(3/3)=1 slot => no countdowns
+        space = ModeSpace(device3, slot_length=3.0)
+        assert space.n_modes == 3
+
+    def test_invalid_slot_length(self, device3):
+        with pytest.raises(ValueError):
+            ModeSpace(device3, slot_length=0.0)
+
+    def test_action_index_lookup(self, device3):
+        space = ModeSpace(device3)
+        assert space.action_names[space.action_index("sleep")] == "sleep"
+        with pytest.raises(KeyError):
+            space.action_index("warp")
+
+    def test_steady_mode_index(self, device3):
+        space = ModeSpace(device3)
+        idx = space.steady_mode_index("idle")
+        assert space.mode(idx).label == "idle"
+
+
+class TestAllowedActions:
+    def test_steady_allows_stay_plus_edges(self, device3):
+        space = ModeSpace(device3)
+        active = space.steady_mode_index("active")
+        names = {space.action_names[a] for a in space.allowed_actions(active)}
+        assert names == {"active", "idle", "sleep"}
+
+    def test_sleep_has_no_idle_edge(self, device3):
+        space = ModeSpace(device3)
+        sleep = space.steady_mode_index("sleep")
+        names = {space.action_names[a] for a in space.allowed_actions(sleep)}
+        assert names == {"sleep", "active"}
+
+    def test_transition_mode_commits(self, device3):
+        space = ModeSpace(device3)
+        trans = [i for i, m in enumerate(space.modes) if m.kind == "trans"]
+        for idx in trans:
+            allowed = space.allowed_actions(idx)
+            assert len(allowed) == 1
+            assert space.action_names[allowed[0]] == space.mode(idx).state
+
+
+class TestEffects:
+    def test_stay_effect(self, device3):
+        space = ModeSpace(device3)
+        active = space.steady_mode_index("active")
+        effect = space.effect(active, space.action_index("active"))
+        assert effect.next_mode == active
+        assert effect.energy == pytest.approx(1.0)  # 1 W x 1 s
+        assert effect.can_service
+
+    def test_instant_transition_spends_slot_in_target(self, device3):
+        space = ModeSpace(device3)
+        active = space.steady_mode_index("active")
+        effect = space.effect(active, space.action_index("idle"))
+        assert effect.next_mode == space.steady_mode_index("idle")
+        assert effect.energy == pytest.approx(0.4)  # idle power, no tr energy
+        assert not effect.can_service  # idle does not serve
+
+    def test_single_slot_transition(self, device3):
+        space = ModeSpace(device3)
+        active = space.steady_mode_index("active")
+        effect = space.effect(active, space.action_index("sleep"))
+        # active->sleep: latency 1 slot, energy 0.4 total
+        assert effect.next_mode == space.steady_mode_index("sleep")
+        assert effect.energy == pytest.approx(0.4)
+        assert not effect.can_service
+
+    def test_multi_slot_transition_chain(self, device3):
+        space = ModeSpace(device3)
+        sleep = space.steady_mode_index("sleep")
+        wake = space.action_index("active")
+        # sleep->active: 3 slots at 1.2/3 = 0.4 each
+        e1 = space.effect(sleep, wake)
+        assert space.mode(e1.next_mode).label == "sleep->active[2]"
+        assert e1.energy == pytest.approx(0.4)
+        e2 = space.effect(e1.next_mode, wake)
+        assert space.mode(e2.next_mode).label == "sleep->active[1]"
+        e3 = space.effect(e2.next_mode, wake)
+        assert e3.next_mode == space.steady_mode_index("active")
+        total = e1.energy + e2.energy + e3.energy
+        assert total == pytest.approx(1.2)
+
+    def test_no_service_during_transition(self, device3):
+        space = ModeSpace(device3)
+        for idx, mode in enumerate(space.modes):
+            if mode.kind == "trans":
+                action = space.allowed_actions(idx)[0]
+                assert not space.effect(idx, action).can_service
+
+    def test_disallowed_action_raises(self, device3):
+        space = ModeSpace(device3)
+        sleep = space.steady_mode_index("sleep")
+        with pytest.raises(KeyError, match="not allowed"):
+            space.effect(sleep, space.action_index("idle"))
+
+    def test_latency_slots(self, device3):
+        space = ModeSpace(device3)
+        assert space.latency_slots("sleep", "active") == 3
+        assert space.latency_slots("active", "idle") == 0
+
+    def test_energy_conservation_vs_device(self):
+        """Summed per-slot transition energy equals the device's edge energy
+        for every multi-slot edge."""
+        device = abstract_three_state(
+            sleep_up_energy=2.0, sleep_up_latency=5.0
+        )
+        space = ModeSpace(device, slot_length=1.0)
+        sleep = space.steady_mode_index("sleep")
+        wake = space.action_index("active")
+        total = 0.0
+        idx = sleep
+        for _ in range(5):
+            effect = space.effect(idx, wake)
+            total += effect.energy
+            idx = effect.next_mode
+        assert idx == space.steady_mode_index("active")
+        assert total == pytest.approx(2.0)
+
+    def test_fractional_latency_rounds_up(self):
+        device = abstract_three_state(sleep_up_latency=2.5)
+        space = ModeSpace(device, slot_length=1.0)
+        assert space.latency_slots("sleep", "active") == 3

@@ -1,0 +1,81 @@
+"""QoS-constrained Q-DPM tests."""
+
+import numpy as np
+import pytest
+
+from repro.device import abstract_three_state
+from repro.env import SlottedDPMEnv
+from repro.extensions import QoSQDPM
+from repro.workload import ConstantRate
+
+
+def make_env(seed=0):
+    # perf_weight 0: the Lagrangian controller owns the latency shaping
+    return SlottedDPMEnv(
+        abstract_three_state(), ConstantRate(0.15),
+        queue_capacity=4, p_serve=0.9, perf_weight=0.0, loss_penalty=0.0,
+        seed=seed,
+    )
+
+
+class TestConstruction:
+    def test_validation(self):
+        env = make_env()
+        with pytest.raises(ValueError):
+            QoSQDPM(env, target_queue=-1.0)
+        with pytest.raises(ValueError):
+            QoSQDPM(env, target_queue=1.0, kappa=0.0)
+        with pytest.raises(ValueError):
+            QoSQDPM(env, target_queue=1.0, dual_every=0)
+        with pytest.raises(ValueError):
+            QoSQDPM(env, target_queue=1.0, lambda_init=100.0, lambda_max=1.0)
+
+
+class TestDualDynamics:
+    def test_tight_constraint_raises_multiplier(self):
+        env = make_env(seed=1)
+        controller = QoSQDPM(
+            env, target_queue=0.05, kappa=0.05, lambda_init=0.0, seed=2,
+        )
+        controller.run(20_000, record_every=5_000)
+        assert controller.lambda_ > 0.5
+
+    def test_loose_constraint_keeps_multiplier_low(self):
+        env = make_env(seed=3)
+        controller = QoSQDPM(
+            env, target_queue=3.9, kappa=0.05, lambda_init=0.2, seed=4,
+        )
+        controller.run(20_000, record_every=5_000)
+        assert controller.lambda_ < 0.2
+
+    def test_lambda_clipped_at_max(self):
+        env = make_env(seed=5)
+        controller = QoSQDPM(
+            env, target_queue=0.0, kappa=10.0, lambda_max=1.5, seed=6,
+        )
+        controller.run(5_000, record_every=1_000)
+        assert controller.lambda_ <= 1.5
+
+    def test_constraint_roughly_met_at_equilibrium(self):
+        env = make_env(seed=7)
+        target = 0.8
+        controller = QoSQDPM(
+            env, target_queue=target, kappa=0.02, dual_every=400,
+            learning_rate=0.15, seed=8,
+        )
+        hist = controller.run(120_000, record_every=10_000)
+        tail_queue = float(hist.queue[-4:].mean())
+        assert tail_queue == pytest.approx(target, abs=0.45)
+
+    def test_history_fields(self):
+        env = make_env(seed=9)
+        controller = QoSQDPM(env, target_queue=1.0, seed=10)
+        hist = controller.run(3_000, record_every=1_000)
+        assert hist.slots.shape == (3,)
+        assert hist.lambda_.shape == (3,)
+        assert np.all(hist.lambda_ >= 0)
+
+    def test_run_validation(self):
+        controller = QoSQDPM(make_env(), target_queue=1.0)
+        with pytest.raises(ValueError):
+            controller.run(0)

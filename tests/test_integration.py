@@ -1,0 +1,116 @@
+"""Cross-module integration tests: the headline behaviours end to end."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import always_on_policy, greedy_sleep_policy
+from repro.core import QDPM
+from repro.device import abstract_three_state, get_preset
+from repro.env import QueueBucketObservation, SlottedDPMEnv, build_dpm_model
+from repro.workload import ConstantRate, PiecewiseConstantRate
+
+
+class TestHeadlineClaim:
+    """Fig. 1's substance: Q-DPM approaches the analytical optimum."""
+
+    def test_qdpm_approaches_optimal_payoff(self):
+        device = abstract_three_state()
+        rate = 0.12
+        model = build_dpm_model(device, arrival_rate=rate,
+                                queue_capacity=4, p_serve=0.9)
+        optimal = model.solve(0.95, "policy_iteration")
+        opt_soft = model.evaluate_policy(optimal.policy, epsilon=0.08)
+
+        env = SlottedDPMEnv(device, ConstantRate(rate), queue_capacity=4,
+                            p_serve=0.9, seed=21)
+        controller = QDPM(env, discount=0.95, learning_rate=0.1,
+                          epsilon=0.08, seed=22)
+        hist = controller.run(150_000, record_every=10_000)
+        online_tail = hist.reward[-5:].mean()
+        assert online_tail == pytest.approx(opt_soft.average_reward, abs=0.08)
+
+    def test_qdpm_competitive_with_naive_extremes(self):
+        """The learned policy clearly beats always-on and at least matches
+        greedy-sleep (which happens to be near-optimal at this low rate)."""
+        device = abstract_three_state()
+        rate = 0.12
+        model = build_dpm_model(device, arrival_rate=rate,
+                                queue_capacity=4, p_serve=0.9)
+        env = SlottedDPMEnv(device, ConstantRate(rate), queue_capacity=4,
+                            p_serve=0.9, seed=31)
+        controller = QDPM(env, seed=32, epsilon=0.08)
+        controller.run(150_000)
+        learned = model.evaluate_policy(controller.greedy_policy())
+        on = model.evaluate_policy(always_on_policy(env))
+        greedy = model.evaluate_policy(greedy_sleep_policy(env))
+        assert learned.average_reward > on.average_reward + 0.2
+        assert learned.average_reward > greedy.average_reward - 0.02
+
+
+class TestNonstationaryTracking:
+    """Fig. 2's substance: Q-DPM recovers after a regime switch."""
+
+    def test_recovers_after_switch(self):
+        device = abstract_three_state()
+        schedule = PiecewiseConstantRate([(40_000, 0.30), (40_000, 0.03)])
+        env = SlottedDPMEnv(device, schedule, queue_capacity=4,
+                            p_serve=0.9, seed=41)
+        controller = QDPM(env, learning_rate=0.5, epsilon=0.05, seed=42)
+        hist = controller.run(80_000, record_every=2_000)
+
+        model_after = build_dpm_model(device, arrival_rate=0.03,
+                                      queue_capacity=4, p_serve=0.9)
+        opt_after = model_after.solve(0.95, "policy_iteration")
+        target = model_after.evaluate_policy(
+            opt_after.policy, epsilon=0.05
+        ).average_reward
+
+        post = hist.reward[hist.slots >= 60_000]
+        assert post.mean() == pytest.approx(target, abs=0.12)
+
+
+class TestCoarseObservation:
+    """The embedded-friendly small table still learns a decent policy."""
+
+    def test_bucket_observation_learns(self):
+        device = abstract_three_state()
+        env = SlottedDPMEnv(device, ConstantRate(0.12), queue_capacity=8,
+                            p_serve=0.9, seed=51)
+        obs = QueueBucketObservation(env, boundaries=(1, 4))
+        controller = QDPM(env, observation=obs, learning_rate=0.1,
+                          epsilon=0.08, seed=52)
+        hist = controller.run(100_000, record_every=10_000)
+        env_on = SlottedDPMEnv(device, ConstantRate(0.12), queue_capacity=8,
+                               p_serve=0.9, seed=51)
+        on_policy = always_on_policy(env_on)
+        total = 0.0
+        for _ in range(20_000):
+            state = env_on.state
+            action = on_policy(state)
+            if action not in env_on.allowed_actions(state):
+                action = env_on.allowed_actions(state)[0]
+            _, r, _ = env_on.step(action)
+            total += r
+        always_on_reward = total / 20_000
+        assert hist.reward[-3:].mean() > always_on_reward
+
+    def test_table_is_much_smaller(self):
+        device = get_preset("abstract3")
+        env = SlottedDPMEnv(device, ConstantRate(0.1), queue_capacity=16)
+        obs = QueueBucketObservation(env, boundaries=(1, 4))
+        assert obs.n_observations <= env.n_states // 4
+
+
+class TestDeterminism:
+    """Full-stack runs are reproducible from seeds."""
+
+    def test_identical_runs(self):
+        def run():
+            env = SlottedDPMEnv(abstract_three_state(), ConstantRate(0.2),
+                                queue_capacity=4, seed=61)
+            controller = QDPM(env, seed=62)
+            return controller.run(5_000, record_every=1_000)
+
+        a, b = run(), run()
+        assert np.array_equal(a.reward, b.reward)
+        assert np.array_equal(a.energy, b.energy)

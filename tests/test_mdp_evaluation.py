@@ -1,0 +1,83 @@
+"""Policy evaluation: discounted values and long-run averages."""
+
+import numpy as np
+import pytest
+
+from repro.mdp import (
+    DeterministicPolicy,
+    FiniteMDP,
+    average_reward,
+    induced_chain,
+    induced_reward,
+    long_run_state_average,
+    policy_evaluation,
+    policy_occupancy,
+    random_mdp,
+)
+
+
+def cycle_mdp():
+    """Two states, one action, deterministic cycle with rewards 1 and 3."""
+    transition = np.zeros((2, 1, 2))
+    transition[0, 0, 1] = 1.0
+    transition[1, 0, 0] = 1.0
+    reward = np.array([[1.0], [3.0]])
+    return FiniteMDP(transition, reward, np.ones((2, 1), bool))
+
+
+class TestPolicyEvaluation:
+    def test_cycle_closed_form(self):
+        mdp = cycle_mdp()
+        policy = DeterministicPolicy(np.array([0, 0]), mdp=mdp)
+        values = policy_evaluation(mdp, policy, discount=0.5)
+        # V0 = 1 + 0.5 V1 ; V1 = 3 + 0.5 V0  =>  V0 = 10/3, V1 = 14/3
+        assert values == pytest.approx([10 / 3, 14 / 3])
+
+    def test_satisfies_bellman_on_random_mdp(self, rng):
+        mdp = random_mdp(8, 3, rng)
+        policy = DeterministicPolicy(np.argmax(mdp.allowed, axis=1), mdp=mdp)
+        values = policy_evaluation(mdp, policy, 0.9)
+        expected = induced_reward(mdp, policy) + 0.9 * (
+            induced_chain(mdp, policy) @ values
+        )
+        assert np.allclose(values, expected)
+
+    def test_discount_validation(self):
+        mdp = cycle_mdp()
+        policy = DeterministicPolicy(np.array([0, 0]), mdp=mdp)
+        with pytest.raises(ValueError):
+            policy_evaluation(mdp, policy, 1.0)
+
+
+class TestAverages:
+    def test_cycle_average_reward(self):
+        mdp = cycle_mdp()
+        policy = DeterministicPolicy(np.array([0, 0]), mdp=mdp)
+        assert average_reward(mdp, policy) == pytest.approx(2.0)
+
+    def test_occupancy_sums_to_one(self, rng):
+        mdp = random_mdp(10, 3, rng)
+        policy = DeterministicPolicy(np.argmax(mdp.allowed, axis=1), mdp=mdp)
+        occ = policy_occupancy(mdp, policy)
+        assert occ.sum() == pytest.approx(1.0)
+        assert np.all(occ >= -1e-12)
+
+    def test_long_run_state_average(self):
+        mdp = cycle_mdp()
+        policy = DeterministicPolicy(np.array([0, 0]), mdp=mdp)
+        per_pair = np.array([[10.0], [20.0]])
+        assert long_run_state_average(mdp, policy, per_pair) == pytest.approx(15.0)
+
+    def test_long_run_shape_check(self):
+        mdp = cycle_mdp()
+        policy = DeterministicPolicy(np.array([0, 0]), mdp=mdp)
+        with pytest.raises(ValueError):
+            long_run_state_average(mdp, policy, np.zeros((3, 1)))
+
+    def test_average_reward_matches_discounted_limit(self, rng):
+        """(1 - b) * V_b -> average reward as b -> 1 (unichain)."""
+        mdp = random_mdp(6, 2, rng)
+        policy = DeterministicPolicy(np.argmax(mdp.allowed, axis=1), mdp=mdp)
+        avg = average_reward(mdp, policy)
+        values = policy_evaluation(mdp, policy, 0.99999)
+        assert (1 - 0.99999) * values.mean() == pytest.approx(avg, abs=1e-3)

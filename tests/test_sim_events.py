@@ -1,0 +1,80 @@
+"""Event queue tests."""
+
+import pytest
+
+from repro.sim import ARRIVAL, SERVICE_DONE, TIMEOUT, TRANSITION_DONE, Event, EventQueue
+
+
+class TestOrdering:
+    def test_time_order(self):
+        q = EventQueue()
+        q.push(Event(3.0, ARRIVAL))
+        q.push(Event(1.0, ARRIVAL))
+        q.push(Event(2.0, ARRIVAL))
+        assert [q.pop().time for _ in range(3)] == [1.0, 2.0, 3.0]
+
+    def test_kind_priority_at_equal_time(self):
+        q = EventQueue()
+        q.push(Event(1.0, TIMEOUT))
+        q.push(Event(1.0, ARRIVAL))
+        q.push(Event(1.0, TRANSITION_DONE))
+        q.push(Event(1.0, SERVICE_DONE))
+        kinds = [q.pop().kind for _ in range(4)]
+        assert kinds == [ARRIVAL, SERVICE_DONE, TRANSITION_DONE, TIMEOUT]
+
+    def test_fifo_among_identical(self):
+        q = EventQueue()
+        q.push(Event(1.0, ARRIVAL, "first"))
+        q.push(Event(1.0, ARRIVAL, "second"))
+        assert q.pop().payload == "first"
+        assert q.pop().payload == "second"
+
+    def test_empty_pop_returns_none(self):
+        assert EventQueue().pop() is None
+
+
+class TestCancellation:
+    def test_cancelled_event_skipped(self):
+        q = EventQueue()
+        ticket = q.push(Event(1.0, TIMEOUT))
+        q.push(Event(2.0, ARRIVAL))
+        q.cancel(ticket)
+        assert q.pop().kind == ARRIVAL
+
+    def test_len_accounts_for_cancellations(self):
+        q = EventQueue()
+        ticket = q.push(Event(1.0, ARRIVAL))
+        q.push(Event(2.0, ARRIVAL))
+        assert len(q) == 2
+        q.cancel(ticket)
+        assert len(q) == 1
+
+    def test_bool_after_all_cancelled(self):
+        q = EventQueue()
+        ticket = q.push(Event(1.0, ARRIVAL))
+        q.cancel(ticket)
+        assert not q
+
+
+class TestPeek:
+    def test_peek_time(self):
+        q = EventQueue()
+        q.push(Event(5.0, ARRIVAL))
+        q.push(Event(2.0, TIMEOUT))
+        assert q.peek_time() == 2.0
+        assert len(q) == 2  # peek does not consume
+
+    def test_peek_skips_cancelled(self):
+        q = EventQueue()
+        ticket = q.push(Event(1.0, ARRIVAL))
+        q.push(Event(3.0, ARRIVAL))
+        q.cancel(ticket)
+        assert q.peek_time() == 3.0
+
+    def test_peek_empty(self):
+        assert EventQueue().peek_time() is None
+
+
+def test_negative_time_rejected():
+    with pytest.raises(ValueError):
+        EventQueue().push(Event(-1.0, ARRIVAL))

@@ -1,0 +1,153 @@
+"""Inter-arrival distribution tests: correctness of means, bounds, errors."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workload import (
+    DISTRIBUTIONS,
+    Deterministic,
+    Exponential,
+    HyperExponential,
+    Pareto,
+    Uniform,
+    Weibull,
+    from_dict,
+)
+
+ALL_DISTS = [
+    Exponential(0.5),
+    Deterministic(2.0),
+    Uniform(0.5, 1.5),
+    Pareto(2.5, 1.0),
+    HyperExponential([5.0, 0.2], [0.7, 0.3]),
+    Weibull(0.7, 1.0),
+]
+
+
+@pytest.mark.parametrize("dist", ALL_DISTS, ids=lambda d: d.kind)
+class TestCommonBehaviour:
+    def test_samples_positive(self, dist, rng):
+        samples = dist.sample(rng, 1000)
+        assert samples.shape == (1000,)
+        assert np.all(samples >= 0)
+
+    def test_empirical_mean_matches(self, dist, rng):
+        if math.isinf(dist.mean()):
+            pytest.skip("infinite mean")
+        samples = dist.sample(rng, 60_000)
+        # Pareto/Weibull tails need loose tolerance
+        assert np.mean(samples) == pytest.approx(dist.mean(), rel=0.12)
+
+    def test_rate_is_inverse_mean(self, dist):
+        if math.isinf(dist.mean()):
+            assert dist.rate() == 0.0
+        else:
+            assert dist.rate() == pytest.approx(1.0 / dist.mean())
+
+    def test_dict_roundtrip(self, dist):
+        clone = from_dict(dist.to_dict())
+        assert type(clone) is type(dist)
+        assert clone.params() == dist.params()
+
+    def test_repr_contains_params(self, dist):
+        text = repr(dist)
+        assert type(dist).__name__ in text
+
+
+class TestExponential:
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            Exponential(0.0)
+
+    @given(rate=st.floats(min_value=0.01, max_value=100))
+    @settings(max_examples=25, deadline=None)
+    def test_mean_formula(self, rate):
+        assert Exponential(rate).mean() == pytest.approx(1.0 / rate)
+
+
+class TestDeterministic:
+    def test_exact_samples(self, rng):
+        assert np.all(Deterministic(3.0).sample(rng, 10) == 3.0)
+
+    def test_invalid_period(self):
+        with pytest.raises(ValueError):
+            Deterministic(-1.0)
+
+
+class TestUniform:
+    def test_bounds_respected(self, rng):
+        samples = Uniform(1.0, 2.0).sample(rng, 1000)
+        assert samples.min() >= 1.0
+        assert samples.max() <= 2.0
+
+    def test_invalid_bounds(self):
+        with pytest.raises(ValueError):
+            Uniform(2.0, 1.0)
+        with pytest.raises(ValueError):
+            Uniform(-1.0, 1.0)
+        with pytest.raises(ValueError):
+            Uniform(0.0, 0.0)
+
+
+class TestPareto:
+    def test_infinite_mean_below_alpha_one(self):
+        assert math.isinf(Pareto(0.9, 1.0).mean())
+        assert Pareto(0.9, 1.0).rate() == 0.0
+
+    def test_finite_mean_formula(self):
+        assert Pareto(3.0, 2.0).mean() == pytest.approx(1.0)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            Pareto(0.0, 1.0)
+        with pytest.raises(ValueError):
+            Pareto(1.0, 0.0)
+
+    def test_heavy_tail_has_large_quantiles(self, rng):
+        samples = Pareto(1.2, 1.0).sample(rng, 50_000)
+        assert np.percentile(samples, 99.5) > 20 * np.median(samples)
+
+
+class TestHyperExponential:
+    def test_mean_is_mixture(self):
+        he = HyperExponential([2.0, 0.5], [0.5, 0.5])
+        assert he.mean() == pytest.approx(0.5 / 2.0 + 0.5 / 0.5)
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            HyperExponential([1.0], [0.5, 0.5])
+
+    def test_probs_must_sum_to_one(self):
+        with pytest.raises(ValueError):
+            HyperExponential([1.0, 2.0], [0.5, 0.6])
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ValueError):
+            HyperExponential([-1.0, 2.0], [0.5, 0.5])
+
+
+class TestWeibull:
+    def test_shape_one_equals_exponential_mean(self):
+        assert Weibull(1.0, 2.0).mean() == pytest.approx(2.0)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            Weibull(0.0, 1.0)
+        with pytest.raises(ValueError):
+            Weibull(1.0, -1.0)
+
+
+def test_registry_covers_all_kinds():
+    assert set(DISTRIBUTIONS) == {
+        "exponential", "deterministic", "uniform", "pareto",
+        "hyperexponential", "weibull",
+    }
+
+
+def test_from_dict_unknown_kind():
+    with pytest.raises(KeyError, match="unknown inter-arrival"):
+        from_dict({"kind": "cauchy"})

@@ -1,0 +1,87 @@
+"""Trace builder tests."""
+
+import numpy as np
+import pytest
+
+from repro.workload import (
+    ConstantRate,
+    Exponential,
+    PiecewiseConstantRate,
+    bernoulli_arrivals,
+    piecewise_renewal_trace,
+    renewal_trace,
+    trace_from_slots,
+)
+
+
+class TestRenewalTrace:
+    def test_duration_and_rate(self, rng):
+        trace = renewal_trace(Exponential(0.5), 10_000.0, rng)
+        assert trace.duration == 10_000.0
+        assert trace.stats().arrival_rate == pytest.approx(0.5, rel=0.05)
+
+    def test_all_arrivals_inside_window(self, rng):
+        trace = renewal_trace(Exponential(2.0), 100.0, rng)
+        assert trace.arrival_times.max() < 100.0
+
+    def test_max_requests_guard(self, rng):
+        trace = renewal_trace(Exponential(100.0), 1e6, rng, max_requests=500)
+        assert len(trace) == 500
+
+    def test_bad_duration(self, rng):
+        with pytest.raises(ValueError):
+            renewal_trace(Exponential(1.0), 0.0, rng)
+
+
+class TestPiecewiseRenewal:
+    def test_switch_times(self, rng):
+        trace, switches = piecewise_renewal_trace(
+            [(Exponential(1.0), 100.0), (Exponential(0.1), 200.0)], rng
+        )
+        assert switches == [100.0]
+        assert trace.duration == 300.0
+
+    def test_rates_differ_across_segments(self, rng):
+        trace, _ = piecewise_renewal_trace(
+            [(Exponential(1.0), 5_000.0), (Exponential(0.1), 5_000.0)], rng
+        )
+        first = trace.slice(0.0, 5_000.0).stats().arrival_rate
+        second = trace.slice(5_000.0, 10_000.0).stats().arrival_rate
+        assert first == pytest.approx(1.0, rel=0.1)
+        assert second == pytest.approx(0.1, rel=0.2)
+
+    def test_empty_segments_rejected(self, rng):
+        with pytest.raises(ValueError):
+            piecewise_renewal_trace([], rng)
+
+
+class TestBernoulliArrivals:
+    def test_statistics(self, rng):
+        arrivals = bernoulli_arrivals(ConstantRate(0.3), 50_000, rng)
+        assert arrivals.shape == (50_000,)
+        assert set(np.unique(arrivals)) <= {0, 1}
+        assert arrivals.mean() == pytest.approx(0.3, abs=0.01)
+
+    def test_piecewise_rates_respected(self, rng):
+        schedule = PiecewiseConstantRate([(20_000, 0.4), (20_000, 0.05)])
+        arrivals = bernoulli_arrivals(schedule, 40_000, rng)
+        assert arrivals[:20_000].mean() == pytest.approx(0.4, abs=0.02)
+        assert arrivals[20_000:].mean() == pytest.approx(0.05, abs=0.01)
+
+    def test_zero_slots(self, rng):
+        assert bernoulli_arrivals(ConstantRate(0.5), 0, rng).size == 0
+
+    def test_negative_slots_rejected(self, rng):
+        with pytest.raises(ValueError):
+            bernoulli_arrivals(ConstantRate(0.5), -1, rng)
+
+
+class TestTraceFromSlots:
+    def test_conversion(self):
+        trace = trace_from_slots(np.array([0, 1, 0, 1, 1]), slot_length=2.0)
+        assert trace.arrival_times.tolist() == [2.0, 6.0, 8.0]
+        assert trace.duration == 10.0
+
+    def test_bad_slot_length(self):
+        with pytest.raises(ValueError):
+            trace_from_slots(np.array([1]), slot_length=0.0)

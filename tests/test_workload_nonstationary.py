@@ -1,0 +1,151 @@
+"""Rate schedule tests (Fig. 2's switching input and the drift models)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workload import (
+    ConstantRate,
+    PiecewiseConstantRate,
+    RandomWalkRate,
+    SinusoidalRate,
+    fig2_schedule,
+)
+
+
+class TestConstantRate:
+    def test_rate_everywhere(self):
+        schedule = ConstantRate(0.3)
+        assert schedule.rate_at(0) == 0.3
+        assert schedule.rate_at(10**9) == 0.3
+        assert schedule.switch_points(1000) == []
+        assert schedule.mean_rate(1000) == 0.3
+        assert schedule.max_rate(1000) == 0.3
+
+    def test_invalid_probability(self):
+        with pytest.raises(ValueError):
+            ConstantRate(1.5)
+        with pytest.raises(ValueError):
+            ConstantRate(-0.1)
+
+
+class TestPiecewiseConstant:
+    def make(self):
+        return PiecewiseConstantRate([(100, 0.3), (200, 0.1), (100, 0.5)])
+
+    def test_rates_per_segment(self):
+        s = self.make()
+        assert s.rate_at(0) == 0.3
+        assert s.rate_at(99) == 0.3
+        assert s.rate_at(100) == 0.1
+        assert s.rate_at(299) == 0.1
+        assert s.rate_at(300) == 0.5
+
+    def test_final_rate_holds_forever(self):
+        assert self.make().rate_at(10_000) == 0.5
+
+    def test_switch_points(self):
+        assert self.make().switch_points(400) == [100, 300]
+        assert self.make().switch_points(200) == [100]
+
+    def test_total_slots(self):
+        assert self.make().total_slots == 400
+
+    def test_segment_index(self):
+        s = self.make()
+        assert s.segment_index_at(0) == 0
+        assert s.segment_index_at(150) == 1
+        assert s.segment_index_at(999) == 2
+        with pytest.raises(ValueError):
+            s.segment_index_at(-1)
+
+    def test_mean_rate_exact(self):
+        s = self.make()
+        expected = (100 * 0.3 + 200 * 0.1 + 100 * 0.5) / 400
+        assert s.mean_rate(400) == pytest.approx(expected)
+
+    def test_mean_rate_beyond_end_uses_final(self):
+        s = PiecewiseConstantRate([(100, 0.2)])
+        assert s.mean_rate(200) == pytest.approx(0.2)
+
+    def test_max_rate(self):
+        assert self.make().max_rate(400) == 0.5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PiecewiseConstantRate([])
+        with pytest.raises(ValueError):
+            PiecewiseConstantRate([(0, 0.5)])
+        with pytest.raises(ValueError):
+            PiecewiseConstantRate([(10, 1.5)])
+
+    def test_fig2_schedule_shape(self):
+        s = fig2_schedule()
+        assert s.total_slots == 200_000
+        assert len(s.switch_points(200_000)) == 3
+
+
+class TestSinusoidal:
+    def test_oscillates_around_base(self):
+        s = SinusoidalRate(0.3, 0.1, period=100)
+        values = [s.rate_at(t) for t in range(100)]
+        assert max(values) == pytest.approx(0.4, abs=0.01)
+        assert min(values) == pytest.approx(0.2, abs=0.01)
+        assert np.mean(values) == pytest.approx(0.3, abs=0.01)
+
+    def test_clipped_to_unit_interval(self):
+        s = SinusoidalRate(0.9, 0.5, period=10)
+        assert all(0.0 <= s.rate_at(t) <= 1.0 for t in range(30))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SinusoidalRate(0.5, -0.1, 10)
+        with pytest.raises(ValueError):
+            SinusoidalRate(0.5, 0.1, 0)
+
+    @given(
+        base=st.floats(min_value=0, max_value=1),
+        amplitude=st.floats(min_value=0, max_value=1),
+        slot=st.integers(min_value=0, max_value=10**6),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_always_a_probability(self, base, amplitude, slot):
+        s = SinusoidalRate(base, amplitude, period=1000)
+        assert 0.0 <= s.rate_at(slot) <= 1.0
+
+
+class TestRandomWalk:
+    def test_deterministic_given_seed(self):
+        a = RandomWalkRate(0.3, 0.05, seed=5)
+        b = RandomWalkRate(0.3, 0.05, seed=5)
+        assert [a.rate_at(t) for t in range(0, 5000, 97)] == [
+            b.rate_at(t) for t in range(0, 5000, 97)
+        ]
+
+    def test_pure_function_of_slot(self):
+        s = RandomWalkRate(0.3, 0.05, seed=1)
+        later = s.rate_at(10_000)
+        earlier = s.rate_at(100)
+        assert s.rate_at(10_000) == later
+        assert s.rate_at(100) == earlier
+
+    def test_bounds_respected(self):
+        s = RandomWalkRate(0.5, 0.2, low=0.2, high=0.8, step_every=10, seed=3)
+        values = [s.rate_at(t) for t in range(0, 20_000, 10)]
+        assert min(values) >= 0.2
+        assert max(values) <= 0.8
+
+    def test_constant_within_step_window(self):
+        s = RandomWalkRate(0.3, 0.05, step_every=100, seed=2)
+        assert s.rate_at(0) == s.rate_at(99)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RandomWalkRate(0.3, 0.0)
+        with pytest.raises(ValueError):
+            RandomWalkRate(0.9, 0.1, low=0.0, high=0.5)
+        with pytest.raises(ValueError):
+            RandomWalkRate(0.3, 0.1, step_every=0)
+        with pytest.raises(ValueError):
+            RandomWalkRate(0.3, 0.1, seed=1).rate_at(-5)

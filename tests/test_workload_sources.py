@@ -1,0 +1,98 @@
+"""MMPP and ON/OFF source tests."""
+
+import numpy as np
+import pytest
+
+from repro.workload import MMPP, Exponential, Deterministic, OnOffSource, two_regime_mmpp
+
+
+class TestMMPP:
+    def test_construction_validation(self):
+        with pytest.raises(ValueError, match="switching matrix"):
+            MMPP([1.0, 2.0], [[0.0]])
+        with pytest.raises(ValueError, match="regime rates"):
+            MMPP([-1.0], [[0.0]])
+        with pytest.raises(ValueError, match="switching rates"):
+            MMPP([1.0, 1.0], [[0.0, -1.0], [1.0, 0.0]])
+
+    def test_single_regime_is_poisson(self, rng):
+        mmpp = MMPP([2.0], [[0.0]])
+        trace, intervals = mmpp.generate(5_000.0, rng)
+        assert intervals == [(0.0, 0)]
+        assert trace.stats().arrival_rate == pytest.approx(2.0, rel=0.05)
+
+    def test_two_regime_rate_mixture(self, rng):
+        mmpp = two_regime_mmpp(
+            busy_rate=2.0, quiet_rate=0.0,
+            mean_busy_dwell=50.0, mean_quiet_dwell=50.0,
+        )
+        trace, intervals = mmpp.generate(20_000.0, rng)
+        # long-run rate = 2.0 * 0.5 = 1.0
+        assert trace.stats().arrival_rate == pytest.approx(1.0, rel=0.15)
+        assert len(intervals) > 10
+
+    def test_regime_intervals_ordered(self, rng):
+        mmpp = two_regime_mmpp(1.0, 0.1, 10.0, 10.0)
+        _, intervals = mmpp.generate(500.0, rng)
+        starts = [t for t, _ in intervals]
+        assert starts == sorted(starts)
+        regimes = [r for _, r in intervals]
+        assert all(a != b for a, b in zip(regimes, regimes[1:]))
+
+    def test_bad_duration(self, rng):
+        with pytest.raises(ValueError):
+            MMPP([1.0], [[0.0]]).generate(0.0, rng)
+
+    def test_bad_initial_regime(self, rng):
+        with pytest.raises(ValueError):
+            MMPP([1.0], [[0.0]]).generate(10.0, rng, initial_regime=5)
+
+    def test_two_regime_validation(self):
+        with pytest.raises(ValueError):
+            two_regime_mmpp(1.0, 0.1, 0.0, 10.0)
+
+
+class TestOnOff:
+    def make(self):
+        return OnOffSource(
+            on_duration=Deterministic(10.0),
+            off_duration=Deterministic(30.0),
+            intra_gap=Deterministic(1.0),
+        )
+
+    def test_generates_bursts(self, rng):
+        trace = self.make().generate(400.0, rng)
+        gaps = trace.interarrivals()[1:]
+        # gaps are either ~1 (intra-burst) or ~31 (inter-burst)
+        assert set(np.round(gaps).astype(int)) <= {1, 31}
+
+    def test_expected_rate(self):
+        source = self.make()
+        # 10 requests per 40-second cycle
+        assert source.expected_rate() == pytest.approx(10.0 / 40.0)
+
+    def test_empirical_rate_matches(self, rng):
+        source = OnOffSource(
+            on_duration=Exponential(0.1),   # mean 10
+            off_duration=Exponential(0.05), # mean 20
+            intra_gap=Exponential(2.0),     # mean 0.5
+        )
+        trace = source.generate(50_000.0, rng)
+        assert trace.stats().arrival_rate == pytest.approx(
+            source.expected_rate(), rel=0.15
+        )
+
+    def test_start_off(self, rng):
+        trace = self.make().generate(35.0, rng, start_on=False)
+        # first 30 s silent
+        assert trace.arrival_times.min() >= 30.0
+
+    def test_bad_duration(self, rng):
+        with pytest.raises(ValueError):
+            self.make().generate(-1.0, rng)
+
+    def test_infinite_mean_rate_zero(self):
+        from repro.workload import Pareto
+
+        source = OnOffSource(Pareto(0.5, 1.0), Deterministic(1.0), Deterministic(1.0))
+        assert source.expected_rate() == 0.0

@@ -1,0 +1,118 @@
+"""Trace characterization tests."""
+
+import numpy as np
+import pytest
+
+from repro.workload import (
+    Exponential,
+    Pareto,
+    Trace,
+    burstiness,
+    characterize,
+    hill_tail_index,
+    idle_histogram,
+    interarrival_autocorrelation,
+    renewal_trace,
+)
+
+
+class TestIdleHistogram:
+    def test_counts_and_survival(self):
+        trace = Trace([1.0, 2.0, 4.0, 8.0], duration=16.0)
+        hist = idle_histogram(trace, n_bins=4)
+        assert hist.counts.sum() == 5  # 4 gaps + tail
+        # survival is evaluated at bin edges: strictly-greater at the
+        # smallest period (1.0) leaves 3 of 5
+        assert hist.survival[0] == pytest.approx(0.6)
+        assert hist.survival[-1] == 0.0
+
+    def test_fraction_longer_than(self):
+        trace = Trace([1.0, 2.0, 4.0, 8.0], duration=16.0)
+        hist = idle_histogram(trace, n_bins=8)
+        assert hist.fraction_longer_than(0.0) == pytest.approx(1.0)
+        # gaps are 1,1,2,4,8: 2 of 5 strictly longer than 2.5
+        assert hist.fraction_longer_than(2.5) == pytest.approx(0.4, abs=0.1)
+
+    def test_empty_idle_rejected(self):
+        with pytest.raises(ValueError):
+            idle_histogram(Trace([], duration=0.0))
+
+    def test_bad_bins(self):
+        with pytest.raises(ValueError):
+            idle_histogram(Trace([1.0], duration=2.0), n_bins=0)
+
+
+class TestHillEstimator:
+    def test_recovers_pareto_alpha(self, rng):
+        for alpha in (1.2, 2.0, 3.0):
+            samples = Pareto(alpha, 1.0).sample(rng, 100_000)
+            # small tail fraction limits the Lomax second-order bias
+            est = hill_tail_index(samples, tail_fraction=0.01)
+            assert est == pytest.approx(alpha, rel=0.3)
+
+    def test_exponential_reads_as_light_tail(self, rng):
+        samples = rng.exponential(1.0, size=50_000)
+        est = hill_tail_index(samples, tail_fraction=0.05)
+        assert est > 3.0  # much lighter than any interesting power law
+
+    def test_too_few_samples(self):
+        with pytest.raises(ValueError):
+            hill_tail_index(np.ones(5))
+
+    def test_bad_fraction(self):
+        with pytest.raises(ValueError):
+            hill_tail_index(np.ones(100), tail_fraction=0.0)
+
+
+class TestBurstiness:
+    def test_periodic_is_minus_one(self):
+        trace = Trace(np.arange(1.0, 101.0), duration=101.0)
+        assert burstiness(trace) == pytest.approx(-1.0, abs=0.01)
+
+    def test_poisson_is_near_zero(self, rng):
+        trace = renewal_trace(Exponential(1.0), 20_000.0, rng)
+        assert burstiness(trace) == pytest.approx(0.0, abs=0.05)
+
+    def test_heavy_tail_is_positive(self, rng):
+        trace = renewal_trace(Pareto(1.3, 1.0), 50_000.0, rng)
+        assert burstiness(trace) > 0.2
+
+    def test_too_short(self):
+        with pytest.raises(ValueError):
+            burstiness(Trace([1.0], duration=2.0))
+
+
+class TestAutocorrelation:
+    def test_renewal_input_near_zero(self, rng):
+        trace = renewal_trace(Exponential(1.0), 20_000.0, rng)
+        assert interarrival_autocorrelation(trace) == pytest.approx(0.0, abs=0.05)
+
+    def test_alternating_gaps_negative(self):
+        gaps = [1.0, 5.0] * 200
+        trace = Trace(np.cumsum(gaps))
+        assert interarrival_autocorrelation(trace) < -0.8
+
+    def test_validation(self):
+        trace = Trace([1.0, 2.0, 3.0])
+        with pytest.raises(ValueError):
+            interarrival_autocorrelation(trace, lag=0)
+        with pytest.raises(ValueError):
+            interarrival_autocorrelation(trace, lag=5)
+
+
+class TestCharacterize:
+    def test_poisson_character(self, rng):
+        trace = renewal_trace(Exponential(0.5), 50_000.0, rng)
+        char = characterize(trace, break_even=2.0)
+        assert char.arrival_rate == pytest.approx(0.5, rel=0.05)
+        assert char.cv_interarrival == pytest.approx(1.0, abs=0.05)
+        assert abs(char.burstiness) < 0.05
+        # P(exp(0.5) > 2) = e^-1
+        assert char.idle_longer_than_breakeven == pytest.approx(
+            np.exp(-1.0), abs=0.03
+        )
+
+    def test_degenerate_trace_graceful(self):
+        char = characterize(Trace([1.0], duration=2.0))
+        assert char.tail_index is None
+        assert char.idle_longer_than_breakeven is None
