@@ -16,6 +16,13 @@ import pytest
 from repro.experiments import Fig1Config, Fig2Config
 
 
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "slow: long-running benchmark; deselect with -m 'not slow'",
+    )
+
+
 @pytest.fixture(scope="session")
 def fig1_config():
     """Reduced FIG1 config (~60k slots)."""

@@ -26,11 +26,14 @@ Package map
 - :mod:`repro.adaptive` — the model-based adaptive pipeline Q-DPM
   replaces.
 - :mod:`repro.sim` — event-driven continuous-time simulator.
+- :mod:`repro.runtime` — vectorized batched engine (lock-step
+  multi-replica env + trainer) and the unified multi-seed sweep runner.
 - :mod:`repro.experiments` — harnesses for every figure/claim.
 - :mod:`repro.extensions` — QoS-constrained and fuzzy Q-DPM.
 """
 
 from .core import QDPM, QLearningAgent, QTable
+from .runtime import BatchedQDPM, BatchedSlottedEnv, SweepRunner
 from .device import (
     PowerState,
     PowerStateMachine,
@@ -55,6 +58,9 @@ __all__ = [
     "QDPM",
     "QLearningAgent",
     "QTable",
+    "BatchedSlottedEnv",
+    "BatchedQDPM",
+    "SweepRunner",
     "PowerState",
     "Transition",
     "PowerStateMachine",

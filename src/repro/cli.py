@@ -8,9 +8,13 @@ Usage::
     python -m repro variation       # CLAIM-VAR drift tolerance
     python -m repro policies        # EXT-POLICY event-driven table
     python -m repro all             # everything, in order
+    python -m repro sweep --seeds 8 # multi-seed CI sweep of fig1/fig2/variation
 
 Each command prints the same ASCII figure/table recorded in
 EXPERIMENTS.md.  ``--quick`` shrinks horizons ~10x for smoke runs.
+``--seeds N`` runs N independent seeds lock-step on the batched engine
+(:mod:`repro.runtime`) and adds bootstrap CIs; ``--batch B`` caps the
+replicas per lock-step batch.
 """
 
 from __future__ import annotations
@@ -34,55 +38,77 @@ from .experiments import (
 )
 
 
-def _fig1(quick: bool) -> str:
+def _sweep_settings(config, n_seeds: Optional[int], batch: Optional[int]):
+    """Overlay CLI sweep flags onto a config's ``sweep`` block."""
+    sweep = config.sweep
+    if n_seeds is not None:
+        sweep = dataclasses.replace(sweep, n_seeds=n_seeds)
+    if batch is not None:
+        sweep = dataclasses.replace(sweep, batch_size=batch)
+    return dataclasses.replace(config, sweep=sweep)
+
+
+def _fig1(quick: bool, n_seeds: Optional[int] = None,
+          batch: Optional[int] = None) -> str:
     config = Fig1Config()
     if quick:
         config = dataclasses.replace(config, n_slots=30_000, record_every=1_000)
-    return run_fig1(config).render()
+    return run_fig1(_sweep_settings(config, n_seeds, batch)).render()
 
 
-def _fig2(quick: bool) -> str:
+def _fig2(quick: bool, n_seeds: Optional[int] = None,
+          batch: Optional[int] = None) -> str:
     config = Fig2Config()
     if quick:
         config = dataclasses.replace(
             config, segment_slots=8_000, record_every=500, mb_min_samples=400,
             mb_freeze_slots=800,
         )
-    return run_fig2(config).render()
+    return run_fig2(_sweep_settings(config, n_seeds, batch)).render()
 
 
-def _overhead(quick: bool) -> str:
+def _overhead(quick: bool, n_seeds: Optional[int] = None,
+              batch: Optional[int] = None) -> str:
     config = OverheadConfig()
     if quick:
         config = dataclasses.replace(
             config, queue_capacities=(4, 8), n_q_ops=2_000
         )
+    if batch is not None:
+        config = dataclasses.replace(config, batch_size=batch)
     return run_overhead(config).render()
 
 
-def _variation(quick: bool) -> str:
+def _variation(quick: bool, n_seeds: Optional[int] = None,
+               batch: Optional[int] = None) -> str:
     config = VariationConfig()
     if quick:
         config = dataclasses.replace(
             config, n_slots=20_000, warmup_slots=15_000
         )
-    return run_variation(config).render()
+    return run_variation(_sweep_settings(config, n_seeds, batch)).render()
 
 
-def _policies(quick: bool) -> str:
+def _policies(quick: bool, n_seeds: Optional[int] = None,
+              batch: Optional[int] = None) -> str:
     config = PolicyTableConfig()
     if quick:
         config = dataclasses.replace(config, duration=5_000.0)
     return run_policy_table(config).render()
 
 
-_COMMANDS: Dict[str, Callable[[bool], str]] = {
+_COMMANDS: Dict[str, Callable[..., str]] = {
     "fig1": _fig1,
     "fig2": _fig2,
     "overhead": _overhead,
     "variation": _variation,
     "policies": _policies,
 }
+
+#: experiments with a multi-seed (batched-engine) path
+_SWEEPABLE = ("fig1", "fig2", "variation")
+#: experiments that consume --batch (sweepable + the batched Q-op timing)
+_BATCHABLE = _SWEEPABLE + ("overhead",)
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -93,20 +119,71 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(_COMMANDS) + ["all"],
-        help="which experiment to run",
+        choices=sorted(_COMMANDS) + ["all", "sweep"],
+        help="which experiment to run ('sweep' = multi-seed fig1/fig2/variation)",
     )
     parser.add_argument(
         "--quick",
         action="store_true",
         help="shrink horizons ~10x for a fast smoke run",
     )
+    parser.add_argument(
+        "--seeds",
+        type=int,
+        default=None,
+        metavar="N",
+        help="run N independent seeds lock-step on the batched engine",
+    )
+    parser.add_argument(
+        "--batch",
+        type=int,
+        default=None,
+        metavar="B",
+        help="max replicas per lock-step batch (default 32)",
+    )
     args = parser.parse_args(argv)
+    if args.seeds is not None and args.seeds < 1:
+        parser.error("--seeds must be >= 1")
+    if args.batch is not None and args.batch < 1:
+        parser.error("--batch must be >= 1")
+
+    if args.experiment == "sweep":
+        n_seeds = args.seeds if args.seeds is not None else 8
+        names = list(_SWEEPABLE)
+        for name in names:
+            print(f"=== {name} (x{n_seeds} seeds) ===")
+            print(_COMMANDS[name](args.quick, n_seeds=n_seeds, batch=args.batch))
+            print()
+        return 0
+
+    if args.experiment != "all":
+        if args.seeds is not None and args.experiment not in _SWEEPABLE:
+            parser.error(
+                f"--seeds is not supported for {args.experiment!r} "
+                f"(multi-seed experiments: {', '.join(_SWEEPABLE)})"
+            )
+        if args.batch is not None and args.experiment not in _BATCHABLE:
+            parser.error(
+                f"--batch is not supported for {args.experiment!r} "
+                f"(batched experiments: {', '.join(_BATCHABLE)})"
+            )
 
     names = sorted(_COMMANDS) if args.experiment == "all" else [args.experiment]
     for name in names:
         print(f"=== {name} ===")
-        print(_COMMANDS[name](args.quick))
+        if name not in _SWEEPABLE and args.seeds is not None:
+            print(f"note: --seeds has no effect on {name!r}")
+        if name not in _BATCHABLE and args.batch is not None:
+            print(f"note: --batch has no effect on {name!r}")
+        if args.seeds is not None or args.batch is not None:
+            out = _COMMANDS[name](
+                args.quick,
+                n_seeds=args.seeds if name in _SWEEPABLE else None,
+                batch=args.batch if name in _BATCHABLE else None,
+            )
+        else:
+            out = _COMMANDS[name](args.quick)
+        print(out)
         print()
     return 0
 

@@ -9,7 +9,7 @@ not every power command is legal in every mode.
 
 from __future__ import annotations
 
-from typing import Iterable, Optional, Sequence
+from typing import Iterable, Optional, Sequence, Union
 
 import numpy as np
 
@@ -127,6 +127,110 @@ class QTable:
         return float(abs(new - old))
 
     # ------------------------------------------------------------------ #
+    # batched variants — B replicas per call (the vectorized runtime)
+    # ------------------------------------------------------------------ #
+
+    def batch_best_action(
+        self,
+        observations: np.ndarray,
+        allowed_mask: np.ndarray,
+        tolerance: float = 1e-12,
+        validate: bool = True,
+    ) -> np.ndarray:
+        """Greedy action per replica via masked argmax.
+
+        Parameters
+        ----------
+        observations:
+            int array of shape ``(B,)`` — one row index per replica.
+        allowed_mask:
+            bool array of shape ``(B, n_actions)`` — legality per replica.
+        validate:
+            Skip the shape / non-empty checks when False (hot loops whose
+            masks come straight from the mode space are safe by
+            construction).
+
+        Ties within ``tolerance`` of the row max break toward the lowest
+        action *index*.  Note this differs from :meth:`best_action`,
+        whose deterministic branch follows the caller's ``allowed``
+        sequence order — a boolean mask carries no order, so callers
+        that need order-sensitive tie-breaking (e.g. "prefer the stay
+        action") must resolve ties themselves (see
+        ``BatchedQDPM._select_actions``).
+
+        Raises
+        ------
+        ValueError
+            If ``validate`` and any replica has an empty allowed set.
+        """
+        observations = np.asarray(observations, dtype=np.int64)
+        allowed_mask = np.asarray(allowed_mask, dtype=bool)
+        if validate:
+            if allowed_mask.shape != (observations.size, self.n_actions):
+                raise ValueError(
+                    f"allowed_mask shape {allowed_mask.shape} does not match "
+                    f"({observations.size}, {self.n_actions})"
+                )
+            if not allowed_mask.any(axis=1).all():
+                raise ValueError(
+                    "allowed action set must be non-empty per replica"
+                )
+        rows = self._q[observations]
+        masked = np.where(allowed_mask, rows, -np.inf)
+        best = masked.max(axis=1, keepdims=True)
+        near_best = allowed_mask & (rows >= best - tolerance)
+        return near_best.argmax(axis=1)
+
+    def batch_max_value(
+        self,
+        observations: np.ndarray,
+        allowed_mask: np.ndarray,
+        validate: bool = True,
+    ) -> np.ndarray:
+        """``max_a Q(obs_b, a)`` per replica over each allowed set."""
+        observations = np.asarray(observations, dtype=np.int64)
+        allowed_mask = np.asarray(allowed_mask, dtype=bool)
+        if validate and not allowed_mask.any(axis=1).all():
+            raise ValueError("allowed action set must be non-empty per replica")
+        masked = np.where(allowed_mask, self._q[observations], -np.inf)
+        return masked.max(axis=1)
+
+    def batch_update(
+        self,
+        observations: np.ndarray,
+        actions: np.ndarray,
+        targets: np.ndarray,
+        learning_rates: Union[float, np.ndarray],
+        unique: bool = False,
+    ) -> np.ndarray:
+        """Vectorized Eqn.-3 relaxation at B (observation, action) pairs.
+
+        Returns the per-pair absolute TD change, aligned with the inputs.
+        Visit counters are exact under duplicate pairs (``np.add.at``);
+        the Q write itself is one shot, so duplicates all relax from the
+        same pre-update value instead of compounding sequentially — the
+        lock-step engine never produces duplicates (each replica owns a
+        disjoint row block), so callers that might must deduplicate first.
+        ``unique=True`` is the caller's guarantee that all pairs are
+        distinct, unlocking a fancy-indexed visit increment that is much
+        faster than ``np.add.at``.
+        """
+        observations = np.asarray(observations, dtype=np.int64)
+        actions = np.asarray(actions, dtype=np.int64)
+        targets = np.asarray(targets, dtype=np.float64)
+        lrs = np.asarray(learning_rates, dtype=np.float64)
+        if lrs.min() < 0.0 or lrs.max() > 1.0:
+            raise ValueError("learning rates must be in [0, 1]")
+        old = self._q[observations, actions]
+        new = (1.0 - lrs) * old + lrs * targets
+        self._q[observations, actions] = new
+        if unique:
+            self._visits[observations, actions] += 1
+        else:
+            np.add.at(self._visits, (observations, actions), 1)
+        return np.abs(new - old)
+
+    # ------------------------------------------------------------------ #
     # reporting
     # ------------------------------------------------------------------ #
 
@@ -143,9 +247,12 @@ class QTable:
 
     def copy(self) -> "QTable":
         """Deep copy (used for snapshotting during experiments)."""
-        clone = QTable(self.n_observations, self.n_actions)
+        clone = QTable(
+            self.n_observations, self.n_actions, dtype=self._q.dtype.type
+        )
         clone._q = self._q.copy()
         clone._visits = self._visits.copy()
+        assert clone._q.dtype == self._q.dtype
         return clone
 
     # ------------------------------------------------------------------ #

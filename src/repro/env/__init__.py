@@ -3,12 +3,13 @@
 from .model_builder import DPMModel, PolicyPerformance, build_dpm_model
 from .observation import FullObservation, ObservationMap, QueueBucketObservation
 from .slotted_env import EnvTotals, SlottedDPMEnv, StepInfo
-from .states import Mode, ModeSpace, StepEffect
+from .states import DenseStepTables, Mode, ModeSpace, StepEffect
 
 __all__ = [
     "Mode",
     "ModeSpace",
     "StepEffect",
+    "DenseStepTables",
     "SlottedDPMEnv",
     "StepInfo",
     "EnvTotals",

@@ -22,6 +22,8 @@ import math
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
+import numpy as np
+
 from ..device import PowerStateMachine
 
 
@@ -54,6 +56,25 @@ class StepEffect:
     next_mode: int      #: mode index after the slot
     energy: float       #: energy charged to this slot (joules)
     can_service: bool   #: whether a request may complete this slot
+
+
+@dataclass(frozen=True)
+class DenseStepTables:
+    """The mode-space step function as dense ``(n_modes, n_actions)`` arrays.
+
+    This is the batched runtime's view of :class:`ModeSpace`: every
+    (mode, action) pair resolved to flat arrays so one ``step`` over B
+    replicas is pure fancy indexing instead of B dict lookups.  Disallowed
+    pairs hold ``next_mode = -1`` / ``energy = 0`` / ``can_service =
+    False`` and are excluded by ``allowed``.
+    """
+
+    next_mode: np.ndarray       #: int64 (M, A); -1 where disallowed
+    energy: np.ndarray          #: float64 (M, A)
+    can_service: np.ndarray     #: bool (M, A)
+    allowed: np.ndarray         #: bool (M, A) action-legality mask
+    allowed_padded: np.ndarray  #: int64 (M, max_degree) allowed actions, row-padded
+    n_allowed: np.ndarray       #: int64 (M,) valid prefix length of each padded row
 
 
 class ModeSpace:
@@ -95,6 +116,7 @@ class ModeSpace:
         self._effects: Dict[Tuple[int, int], StepEffect] = {}
         self._allowed: List[List[int]] = [[] for _ in self._modes]
         self._build_effects()
+        self._dense: Optional[DenseStepTables] = None
 
     # ------------------------------------------------------------------ #
     # construction helpers
@@ -236,6 +258,45 @@ class ModeSpace:
     def latency_slots(self, source: str, target: str) -> int:
         """Discretized latency (slots) of the edge ``source -> target``."""
         return self._latency_slots[(source, target)]
+
+    def dense_tables(self) -> DenseStepTables:
+        """Dense-array form of the step function (cached after first call).
+
+        ``allowed_padded`` rows keep the *same order* as
+        :meth:`allowed_actions` (stay-action first, then targets), so
+        order-sensitive consumers — uniform exploration draws, tie-break
+        scans — see exactly what the scalar path sees.
+        """
+        if self._dense is None:
+            m, a = self.n_modes, self.n_actions
+            next_mode = np.full((m, a), -1, dtype=np.int64)
+            energy = np.zeros((m, a), dtype=np.float64)
+            can_service = np.zeros((m, a), dtype=bool)
+            allowed = np.zeros((m, a), dtype=bool)
+            max_degree = max(len(acts) for acts in self._allowed)
+            allowed_padded = np.zeros((m, max_degree), dtype=np.int64)
+            n_allowed = np.zeros(m, dtype=np.int64)
+            for mode_idx, acts in enumerate(self._allowed):
+                n_allowed[mode_idx] = len(acts)
+                for k, action in enumerate(acts):
+                    effect = self._effects[(mode_idx, action)]
+                    next_mode[mode_idx, action] = effect.next_mode
+                    energy[mode_idx, action] = effect.energy
+                    can_service[mode_idx, action] = effect.can_service
+                    allowed[mode_idx, action] = True
+                    allowed_padded[mode_idx, k] = action
+            for arr in (next_mode, energy, can_service, allowed,
+                        allowed_padded, n_allowed):
+                arr.setflags(write=False)
+            self._dense = DenseStepTables(
+                next_mode=next_mode,
+                energy=energy,
+                can_service=can_service,
+                allowed=allowed,
+                allowed_padded=allowed_padded,
+                n_allowed=n_allowed,
+            )
+        return self._dense
 
     def __repr__(self) -> str:
         return (

@@ -6,6 +6,7 @@ from .config import (
     Fig2Config,
     OverheadConfig,
     PolicyTableConfig,
+    SweepConfig,
     VariationConfig,
 )
 from .fig1_convergence import Fig1Result, run_fig1
@@ -16,6 +17,7 @@ from .variation import VariationResult, VariationRow, run_variation
 
 __all__ = [
     "EnvConfig",
+    "SweepConfig",
     "Fig1Config",
     "Fig2Config",
     "OverheadConfig",

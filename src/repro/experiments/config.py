@@ -25,10 +25,32 @@ class EnvConfig:
 
 
 @dataclass(frozen=True)
+class SweepConfig:
+    """Multi-seed execution knobs shared by the sweep-capable experiments.
+
+    ``n_seeds`` independent replicas run lock-step on the batched engine
+    (:mod:`repro.runtime`), chunked ``batch_size`` at a time; seed ``i``
+    is ``seed + i * seed_stride``.  With the default ``n_seeds = 1`` an
+    experiment reproduces its classic single-seed protocol.
+    """
+
+    n_seeds: int = 1
+    batch_size: int = 32
+    seed_stride: int = 1_000
+
+    def seeds(self, base_seed: int) -> List[int]:
+        """The seed list this sweep realizes from an experiment's base seed."""
+        return [
+            base_seed + i * self.seed_stride for i in range(self.n_seeds)
+        ]
+
+
+@dataclass(frozen=True)
 class Fig1Config:
     """FIG1 — convergence on the optimal policy (stationary input)."""
 
     env: EnvConfig = field(default_factory=EnvConfig)
+    sweep: SweepConfig = field(default_factory=SweepConfig)
     arrival_rate: float = 0.15
     n_slots: int = 200_000
     record_every: int = 2_000
@@ -38,12 +60,17 @@ class Fig1Config:
     tolerance: float = 0.03        #: convergence band around optimal saving
     sustain: int = 5               #: record points required inside the band
 
+    def seeds(self) -> List[int]:
+        """The seed list realized by the sweep settings."""
+        return self.sweep.seeds(self.seed)
+
 
 @dataclass(frozen=True)
 class Fig2Config:
     """FIG2 — rapid response to piecewise-stationary input."""
 
     env: EnvConfig = field(default_factory=EnvConfig)
+    sweep: SweepConfig = field(default_factory=SweepConfig)
     segment_rates: Tuple[float, ...] = (0.30, 0.05, 0.20, 0.02)
     segment_slots: int = 50_000
     record_every: int = 1_000
@@ -64,6 +91,10 @@ class Fig2Config:
     mb_cusum_drift: float = 0.05
     mb_cusum_threshold: float = 20.0
 
+    def seeds(self) -> List[int]:
+        """The seed list realized by the sweep settings."""
+        return self.sweep.seeds(self.seed)
+
 
 @dataclass(frozen=True)
 class OverheadConfig:
@@ -73,6 +104,7 @@ class OverheadConfig:
     queue_capacities: Tuple[int, ...] = (4, 8, 16, 32)
     arrival_rate: float = 0.15
     n_q_ops: int = 20_000          #: Q decide+update reps for timing
+    batch_size: int = 32           #: replicas per batched Q-op timing rep
 
 
 @dataclass(frozen=True)
@@ -88,6 +120,7 @@ class VariationConfig:
     """
 
     env: EnvConfig = field(default_factory=EnvConfig)
+    sweep: SweepConfig = field(default_factory=SweepConfig)
     base_rate: float = 0.2
     amplitudes: Tuple[float, ...] = (0.0, 0.1, 0.2)
     period: int = 40_000
@@ -96,6 +129,10 @@ class VariationConfig:
     epsilon: float = 0.02          #: low tax — drift is slow, mild
     seed: int = 23
     warmup_slots: int = 60_000     #: Q-DPM pre-training at the base rate
+
+    def seeds(self) -> List[int]:
+        """The seed list realized by the sweep settings."""
+        return self.sweep.seeds(self.seed)
 
 
 @dataclass(frozen=True)

@@ -15,6 +15,10 @@ well-defined.  We plot the windowed online payoff and, sampled at every
 record point, the *exact* long-run payoff of the greedy policy snapshot
 (stationary analysis — no exploration noise), plus the corresponding
 energy-saving ratios as secondary data.
+
+Rollouts route through the batched :class:`~repro.runtime.SweepRunner`:
+``config.sweep.n_seeds`` independent learners train lock-step, the chart
+shows the lead seed, and the across-seed payoff gets a bootstrap CI.
 """
 
 from __future__ import annotations
@@ -24,10 +28,10 @@ from typing import List, Optional
 
 import numpy as np
 
-from ..analysis import ascii_chart, convergence_point
-from ..core import QDPM
+from ..analysis import CI, ascii_chart, convergence_point
 from ..device import get_preset
-from ..env import SlottedDPMEnv, build_dpm_model
+from ..env import build_dpm_model
+from ..runtime import RolloutSpec, SweepRunner
 from ..workload import ConstantRate
 from .config import Fig1Config
 
@@ -47,6 +51,8 @@ class Fig1Result:
     optimal_soft_reward: float        #: optimal policy made epsilon-soft
     final_policy_agreement: float     #: state agreement with the optimum
     convergence_slot: Optional[int]   #: online payoff enters the soft band
+    n_seeds: int = 1                  #: independent learners swept
+    reward_ci: Optional[CI] = None    #: across-seed horizon payoff CI
 
     def render(self) -> str:
         """ASCII figure matching the paper's Fig. 1 layout.
@@ -83,6 +89,11 @@ class Fig1Result:
             f"\nconvergence slot (payoff band +-{self.config.tolerance} around "
             f"eps-soft optimal): {conv}"
         )
+        if self.n_seeds > 1 and self.reward_ci is not None:
+            tail += (
+                f"\nonline payoff across {self.n_seeds} seeds: "
+                f"{self.reward_ci} (95% bootstrap CI)"
+            )
         return chart + tail
 
 
@@ -102,46 +113,48 @@ def run_fig1(config: Fig1Config = Fig1Config()) -> Fig1Result:
     opt_perf = model.evaluate_policy(optimal.policy)
     opt_soft = model.evaluate_policy(optimal.policy, epsilon=config.epsilon)
 
-    env = SlottedDPMEnv(
-        device,
+    spec = RolloutSpec.from_env_config(
+        config.env,
         ConstantRate(config.arrival_rate),
-        slot_length=config.env.slot_length,
-        queue_capacity=config.env.queue_capacity,
-        p_serve=config.env.p_serve,
-        perf_weight=config.env.perf_weight,
-        loss_penalty=config.env.loss_penalty,
-        seed=config.seed,
-    )
-    controller = QDPM(
-        env,
-        discount=config.env.discount,
+        config.n_slots,
+        record_every=config.record_every,
         learning_rate=config.learning_rate,
         epsilon=config.epsilon,
-        seed=config.seed + 1,
     )
+    seeds = config.seeds()
 
     snapshot_saving: List[float] = []
     snapshot_reward: List[float] = []
+    lead: dict = {}
 
-    def snapshot(_slot: int) -> None:
-        # evaluate the policy exactly *as deployed*: epsilon-soft.  Q-DPM
-        # never stops exploring, and the epsilon-soft chain is ergodic, so
-        # the evaluation is immune to the absorbing-trap artifacts a
-        # strictly-greedy reading of a half-trained table exhibits at
-        # rarely-visited states.
-        policy = controller.greedy_policy()
+    def on_record(_slot: int, driver, chunk_seeds) -> None:
+        # snapshot only the lead seed: evaluate the policy exactly *as
+        # deployed*, epsilon-soft.  Q-DPM never stops exploring, and the
+        # epsilon-soft chain is ergodic, so the evaluation is immune to
+        # the absorbing-trap artifacts a strictly-greedy reading of a
+        # half-trained table exhibits at rarely-visited states.
+        if chunk_seeds[0] != seeds[0]:
+            return
+        policy = driver.greedy_policy(0)
         perf = model.evaluate_policy(policy, epsilon=config.epsilon)
         snapshot_saving.append(perf.energy_saving_ratio)
         snapshot_reward.append(perf.average_reward)
 
-    history = controller.run(
-        config.n_slots, record_every=config.record_every, callback=snapshot
+    def on_chunk_done(driver, chunk_seeds) -> None:
+        if chunk_seeds[0] == seeds[0]:
+            lead["driver"] = driver
+
+    runner = SweepRunner(batch_size=config.sweep.batch_size)
+    sweep = runner.run_many(
+        spec, seeds, on_record=on_record, on_chunk_done=on_chunk_done
     )
+    history = sweep.runs[0].history
+
     # align: one snapshot per full window; drop a possible partial tail record
     n = len(snapshot_saving)
     slots = history.slots[:n]
 
-    final_policy = controller.greedy_policy()
+    final_policy = lead["driver"].greedy_policy(0)
     agreement = final_policy.agreement(optimal.policy)
     conv = convergence_point(
         slots,
@@ -162,4 +175,6 @@ def run_fig1(config: Fig1Config = Fig1Config()) -> Fig1Result:
         optimal_soft_reward=opt_soft.average_reward,
         final_policy_agreement=agreement,
         convergence_slot=conv,
+        n_seeds=len(seeds),
+        reward_ci=sweep.reward_ci() if len(seeds) > 1 else None,
     )

@@ -15,7 +15,7 @@ per-switch response time of each controller.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -25,10 +25,10 @@ from ..adaptive import (
     ModelBasedAdaptiveDPM,
     SlidingWindowEstimator,
 )
-from ..analysis import SwitchResponse, ascii_chart, switch_responses
-from ..core import QDPM
+from ..analysis import CI, SwitchResponse, ascii_chart, switch_responses
 from ..device import get_preset
 from ..env import SlottedDPMEnv, build_dpm_model
+from ..runtime import RolloutSpec, SweepRunner
 from ..workload import PiecewiseConstantRate
 from .config import Fig2Config
 
@@ -49,6 +49,9 @@ class Fig2Result:
     qdpm_responses: List[SwitchResponse]
     mb_responses: List[SwitchResponse]
     mb_log: AdaptationLog
+    n_seeds: int = 1                      #: seeds per controller arm
+    qdpm_reward_ci: Optional[CI] = None   #: across-seed Q-DPM payoff CI
+    mb_reward_ci: Optional[CI] = None     #: across-seed model-based payoff CI
 
     def render(self) -> str:
         """ASCII figure matching the paper's Fig. 2 layout."""
@@ -77,6 +80,12 @@ class Fig2Result:
             f"model-based re-optimizations: {self.mb_log.n_reoptimizations}, "
             f"optimizer wall-clock {self.mb_log.optimize_seconds * 1e3:.1f} ms"
         )
+        if self.n_seeds > 1 and self.qdpm_reward_ci is not None:
+            lines.append(
+                f"payoff across {self.n_seeds} seeds (95% bootstrap CI): "
+                f"Q-DPM {self.qdpm_reward_ci} vs "
+                f"model-based {self.mb_reward_ci}"
+            )
         return "\n".join(lines)
 
 
@@ -138,7 +147,15 @@ def _make_env(config: Fig2Config, seed: int) -> SlottedDPMEnv:
 
 
 def run_fig2(config: Fig2Config = Fig2Config()) -> Fig2Result:
-    """Run the FIG2 experiment; deterministic given the config seeds."""
+    """Run the FIG2 experiment; deterministic given the config seeds.
+
+    Both controller arms route through the unified
+    :class:`~repro.runtime.SweepRunner`: the Q-DPM seeds train lock-step
+    on the batched engine, the model-based pipeline (stateful estimator +
+    CUSUM + LP re-optimizer — inherently scalar) uses the runner's
+    per-seed fallback.  With ``config.sweep.n_seeds > 1`` the plotted
+    curves are across-seed means.
+    """
     n_slots = config.segment_slots * len(config.segment_rates)
     schedule = PiecewiseConstantRate(
         [(config.segment_slots, r) for r in config.segment_rates]
@@ -146,34 +163,46 @@ def run_fig2(config: Fig2Config = Fig2Config()) -> Fig2Result:
     switch_points = schedule.switch_points(n_slots)
     opt_rewards, opt_savings = _segment_optima(config)
 
-    # --- Q-DPM ---------------------------------------------------------
-    env_q = _make_env(config, config.seed)
-    qdpm = QDPM(
-        env_q,
-        discount=config.env.discount,
+    spec = RolloutSpec.from_env_config(
+        config.env,
+        schedule,
+        n_slots,
+        record_every=config.record_every,
         learning_rate=config.learning_rate,
         epsilon=config.epsilon,
-        seed=config.seed + 1,
     )
-    hist_q = qdpm.run(n_slots, record_every=config.record_every)
+    seeds = config.seeds()
+    runner = SweepRunner(batch_size=config.sweep.batch_size)
 
-    # --- model-based adaptive ------------------------------------------
-    env_m = _make_env(config, config.seed)  # identical workload seed
-    mb = ModelBasedAdaptiveDPM(
-        env_m,
-        discount=config.env.discount,
-        solver=config.mb_solver,
-        estimator=SlidingWindowEstimator(config.mb_window),
-        detector=BernoulliCUSUM(
-            config.mb_initial_rate,
-            drift=config.mb_cusum_drift,
-            threshold=config.mb_cusum_threshold,
-        ),
-        min_samples=config.mb_min_samples,
-        freeze_slots=config.mb_freeze_slots,
-        initial_rate=config.mb_initial_rate,
-    )
-    hist_m = mb.run(n_slots, record_every=config.record_every)
+    # --- Q-DPM (batched) -----------------------------------------------
+    sweep_q = runner.run_many(spec, seeds)
+
+    # --- model-based adaptive (scalar fallback) ------------------------
+    controllers: List[ModelBasedAdaptiveDPM] = []
+
+    def mb_factory(seed: int) -> ModelBasedAdaptiveDPM:
+        mb = ModelBasedAdaptiveDPM(
+            _make_env(config, seed),  # identical workload seed per arm
+            discount=config.env.discount,
+            solver=config.mb_solver,
+            estimator=SlidingWindowEstimator(config.mb_window),
+            detector=BernoulliCUSUM(
+                config.mb_initial_rate,
+                drift=config.mb_cusum_drift,
+                threshold=config.mb_cusum_threshold,
+            ),
+            min_samples=config.mb_min_samples,
+            freeze_slots=config.mb_freeze_slots,
+            initial_rate=config.mb_initial_rate,
+        )
+        controllers.append(mb)
+        return mb
+
+    sweep_m = runner.run_many(spec, seeds, controller_factory=mb_factory)
+
+    multi = len(seeds) > 1
+    hist_q = sweep_q.mean_history() if multi else sweep_q.runs[0].history
+    hist_m = sweep_m.mean_history() if multi else sweep_m.runs[0].history
 
     n = min(len(hist_q.slots), len(hist_m.slots))
     slots = hist_q.slots[:n]
@@ -209,5 +238,8 @@ def run_fig2(config: Fig2Config = Fig2Config()) -> Fig2Result:
         segment_optimal_saving=opt_savings,
         qdpm_responses=q_resp,
         mb_responses=m_resp,
-        mb_log=mb.log,
+        mb_log=controllers[0].log,
+        n_seeds=len(seeds),
+        qdpm_reward_ci=sweep_q.reward_ci() if multi else None,
+        mb_reward_ci=sweep_m.reward_ci() if multi else None,
     )

@@ -13,6 +13,10 @@ The paper's efficiency claims, quantified:
   bytes the model-based flow must hold.
 
 Swept over queue capacities to show how the gap scales with state count.
+The batched runtime's amortization is quantified alongside: one
+decide+update for ``batch_size`` replicas at once
+(:meth:`~repro.core.QTable.batch_best_action` /
+:meth:`~repro.core.QTable.batch_update`) vs the scalar pair.
 """
 
 from __future__ import annotations
@@ -38,6 +42,7 @@ class OverheadRow:
     n_states: int
     n_actions: int
     q_step_us: float        #: one greedy select + one Q update (microseconds)
+    q_batch_us: float       #: same pair per replica on the batched path
     lp_ms: float            #: one LP policy optimization (milliseconds)
     pi_ms: float            #: one policy iteration solve
     vi_ms: float            #: one value iteration solve
@@ -50,6 +55,11 @@ class OverheadRow:
         """Memory blow-up of holding the model instead of the table."""
         return self.model_kb / self.q_table_kb if self.q_table_kb else float("inf")
 
+    @property
+    def batch_speedup(self) -> float:
+        """Scalar / batched per-replica Q-step cost."""
+        return self.q_step_us / self.q_batch_us if self.q_batch_us else float("inf")
+
 
 @dataclass
 class OverheadResult:
@@ -61,13 +71,16 @@ class OverheadResult:
     def render(self) -> str:
         """Text table for the CLAIM-EFF / CLAIM-MEM record."""
         headers = [
-            "Qcap", "|S|", "|A|", "Q step (us)", "LP (ms)", "PI (ms)",
-            "VI (ms)", "LP/Qstep", "Qtab (KB)", "model (KB)", "model/Qtab",
+            "Qcap", "|S|", "|A|", "Q step (us)", "Qbatch (us)", "batchx",
+            "LP (ms)", "PI (ms)", "VI (ms)", "LP/Qstep", "Qtab (KB)",
+            "model (KB)", "model/Qtab",
         ]
         rows = [
             [
                 r.queue_capacity, r.n_states, r.n_actions,
-                round(r.q_step_us, 2), round(r.lp_ms, 2), round(r.pi_ms, 2),
+                round(r.q_step_us, 2), round(r.q_batch_us, 3),
+                round(r.batch_speedup, 1),
+                round(r.lp_ms, 2), round(r.pi_ms, 2),
                 round(r.vi_ms, 2), round(r.lp_over_q),
                 round(r.q_table_kb, 1), round(r.model_kb, 1),
                 round(r.model_over_table),
@@ -97,6 +110,32 @@ def _time_q_step(n_states: int, n_actions: int, reps: int) -> float:
     return elapsed / reps * 1e6
 
 
+def _time_q_step_batched(
+    n_states: int, n_actions: int, batch_size: int, reps: int
+) -> float:
+    """Microseconds per replica for one batched select + Eqn.-3 update.
+
+    Times the same decide+update pair as :func:`_time_q_step`, but for
+    ``batch_size`` replicas per call on the batched Q-table primitives.
+    """
+    table = QTable(n_states, n_actions, initial_value=0.0)
+    rng = np.random.default_rng(0)
+    n_rounds = max(1, reps // batch_size)
+    obs = rng.integers(0, n_states, size=(n_rounds, batch_size))
+    nxt = rng.integers(0, n_states, size=(n_rounds, batch_size))
+    rewards = rng.normal(size=(n_rounds, batch_size))
+    mask = np.ones((batch_size, n_actions), dtype=bool)
+    start = time.perf_counter()
+    for i in range(n_rounds):
+        actions = table.batch_best_action(obs[i], mask, validate=False)
+        targets = rewards[i] + 0.95 * table.batch_max_value(
+            nxt[i], mask, validate=False
+        )
+        table.batch_update(obs[i], actions, targets, 0.1)
+    elapsed = time.perf_counter() - start
+    return elapsed / (n_rounds * batch_size) * 1e6
+
+
 def _time_solver(model, discount: float, method: str) -> float:
     """Milliseconds for one offline solve."""
     start = time.perf_counter()
@@ -122,6 +161,9 @@ def run_overhead(config: OverheadConfig = OverheadConfig()) -> OverheadResult:
         n_states = model.mdp.n_states
         n_actions = model.mdp.n_actions
         q_us = _time_q_step(n_states, n_actions, config.n_q_ops)
+        q_batch_us = _time_q_step_batched(
+            n_states, n_actions, config.batch_size, config.n_q_ops
+        )
         lp_ms = _time_solver(model, config.env.discount, "linear_programming")
         pi_ms = _time_solver(model, config.env.discount, "policy_iteration")
         vi_ms = _time_solver(model, config.env.discount, "value_iteration")
@@ -132,6 +174,7 @@ def run_overhead(config: OverheadConfig = OverheadConfig()) -> OverheadResult:
                 n_states=n_states,
                 n_actions=n_actions,
                 q_step_us=q_us,
+                q_batch_us=q_batch_us,
                 lp_ms=lp_ms,
                 pi_ms=pi_ms,
                 vi_ms=vi_ms,

@@ -10,6 +10,12 @@ boundaries) and compare
   non-adaptive model-based deployment would run), against
 - Q-DPM, pre-trained at the base rate and left learning during the drift.
 
+Both arms route through the unified :class:`~repro.runtime.SweepRunner`
+on the batched engine — the frozen policy as a vectorized fixed-policy
+rollout, Q-DPM as a lock-step batch of learners with a warmup phase at
+the base rate.  ``config.sweep.n_seeds > 1`` turns every cell into a
+mean +- bootstrap CI.
+
 Measured finding (recorded in EXPERIMENTS.md): *tolerance* holds in the
 graceful-degradation sense — Q-DPM's payoff moves only slightly as the
 amplitude grows, and its gap to the frozen policy stays a roughly
@@ -21,16 +27,13 @@ out), which the paper's qualitative claim glosses over.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List
+from dataclasses import dataclass, replace
+from typing import List, Optional
 
-import numpy as np
-
-from ..analysis import format_table
-from ..core import QDPM
+from ..analysis import CI, format_table
 from ..device import get_preset
-from ..env import SlottedDPMEnv, build_dpm_model
-from ..mdp import DeterministicPolicy
+from ..env import build_dpm_model
+from ..runtime import RolloutSpec, SweepRunner
 from ..workload import ConstantRate, SinusoidalRate
 from .config import VariationConfig
 
@@ -44,6 +47,8 @@ class VariationRow:
     qdpm_reward: float       #: mean reward/slot of continuously learning Q-DPM
     frozen_saving: float
     qdpm_saving: float
+    frozen_ci: Optional[CI] = None   #: across-seed CI (n_seeds > 1)
+    qdpm_ci: Optional[CI] = None
 
     @property
     def reward_gap(self) -> float:
@@ -59,61 +64,33 @@ class VariationResult:
     rows: List[VariationRow]
 
     def render(self) -> str:
+        multi = self.rows and self.rows[0].qdpm_ci is not None
         headers = [
             "amplitude", "frozen reward", "Q-DPM reward", "gap",
             "frozen saving", "Q-DPM saving",
         ]
-        rows = [
-            [
+        if multi:
+            headers += ["frozen +-95", "Q-DPM +-95"]
+        rows = []
+        for r in self.rows:
+            row = [
                 r.amplitude, round(r.frozen_reward, 4), round(r.qdpm_reward, 4),
                 round(r.reward_gap, 4), round(r.frozen_saving, 4),
                 round(r.qdpm_saving, 4),
             ]
-            for r in self.rows
-        ]
-        return format_table(
-            headers, rows,
-            title="CLAIM-VAR: frozen optimal policy vs continuously-learning "
-                  "Q-DPM under sinusoidal rate drift",
+            if multi:
+                row += [
+                    round(r.frozen_ci.half_width, 4),
+                    round(r.qdpm_ci.half_width, 4),
+                ]
+            rows.append(row)
+        title = (
+            "CLAIM-VAR: frozen optimal policy vs continuously-learning "
+            "Q-DPM under sinusoidal rate drift"
         )
-
-
-def _run_policy(env: SlottedDPMEnv, policy: DeterministicPolicy,
-                n_slots: int) -> tuple:
-    """Execute a fixed policy; returns (mean reward, saving ratio)."""
-    total_reward = 0.0
-    for _ in range(n_slots):
-        state = env.state
-        action = policy(state)
-        if action not in env.allowed_actions(state):
-            action = env.allowed_actions(state)[0]
-        _, reward, _ = env.step(action)
-        total_reward += reward
-    return total_reward / n_slots, env.energy_saving_ratio()
-
-
-def _pretrain(config: VariationConfig) -> QDPM:
-    """Q-DPM trained to steady state at the base rate."""
-    device = get_preset(config.env.device)
-    env = SlottedDPMEnv(
-        device,
-        ConstantRate(config.base_rate),
-        slot_length=config.env.slot_length,
-        queue_capacity=config.env.queue_capacity,
-        p_serve=config.env.p_serve,
-        perf_weight=config.env.perf_weight,
-        loss_penalty=config.env.loss_penalty,
-        seed=config.seed,
-    )
-    controller = QDPM(
-        env,
-        discount=config.env.discount,
-        learning_rate=config.learning_rate,
-        epsilon=config.epsilon,
-        seed=config.seed + 1,
-    )
-    controller.run(config.warmup_slots, record_every=config.warmup_slots)
-    return controller
+        if multi:
+            title += f" ({self.config.sweep.n_seeds} seeds)"
+        return format_table(headers, rows, title=title)
 
 
 def run_variation(config: VariationConfig = VariationConfig()) -> VariationResult:
@@ -132,48 +109,48 @@ def run_variation(config: VariationConfig = VariationConfig()) -> VariationResul
         config.env.discount, "policy_iteration"
     ).policy
 
+    runner = SweepRunner(batch_size=config.sweep.batch_size)
+    seeds = config.seeds()
+    multi = len(seeds) > 1
+
     rows: List[VariationRow] = []
     for amplitude in config.amplitudes:
         schedule = SinusoidalRate(config.base_rate, amplitude, config.period)
-
-        env_frozen = SlottedDPMEnv(
-            device,
+        # one whole-horizon window: mean reward/slot per seed, exactly as
+        # the scalar protocol accumulated it.  env streams are seeded
+        # ``seed + 100`` (frozen and Q-DPM arms share the workload
+        # realization), the Q-DPM warmup phase at ``seed`` — the scalar
+        # experiment's seed arithmetic.
+        frozen_spec = RolloutSpec.from_env_config(
+            config.env,
             schedule,
-            slot_length=config.env.slot_length,
-            queue_capacity=config.env.queue_capacity,
-            p_serve=config.env.p_serve,
-            perf_weight=config.env.perf_weight,
-            loss_penalty=config.env.loss_penalty,
-            seed=config.seed + 100,
+            config.n_slots,
+            record_every=config.n_slots,
+            policy=frozen_policy,
+            env_seed_offset=100,
         )
-        frozen_reward, frozen_saving = _run_policy(
-            env_frozen, frozen_policy, config.n_slots
-        )
+        frozen_sweep = runner.run_many(frozen_spec, seeds)
 
-        controller = _pretrain(config)
-        env_q = SlottedDPMEnv(
-            device,
-            schedule,
-            slot_length=config.env.slot_length,
-            queue_capacity=config.env.queue_capacity,
-            p_serve=config.env.p_serve,
-            perf_weight=config.env.perf_weight,
-            loss_penalty=config.env.loss_penalty,
-            seed=config.seed + 100,  # same workload realization
+        qdpm_spec = replace(
+            frozen_spec,
+            policy=None,
+            learning_rate=config.learning_rate,
+            epsilon=config.epsilon,
+            warmup_schedule=ConstantRate(config.base_rate),
+            warmup_slots=config.warmup_slots,
+            warmup_seed_offset=0,
         )
-        controller.env = env_q
-        controller.observation = type(controller.observation)(env_q)
-        hist = controller.run(config.n_slots, record_every=config.n_slots)
-        qdpm_reward = float(hist.reward.mean())
-        qdpm_saving = env_q.energy_saving_ratio()
+        qdpm_sweep = runner.run_many(qdpm_spec, seeds)
 
         rows.append(
             VariationRow(
                 amplitude=amplitude,
-                frozen_reward=frozen_reward,
-                qdpm_reward=qdpm_reward,
-                frozen_saving=frozen_saving,
-                qdpm_saving=qdpm_saving,
+                frozen_reward=float(frozen_sweep.rewards().mean()),
+                qdpm_reward=float(qdpm_sweep.rewards().mean()),
+                frozen_saving=float(frozen_sweep.savings().mean()),
+                qdpm_saving=float(qdpm_sweep.savings().mean()),
+                frozen_ci=frozen_sweep.reward_ci() if multi else None,
+                qdpm_ci=qdpm_sweep.reward_ci() if multi else None,
             )
         )
     return VariationResult(config=config, rows=rows)

@@ -1,0 +1,32 @@
+"""Vectorized batched runtime: lock-step multi-replica engine + sweeps.
+
+The scalar stack (:class:`~repro.env.SlottedDPMEnv` +
+:class:`~repro.core.QDPM`) pays a Python interpreter round-trip per slot
+per seed.  This subsystem batches B independent replicas into NumPy
+array ops:
+
+- :class:`BatchedSlottedEnv` — B environment replicas stepped in
+  lock-step, bit-for-bit equivalent to B scalar envs under matched
+  per-replica RNG streams;
+- :class:`BatchedQDPM` — B independent Q-DPM learners trained in one
+  loop over disjoint row blocks of a single Q-table;
+- :class:`SweepRunner` — the unified multi-seed entry point
+  (``run_many(spec, seeds, batch_size)``) every experiment routes
+  through, with bootstrap-CI aggregation.
+"""
+
+from .batched_env import BatchedEnvTotals, BatchedSlottedEnv, BatchStepInfo
+from .batched_qdpm import BatchedQDPM, BatchRunHistory
+from .sweep import RolloutSpec, SeedRun, SweepResult, SweepRunner
+
+__all__ = [
+    "BatchedSlottedEnv",
+    "BatchStepInfo",
+    "BatchedEnvTotals",
+    "BatchedQDPM",
+    "BatchRunHistory",
+    "RolloutSpec",
+    "SeedRun",
+    "SweepResult",
+    "SweepRunner",
+]

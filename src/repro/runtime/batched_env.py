@@ -1,0 +1,374 @@
+"""Lock-step batched slotted environment: B replicas per NumPy op.
+
+:class:`BatchedSlottedEnv` advances B independent copies of
+:class:`~repro.env.SlottedDPMEnv` one slot at a time with vectorized
+service/arrival draws, queue updates, reward computation, and per-replica
+totals.  Semantics are bit-for-bit those of the scalar environment:
+
+- the state encoding (``mode * (queue_capacity + 1) + queue``), the
+  mode-space step effects, and the reward formula are identical;
+- each replica owns its own ``numpy`` PCG64 stream seeded exactly as a
+  scalar env would be, and consumes draws in the scalar order (service
+  draw only when the post-effect slot can service a non-empty queue,
+  then the arrival draw) — so replica ``i`` of a batched run reproduces
+  a scalar run seeded ``seeds[i]`` to the last bit.
+
+The per-slot cost is O(B) generator calls plus a constant number of
+vectorized array ops, instead of the scalar path's O(B) full Python
+interpreter round-trips.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..device import PowerStateMachine
+from ..env.slotted_env import EnvTotals
+from ..env.states import ModeSpace
+from ..workload.nonstationary import ConstantRate, RateSchedule
+
+
+def _resolve_seeds(
+    seeds: Optional[Union[int, Sequence[Optional[int]]]], n_replicas: int
+) -> List[Optional[int]]:
+    """Per-replica seed list: int -> consecutive block, sequence -> as-is."""
+    if seeds is None:
+        return [None] * n_replicas
+    if isinstance(seeds, (int, np.integer)):
+        return [int(seeds) + i for i in range(n_replicas)]
+    seeds = list(seeds)
+    if len(seeds) != n_replicas:
+        raise ValueError(
+            f"got {len(seeds)} seeds for {n_replicas} replicas"
+        )
+    return [None if s is None else int(s) for s in seeds]
+
+
+@dataclass
+class BatchStepInfo:
+    """Per-slot diagnostics for all replicas (vector twin of ``StepInfo``)."""
+
+    slot: int                #: slot index just simulated (same for all replicas)
+    energy: np.ndarray       #: (B,) energy charged this slot
+    queue: np.ndarray        #: (B,) queue length at slot end
+    arrived: np.ndarray      #: (B,) bool — a request arrived
+    served: np.ndarray       #: (B,) bool — a request completed
+    lost: np.ndarray         #: (B,) bool — an arrival was dropped
+    modes: np.ndarray        #: (B,) mode index at slot end
+    arrival_rate: float      #: schedule rate used this slot (lock-step)
+
+
+@dataclass
+class BatchedEnvTotals:
+    """Per-replica cumulative counters (vector twin of ``EnvTotals``).
+
+    Construct via :meth:`zeros` — the array fields are sized by the
+    batch width, so there are no defaults.
+    """
+
+    slots: int
+    energy: np.ndarray
+    queue_integral: np.ndarray
+    arrivals: np.ndarray
+    completions: np.ndarray
+    losses: np.ndarray
+
+    @classmethod
+    def zeros(cls, n_replicas: int) -> "BatchedEnvTotals":
+        return cls(
+            slots=0,
+            energy=np.zeros(n_replicas),
+            queue_integral=np.zeros(n_replicas),
+            arrivals=np.zeros(n_replicas, dtype=np.int64),
+            completions=np.zeros(n_replicas, dtype=np.int64),
+            losses=np.zeros(n_replicas, dtype=np.int64),
+        )
+
+    def replica(self, i: int) -> EnvTotals:
+        """Scalar :class:`~repro.env.EnvTotals` view of replica ``i``."""
+        return EnvTotals(
+            slots=self.slots,
+            energy=float(self.energy[i]),
+            queue_integral=float(self.queue_integral[i]),
+            arrivals=int(self.arrivals[i]),
+            completions=int(self.completions[i]),
+            losses=int(self.losses[i]),
+        )
+
+    def mean_power(self, slot_length: float) -> np.ndarray:
+        """Per-replica average power (watts)."""
+        if self.slots == 0:
+            return np.zeros_like(self.energy)
+        return self.energy / (self.slots * slot_length)
+
+    def mean_queue(self) -> np.ndarray:
+        """Per-replica time-average queue length."""
+        if self.slots == 0:
+            return np.zeros_like(self.queue_integral)
+        return self.queue_integral / self.slots
+
+    def loss_rate(self) -> np.ndarray:
+        """Per-replica fraction of arrivals dropped."""
+        arrivals = np.maximum(self.arrivals, 1)
+        return np.where(self.arrivals > 0, self.losses / arrivals, 0.0)
+
+
+class BatchedSlottedEnv:
+    """B lock-step replicas of :class:`~repro.env.SlottedDPMEnv`.
+
+    Parameters mirror the scalar environment; ``n_replicas`` sets the
+    batch width B and ``seeds`` the per-replica RNG streams (an int is
+    expanded to the consecutive block ``seed, seed+1, ...``; a sequence
+    is used verbatim, matching ``SlottedDPMEnv(seed=seeds[i])``).
+
+    ``rng_mode`` trades exactness against speed:
+
+    - ``"replica"`` (default) — one PCG64 stream per replica, consumed in
+      the scalar draw order: replica ``i`` is bit-for-bit a scalar env
+      seeded ``seeds[i]``.  Costs O(B) generator calls per slot.
+    - ``"shared"`` — one generator draws a ``(2, B)`` uniform block per
+      slot (service row, arrival row; the service row is consumed even
+      when unused so the stream layout is slot-indexed).  Statistically
+      identical, not stream-matched to any scalar run, and the fastest
+      path at large B.
+    """
+
+    def __init__(
+        self,
+        device: PowerStateMachine,
+        schedule: Optional[RateSchedule] = None,
+        n_replicas: int = 1,
+        slot_length: float = 1.0,
+        queue_capacity: int = 8,
+        p_serve: float = 1.0,
+        perf_weight: float = 0.5,
+        loss_penalty: float = 2.0,
+        seeds: Optional[Union[int, Sequence[Optional[int]]]] = None,
+        rng_mode: str = "replica",
+    ) -> None:
+        if n_replicas < 1:
+            raise ValueError(f"n_replicas must be >= 1, got {n_replicas}")
+        if rng_mode not in ("replica", "shared"):
+            raise ValueError(
+                f"rng_mode must be 'replica' or 'shared', got {rng_mode!r}"
+            )
+        if queue_capacity < 1:
+            raise ValueError(f"queue_capacity must be >= 1, got {queue_capacity}")
+        if not 0.0 < p_serve <= 1.0:
+            raise ValueError(f"p_serve must be in (0, 1], got {p_serve}")
+        if perf_weight < 0 or loss_penalty < 0:
+            raise ValueError("perf_weight and loss_penalty must be >= 0")
+        self.device = device
+        self.mode_space = ModeSpace(device, slot_length)
+        self.tables = self.mode_space.dense_tables()
+        self.schedule = schedule if schedule is not None else ConstantRate(0.1)
+        self.n_replicas = int(n_replicas)
+        self.slot_length = float(slot_length)
+        self.queue_capacity = int(queue_capacity)
+        self.p_serve = float(p_serve)
+        self.perf_weight = float(perf_weight)
+        self.loss_penalty = float(loss_penalty)
+        self.rng_mode = rng_mode
+        self._seed_rngs(seeds)
+
+        start = self.mode_space.steady_mode_index(device.initial_state)
+        self._modes = np.full(n_replicas, start, dtype=np.int64)
+        self._queues = np.zeros(n_replicas, dtype=np.int64)
+        self._slot = 0
+        self.totals = BatchedEnvTotals.zeros(n_replicas)
+
+    def _seed_rngs(
+        self, seeds: Optional[Union[int, Sequence[Optional[int]]]]
+    ) -> None:
+        resolved = _resolve_seeds(seeds, self.n_replicas)
+        if self.rng_mode == "replica":
+            self._rngs = [np.random.default_rng(s) for s in resolved]
+            self._draw = [rng.random for rng in self._rngs]
+            self._shared_rng = None
+        else:
+            entropy = None if all(s is None for s in resolved) else [
+                0 if s is None else s for s in resolved
+            ]
+            self._rngs = []
+            self._draw = []
+            self._shared_rng = np.random.default_rng(entropy)
+
+    # ------------------------------------------------------------------ #
+    # state indexing (same encoding as the scalar env)
+    # ------------------------------------------------------------------ #
+
+    @property
+    def n_states(self) -> int:
+        """Per-replica state count: modes x queue levels."""
+        return self.mode_space.n_modes * (self.queue_capacity + 1)
+
+    @property
+    def n_actions(self) -> int:
+        """Global action count (one per device power state)."""
+        return self.mode_space.n_actions
+
+    @property
+    def states(self) -> np.ndarray:
+        """(B,) flattened state indices."""
+        return self._modes * (self.queue_capacity + 1) + self._queues
+
+    @property
+    def modes(self) -> np.ndarray:
+        """(B,) current mode indices (copy)."""
+        return self._modes.copy()
+
+    @property
+    def queues(self) -> np.ndarray:
+        """(B,) current queue lengths (copy)."""
+        return self._queues.copy()
+
+    @property
+    def current_slot(self) -> int:
+        """Index of the next slot to be simulated (lock-step)."""
+        return self._slot
+
+    def allowed_mask(self, states: Optional[np.ndarray] = None) -> np.ndarray:
+        """(B, n_actions) legality mask for the given (or current) states."""
+        if states is None:
+            modes = self._modes
+        else:
+            modes = np.asarray(states, dtype=np.int64) // (self.queue_capacity + 1)
+        return self.tables.allowed[modes]
+
+    # ------------------------------------------------------------------ #
+    # dynamics
+    # ------------------------------------------------------------------ #
+
+    def reset(
+        self,
+        seeds: Optional[Union[int, Sequence[Optional[int]]]] = None,
+        queue: int = 0,
+        mode: Optional[str] = None,
+    ) -> np.ndarray:
+        """Restart every replica; returns the (B,) initial state vector."""
+        if seeds is not None:
+            self._seed_rngs(seeds)
+        start = mode if mode is not None else self.device.initial_state
+        self._modes[:] = self.mode_space.steady_mode_index(start)
+        if not 0 <= queue <= self.queue_capacity:
+            raise ValueError(f"queue out of range: {queue}")
+        self._queues[:] = int(queue)
+        self._slot = 0
+        self.totals = BatchedEnvTotals.zeros(self.n_replicas)
+        return self.states
+
+    def set_schedule(self, schedule: RateSchedule) -> None:
+        """Swap the arrival schedule (phase changes keep RNG streams)."""
+        self.schedule = schedule
+
+    def step(
+        self, actions: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray, BatchStepInfo]:
+        """Advance every replica one slot under ``actions`` (B,).
+
+        Returns ``(next_states, rewards, info)`` — all vectors.
+
+        Raises
+        ------
+        KeyError
+            If any replica's action is not allowed in its current mode.
+        """
+        actions = np.asarray(actions, dtype=np.int64)
+        if actions.shape != (self.n_replicas,):
+            raise ValueError(
+                f"actions must have shape ({self.n_replicas},), got {actions.shape}"
+            )
+        out_of_range = (actions < 0) | (actions >= self.n_actions)
+        if out_of_range.any():
+            bad = int(np.nonzero(out_of_range)[0][0])
+            raise KeyError(
+                f"action index {int(actions[bad])} out of range "
+                f"[0, {self.n_actions}) (replica {bad})"
+            )
+        tables = self.tables
+        modes = self._modes
+        next_modes = tables.next_mode[modes, actions]
+        if (next_modes < 0).any():
+            bad = int(np.nonzero(next_modes < 0)[0][0])
+            raise KeyError(
+                f"action {self.mode_space.action_names[int(actions[bad])]!r} "
+                f"not allowed in mode "
+                f"{self.mode_space.mode(int(modes[bad])).label!r} "
+                f"(replica {bad})"
+            )
+        energy = tables.energy[modes, actions]
+        rate = self.schedule.rate_at(self._slot)
+
+        need_serve = tables.can_service[modes, actions] & (self._queues > 0)
+        if self._shared_rng is not None:
+            # one (2, B) block per slot: service row, arrival row
+            draws = self._shared_rng.random((2, self.n_replicas)).T
+        else:
+            # scalar draw order per replica: service (conditional), then
+            # arrival — tuple elements evaluate left-to-right, so each
+            # replica's stream is consumed exactly as its scalar twin's
+            draws = np.array([
+                (d(), d()) if n else (2.0, d())
+                for n, d in zip(need_serve.tolist(), self._draw)
+            ])
+        served = need_serve & (draws[:, 0] < self.p_serve)
+        queues = self._queues - served
+        arrived = draws[:, 1] < rate
+        lost = arrived & (queues >= self.queue_capacity)
+        queues = queues + (arrived & ~lost)
+
+        rewards = (
+            -energy
+            - self.perf_weight * queues
+            - self.loss_penalty * lost
+        )
+
+        info = BatchStepInfo(
+            slot=self._slot,
+            energy=energy,
+            queue=queues,
+            arrived=arrived,
+            served=served,
+            lost=lost,
+            modes=next_modes,
+            arrival_rate=rate,
+        )
+
+        self.totals.slots += 1
+        self.totals.energy += energy
+        self.totals.queue_integral += queues
+        self.totals.arrivals += arrived
+        self.totals.completions += served
+        self.totals.losses += lost
+
+        self._modes = next_modes
+        self._queues = queues
+        self._slot += 1
+        return self.states, rewards, info
+
+    # ------------------------------------------------------------------ #
+    # reference quantities
+    # ------------------------------------------------------------------ #
+
+    def always_on_power(self) -> float:
+        """Power of keeping the device in its home (servicing) state."""
+        return self.device.state(self.device.initial_state).power
+
+    def energy_saving_ratio(self) -> np.ndarray:
+        """(B,) per-replica episode energy saving vs. always-on."""
+        if self.totals.slots == 0:
+            return np.zeros(self.n_replicas)
+        baseline = self.always_on_power() * self.slot_length * self.totals.slots
+        if baseline <= 0:
+            return np.zeros(self.n_replicas)
+        return 1.0 - self.totals.energy / baseline
+
+    def __repr__(self) -> str:
+        return (
+            f"BatchedSlottedEnv(device={self.device.name!r}, "
+            f"replicas={self.n_replicas}, states={self.n_states}, "
+            f"actions={self.n_actions}, qcap={self.queue_capacity})"
+        )

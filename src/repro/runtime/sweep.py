@@ -1,0 +1,332 @@
+"""Unified multi-seed sweep runner: one entry point for every experiment.
+
+Every reproduction experiment is, at its core, "roll the slotted system
+forward for N slots under some controller, for one or more seeds, and
+summarize".  :class:`SweepRunner` owns that loop once:
+
+- seeds are chunked into lock-step batches of ``batch_size`` and executed
+  on the vectorized engine (:class:`~repro.runtime.BatchedSlottedEnv` +
+  :class:`~repro.runtime.BatchedQDPM`), so a 32-seed sweep costs one
+  NumPy-stride loop instead of 32 interpreter round-trip loops;
+- fixed policies (the frozen-optimal arms) run on the same batched
+  engine with a precomputed state->action lookup;
+- controllers that cannot be batched (the model-based adaptive pipeline)
+  fall back to a per-seed scalar loop behind the same interface;
+- per-seed summaries aggregate to mean +- bootstrap CI via the existing
+  :mod:`repro.analysis.bootstrap`.
+
+The runner deliberately does not import :mod:`repro.experiments` — the
+experiments layer builds :class:`RolloutSpec`s from its config
+dataclasses (``RolloutSpec.from_env_config``) and calls down.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, List, Optional, Sequence, Union
+
+import numpy as np
+
+from ..analysis.bootstrap import CI, bootstrap_ci
+from ..core.qdpm import RunHistory
+from ..core.schedules import Schedule
+from ..device import get_preset
+from ..env.slotted_env import EnvTotals
+from ..mdp import DeterministicPolicy
+from ..workload.nonstationary import RateSchedule
+from .batched_env import BatchedSlottedEnv
+from .batched_qdpm import BatchedQDPM, BatchRunHistory, run_lockstep
+
+
+@dataclass(frozen=True)
+class RolloutSpec:
+    """One rollout recipe: environment + controller + horizon.
+
+    ``policy`` switches the controller: ``None`` rolls a learning Q-DPM
+    (with an optional pre-training phase on ``warmup_schedule``), a
+    :class:`~repro.mdp.DeterministicPolicy` rolls that fixed policy.
+    Per-replica env streams are seeded ``seed + env_seed_offset`` (and
+    ``seed + warmup_seed_offset`` during warmup), mirroring the seed
+    arithmetic the scalar experiments used.
+    """
+
+    schedule: RateSchedule
+    n_slots: int
+    device: str = "abstract3"
+    slot_length: float = 1.0
+    queue_capacity: int = 8
+    p_serve: float = 0.9
+    perf_weight: float = 0.5
+    loss_penalty: float = 2.0
+    discount: float = 0.95
+    learning_rate: Union[float, Schedule] = 0.1
+    epsilon: float = 0.1
+    initial_q: float = 0.0
+    record_every: int = 1_000
+    policy: Optional[DeterministicPolicy] = None
+    warmup_schedule: Optional[RateSchedule] = None
+    warmup_slots: int = 0
+    env_seed_offset: int = 0
+    warmup_seed_offset: int = 0
+    rng_mode: str = "replica"   #: "replica" = bit-exact streams, "shared" = fastest
+
+    @classmethod
+    def from_env_config(cls, env_config, schedule: RateSchedule,
+                        n_slots: int, **overrides) -> "RolloutSpec":
+        """Build a spec from an experiments ``EnvConfig``-shaped object.
+
+        Duck-typed on the attribute names (device, slot_length,
+        queue_capacity, p_serve, perf_weight, loss_penalty, discount) to
+        keep the runtime layer import-independent of the experiments
+        layer.
+        """
+        spec = cls(
+            schedule=schedule,
+            n_slots=n_slots,
+            device=env_config.device,
+            slot_length=env_config.slot_length,
+            queue_capacity=env_config.queue_capacity,
+            p_serve=env_config.p_serve,
+            perf_weight=env_config.perf_weight,
+            loss_penalty=env_config.loss_penalty,
+            discount=env_config.discount,
+        )
+        return replace(spec, **overrides) if overrides else spec
+
+    def build_env(self, seeds: Sequence[int],
+                  warmup: bool = False) -> BatchedSlottedEnv:
+        """Batched environment for one seed chunk (main or warmup phase)."""
+        offset = self.warmup_seed_offset if warmup else self.env_seed_offset
+        schedule = self.warmup_schedule if warmup else self.schedule
+        return BatchedSlottedEnv(
+            get_preset(self.device),
+            schedule,
+            n_replicas=len(seeds),
+            slot_length=self.slot_length,
+            queue_capacity=self.queue_capacity,
+            p_serve=self.p_serve,
+            perf_weight=self.perf_weight,
+            loss_penalty=self.loss_penalty,
+            seeds=[s + offset for s in seeds],
+            rng_mode=self.rng_mode,
+        )
+
+
+@dataclass
+class SeedRun:
+    """Summary of one seed's rollout."""
+
+    seed: int
+    history: RunHistory
+    mean_reward: float       #: reward/slot over the whole horizon
+    saving_ratio: float      #: episode energy saving vs always-on
+    totals: EnvTotals
+
+
+@dataclass
+class SweepResult:
+    """All seeds of one sweep, with CI aggregation helpers."""
+
+    spec: RolloutSpec
+    runs: List[SeedRun] = field(default_factory=list)
+
+    @property
+    def seeds(self) -> List[int]:
+        return [r.seed for r in self.runs]
+
+    @property
+    def n_seeds(self) -> int:
+        return len(self.runs)
+
+    def rewards(self) -> np.ndarray:
+        """Per-seed mean reward/slot."""
+        return np.array([r.mean_reward for r in self.runs])
+
+    def savings(self) -> np.ndarray:
+        """Per-seed energy-saving ratio."""
+        return np.array([r.saving_ratio for r in self.runs])
+
+    def reward_ci(self, confidence: float = 0.95) -> CI:
+        """Bootstrap CI of the across-seed mean reward."""
+        return bootstrap_ci(self.rewards(), confidence=confidence)
+
+    def saving_ci(self, confidence: float = 0.95) -> CI:
+        """Bootstrap CI of the across-seed mean saving ratio."""
+        return bootstrap_ci(self.savings(), confidence=confidence)
+
+    def history_matrix(self, what: str = "reward") -> np.ndarray:
+        """Stacked per-seed traces, shape ``(n_records, n_seeds)``."""
+        return np.stack(
+            [getattr(r.history, what) for r in self.runs], axis=1
+        )
+
+    def mean_history(self) -> RunHistory:
+        """Across-seed mean trace."""
+        return RunHistory(
+            slots=self.runs[0].history.slots.copy(),
+            energy=self.history_matrix("energy").mean(axis=1),
+            reward=self.history_matrix("reward").mean(axis=1),
+            queue=self.history_matrix("queue").mean(axis=1),
+            saving_ratio=self.history_matrix("saving_ratio").mean(axis=1),
+            td_error=self.history_matrix("td_error").mean(axis=1),
+        )
+
+
+def _policy_action_lut(env: BatchedSlottedEnv,
+                       policy: DeterministicPolicy) -> np.ndarray:
+    """State -> action lookup with the scalar experiments' fallback
+    (first allowed action when the policy's choice is illegal)."""
+    qcap1 = env.queue_capacity + 1
+    lut = np.empty(env.n_states, dtype=np.int64)
+    for state in range(env.n_states):
+        action = policy(state)
+        allowed = env.mode_space.allowed_actions(state // qcap1)
+        lut[state] = action if action in allowed else allowed[0]
+    return lut
+
+
+def _run_fixed_policy(env: BatchedSlottedEnv, lut: np.ndarray,
+                      n_slots: int, record_every: int) -> BatchRunHistory:
+    """Roll a fixed policy on the batched engine, windowed like QDPM.run."""
+    no_td = np.zeros(env.n_replicas)
+
+    def step():
+        actions = lut[env.states]
+        _, rewards, info = env.step(actions)
+        return rewards, info, no_td
+
+    return run_lockstep(env, step, n_slots, record_every=record_every)
+
+
+def _horizon_mean(history: RunHistory, n_slots: int,
+                  record_every: int) -> float:
+    """Whole-horizon reward/slot reconstructed from windowed means."""
+    n_full = n_slots // record_every
+    weights = [record_every] * n_full
+    if n_slots % record_every:
+        weights.append(n_slots % record_every)
+    weights = np.asarray(weights[:len(history.reward)], dtype=float)
+    return float((history.reward * weights).sum() / weights.sum())
+
+
+class SweepRunner:
+    """Chunked multi-seed executor over the batched engine.
+
+    Parameters
+    ----------
+    batch_size:
+        Maximum replicas per lock-step batch; seed lists longer than
+        this are processed in consecutive chunks.
+    """
+
+    def __init__(self, batch_size: int = 32) -> None:
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        self.batch_size = int(batch_size)
+
+    def run_many(
+        self,
+        spec: RolloutSpec,
+        seeds: Sequence[int],
+        batch_size: Optional[int] = None,
+        on_record: Optional[Callable[[int, BatchedQDPM, Sequence[int]], None]] = None,
+        on_chunk_done: Optional[Callable[[BatchedQDPM, Sequence[int]], None]] = None,
+        controller_factory: Optional[Callable[[int], object]] = None,
+    ) -> SweepResult:
+        """Run ``spec`` once per seed; batched wherever possible.
+
+        ``on_record(slot, driver, chunk_seeds)`` fires at every record
+        point of every learning chunk (snapshot hooks);
+        ``on_chunk_done(driver, chunk_seeds)`` after each learning chunk
+        finishes (final-table extraction).
+        ``controller_factory(seed)`` switches to the scalar fallback: it
+        must return an object with ``.run(n_slots, record_every)`` ->
+        ``RunHistory`` and an ``.env`` exposing ``totals`` /
+        ``energy_saving_ratio()`` (e.g. the model-based pipeline).
+        """
+        seeds = [int(s) for s in seeds]
+        if not seeds:
+            raise ValueError("need at least one seed")
+        if controller_factory is not None:
+            return self._run_scalar(spec, seeds, controller_factory)
+        chunk = batch_size if batch_size is not None else self.batch_size
+        result = SweepResult(spec=spec)
+        for start in range(0, len(seeds), chunk):
+            chunk_seeds = seeds[start:start + chunk]
+            result.runs.extend(
+                self._run_chunk(spec, chunk_seeds, on_record, on_chunk_done)
+            )
+        return result
+
+    # ------------------------------------------------------------------ #
+    # execution paths
+    # ------------------------------------------------------------------ #
+
+    def _run_chunk(self, spec: RolloutSpec, chunk_seeds: List[int],
+                   on_record, on_chunk_done=None) -> List[SeedRun]:
+        env = spec.build_env(chunk_seeds)
+        if spec.policy is not None:
+            lut = _policy_action_lut(env, spec.policy)
+            hist = _run_fixed_policy(
+                env, lut, spec.n_slots, spec.record_every
+            )
+        else:
+            warmup = spec.warmup_schedule is not None and spec.warmup_slots > 0
+            driver = BatchedQDPM(
+                spec.build_env(chunk_seeds, warmup=True) if warmup else env,
+                discount=spec.discount,
+                learning_rate=spec.learning_rate,
+                epsilon=spec.epsilon,
+                initial_q=spec.initial_q,
+                seed=[s + 1 for s in chunk_seeds],
+            )
+            if warmup:
+                driver.run(spec.warmup_slots, record_every=spec.warmup_slots)
+                driver.env = env
+            callback = None
+            if on_record is not None:
+                callback = lambda slot: on_record(slot, driver, chunk_seeds)
+            hist = driver.run(
+                spec.n_slots, record_every=spec.record_every,
+                callback=callback,
+            )
+            if on_chunk_done is not None:
+                on_chunk_done(driver, chunk_seeds)
+        savings = env.energy_saving_ratio()
+        runs: List[SeedRun] = []
+        for i, seed in enumerate(chunk_seeds):
+            history = hist.replica(i)
+            runs.append(
+                SeedRun(
+                    seed=seed,
+                    history=history,
+                    mean_reward=_horizon_mean(
+                        history, spec.n_slots, spec.record_every
+                    ),
+                    saving_ratio=float(savings[i]),
+                    totals=env.totals.replica(i),
+                )
+            )
+        return runs
+
+    def _run_scalar(self, spec: RolloutSpec, seeds: List[int],
+                    controller_factory) -> SweepResult:
+        result = SweepResult(spec=spec)
+        for seed in seeds:
+            controller = controller_factory(seed)
+            history = controller.run(
+                spec.n_slots, record_every=spec.record_every
+            )
+            env = controller.env
+            result.runs.append(
+                SeedRun(
+                    seed=seed,
+                    history=history,
+                    mean_reward=_horizon_mean(
+                        history, spec.n_slots, spec.record_every
+                    ),
+                    saving_ratio=float(env.energy_saving_ratio()),
+                    totals=env.totals,
+                )
+            )
+        return result

@@ -1,0 +1,305 @@
+"""Batched runtime: exact scalar/batched equivalence + driver behavior.
+
+The contract under test is the tentpole guarantee of
+:mod:`repro.runtime`: with per-replica RNG streams fixed, a B-replica
+lock-step run *is* B independent scalar runs, bit for bit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import QTable
+from repro.device import abstract_three_state, two_state
+from repro.env import SlottedDPMEnv
+from repro.runtime import BatchedQDPM, BatchedSlottedEnv
+from repro.workload import ConstantRate, PiecewiseConstantRate, SinusoidalRate
+
+
+def _drive_matched(device, schedule, seeds, n_slots, **env_kw):
+    """Step B scalar envs and one batched env with identical actions and
+    matched per-replica streams; assert every observable matches exactly."""
+    b = len(seeds)
+    scalars = [
+        SlottedDPMEnv(device, schedule, seed=s, **env_kw) for s in seeds
+    ]
+    batched = BatchedSlottedEnv(
+        device, schedule, n_replicas=b, seeds=list(seeds), **env_kw
+    )
+    action_rngs = [np.random.default_rng(900 + i) for i in range(b)]
+    for _ in range(n_slots):
+        actions = []
+        for i, env in enumerate(scalars):
+            allowed = env.allowed_actions(env.state)
+            actions.append(int(action_rngs[i].choice(allowed)))
+        scalar_out = [env.step(a) for env, a in zip(scalars, actions)]
+        states, rewards, info = batched.step(np.array(actions))
+        for i, (s, r, step_info) in enumerate(scalar_out):
+            assert s == states[i]
+            assert r == rewards[i]
+            assert step_info.energy == info.energy[i]
+            assert step_info.queue == info.queue[i]
+            assert step_info.arrived == bool(info.arrived[i])
+            assert step_info.served == bool(info.served[i])
+            assert step_info.lost == bool(info.lost[i])
+            assert step_info.arrival_rate == info.arrival_rate
+    return scalars, batched
+
+
+class TestEnvEquivalence:
+    def test_stationary_bit_exact(self, device3):
+        scalars, batched = _drive_matched(
+            device3, ConstantRate(0.2), seeds=range(5), n_slots=300,
+            queue_capacity=4, p_serve=0.9,
+        )
+        for i, env in enumerate(scalars):
+            assert env.totals == batched.totals.replica(i)
+            assert env.energy_saving_ratio() == batched.energy_saving_ratio()[i]
+
+    def test_nonstationary_bit_exact(self, device3):
+        schedule = PiecewiseConstantRate([(100, 0.35), (100, 0.02)])
+        scalars, batched = _drive_matched(
+            device3, schedule, seeds=(7, 17, 27), n_slots=250,
+            queue_capacity=6, p_serve=0.7,
+        )
+        for i, env in enumerate(scalars):
+            assert env.totals == batched.totals.replica(i)
+
+    def test_sinusoidal_two_state_bit_exact(self, device2):
+        schedule = SinusoidalRate(0.2, 0.15, 80)
+        scalars, batched = _drive_matched(
+            device2, schedule, seeds=(0, 1), n_slots=200,
+            queue_capacity=3, p_serve=1.0,
+        )
+        for i, env in enumerate(scalars):
+            assert env.totals == batched.totals.replica(i)
+
+    def test_int_seed_expands_to_block(self, device3):
+        batched = BatchedSlottedEnv(
+            device3, ConstantRate(0.2), n_replicas=3, seeds=42
+        )
+        explicit = BatchedSlottedEnv(
+            device3, ConstantRate(0.2), n_replicas=3, seeds=[42, 43, 44]
+        )
+        for _ in range(100):
+            a = np.zeros(3, dtype=int)
+            s1, r1, _ = batched.step(a)
+            s2, r2, _ = explicit.step(a)
+            assert np.array_equal(s1, s2)
+            assert np.array_equal(r1, r2)
+
+    def test_disallowed_action_raises(self, device3):
+        env = BatchedSlottedEnv(device3, ConstantRate(0.1), n_replicas=2, seeds=0)
+        bad = np.argwhere(~env.tables.allowed)
+        if bad.size == 0:
+            pytest.skip("device allows every action in every mode")
+        mode, illegal = (int(v) for v in bad[0])
+        env._modes[:] = mode  # force a restricted (e.g. in-transition) mode
+        with pytest.raises(KeyError):
+            env.step(np.array([illegal, illegal]))
+
+    def test_out_of_range_action_raises(self, device3):
+        env = BatchedSlottedEnv(device3, ConstantRate(0.1), n_replicas=2, seeds=0)
+        with pytest.raises(KeyError):
+            env.step(np.array([-1, 0]))   # must not wrap to the last action
+        with pytest.raises(KeyError):
+            env.step(np.array([0, env.n_actions]))
+
+    def test_seed_count_mismatch_raises(self, device3):
+        with pytest.raises(ValueError):
+            BatchedSlottedEnv(
+                device3, ConstantRate(0.1), n_replicas=3, seeds=[1, 2]
+            )
+
+    def test_shared_rng_mode_runs_and_differs_only_stochastically(self, device3):
+        env = BatchedSlottedEnv(
+            device3, ConstantRate(0.3), n_replicas=4, seeds=5,
+            rng_mode="shared", queue_capacity=4,
+        )
+        states = env.reset()
+        assert states.shape == (4,)
+        for _ in range(50):
+            _, rewards, _ = env.step(np.zeros(4, dtype=int))
+        assert env.totals.slots == 50
+        assert rewards.shape == (4,)
+
+    def test_reset_restores_initial_state(self, device3):
+        env = BatchedSlottedEnv(device3, ConstantRate(0.3), n_replicas=2, seeds=1)
+        for _ in range(20):
+            env.step(np.zeros(2, dtype=int))
+        states = env.reset(seeds=1)
+        assert env.totals.slots == 0
+        assert env.current_slot == 0
+        ref = BatchedSlottedEnv(device3, ConstantRate(0.3), n_replicas=2, seeds=1)
+        assert np.array_equal(states, ref.states)
+        s1, r1, _ = env.step(np.zeros(2, dtype=int))
+        s2, r2, _ = ref.step(np.zeros(2, dtype=int))
+        assert np.array_equal(s1, s2) and np.array_equal(r1, r2)
+
+
+class TestQTableBatchOps:
+    def test_batch_update_matches_sequential(self, rng):
+        n_obs, n_act, b = 30, 4, 12
+        seq = QTable(n_obs, n_act, initial_value=0.5)
+        bat = seq.copy()
+        # unique pairs: distinct observations per draw
+        obs = rng.choice(n_obs, size=b, replace=False)
+        actions = rng.integers(0, n_act, size=b)
+        targets = rng.normal(size=b)
+        lrs = rng.uniform(0.05, 0.9, size=b)
+        deltas_seq = np.array([
+            seq.update_toward(int(o), int(a), float(t), float(lr))
+            for o, a, t, lr in zip(obs, actions, targets, lrs)
+        ])
+        deltas_bat = bat.batch_update(obs, actions, targets, lrs)
+        assert np.array_equal(seq.values, bat.values)
+        assert np.array_equal(seq.visit_counts, bat.visit_counts)
+        assert np.array_equal(deltas_seq, deltas_bat)
+
+    def test_batch_update_scalar_lr_and_visits_on_duplicates(self):
+        table = QTable(4, 2)
+        obs = np.array([1, 1, 2])
+        act = np.array([0, 0, 1])
+        table.batch_update(obs, act, np.array([1.0, 1.0, 2.0]), 0.5)
+        # np.add.at counts every duplicate update
+        assert table.visits(1, 0) == 2
+        assert table.visits(2, 1) == 1
+
+    def test_batch_update_rejects_bad_learning_rate(self):
+        table = QTable(3, 2)
+        with pytest.raises(ValueError):
+            table.batch_update(
+                np.array([0]), np.array([0]), np.array([1.0]), 1.5
+            )
+
+    def test_batch_best_action_matches_scalar(self, rng):
+        n_obs, n_act = 20, 5
+        table = QTable(n_obs, n_act)
+        table._q[:] = rng.normal(size=(n_obs, n_act))
+        obs = rng.integers(0, n_obs, size=40)
+        mask = np.zeros((40, n_act), dtype=bool)
+        for i in range(40):
+            k = int(rng.integers(1, n_act + 1))
+            mask[i, rng.choice(n_act, size=k, replace=False)] = True
+        batch = table.batch_best_action(obs, mask)
+        for i in range(40):
+            allowed = np.nonzero(mask[i])[0]  # ascending, matches tie rule
+            assert batch[i] == table.best_action(int(obs[i]), allowed)
+
+    def test_batch_max_value_matches_scalar(self, rng):
+        table = QTable(10, 4)
+        table._q[:] = rng.normal(size=(10, 4))
+        obs = np.arange(10)
+        mask = np.ones((10, 4), dtype=bool)
+        mask[:, 0] = False
+        batch = table.batch_max_value(obs, mask)
+        for i in range(10):
+            assert batch[i] == table.max_value(i, [1, 2, 3])
+
+    def test_batch_best_action_empty_allowed_raises(self):
+        table = QTable(3, 2)
+        mask = np.array([[True, False], [False, False]])
+        with pytest.raises(ValueError):
+            table.batch_best_action(np.array([0, 1]), mask)
+
+    def test_copy_preserves_dtype(self):
+        table = QTable(4, 3, initial_value=1.0, dtype=np.float32)
+        clone = table.copy()
+        assert clone.values.dtype == np.float32
+        assert np.array_equal(clone.values, table.values)
+
+
+class TestBatchedQDPM:
+    def test_replica_blocks_match_scalar_updates(self, device3):
+        """Lock-step batch updates == B sequential scalar update_toward
+        calls on separate tables (replica row blocks are independent)."""
+        env = BatchedSlottedEnv(
+            device3, ConstantRate(0.25), n_replicas=3, seeds=[3, 4, 5],
+            queue_capacity=4, p_serve=0.9,
+        )
+        driver = BatchedQDPM(env, epsilon=0.0, seed=0)  # pure greedy
+        shadow = [QTable(env.n_states, env.n_actions) for _ in range(3)]
+        qcap1 = env.queue_capacity + 1
+        for _ in range(150):
+            states = env.states
+            obs = states + driver._offsets
+            mask = env.tables.allowed[env.modes]
+            actions = driver.table.batch_best_action(obs, mask)
+            next_states, rewards, _ = env.step(actions)
+            next_modes = env.modes
+            for i in range(3):
+                allowed = env.mode_space.allowed_actions(
+                    int(next_states[i]) // qcap1
+                )
+                target = rewards[i] + driver.discount * shadow[i].max_value(
+                    int(next_states[i]), allowed
+                )
+                shadow[i].update_toward(
+                    int(states[i]), int(actions[i]), float(target), 0.1
+                )
+            next_mask = env.tables.allowed[next_modes]
+            bootstrap = driver.table.batch_max_value(
+                next_states + driver._offsets, next_mask
+            )
+            driver.table.batch_update(
+                obs, actions, rewards + driver.discount * bootstrap, 0.1,
+                unique=True,
+            )
+        for i in range(3):
+            block = driver.replica_table(i)
+            assert np.array_equal(block.values, shadow[i].values)
+            assert np.array_equal(block.visit_counts, shadow[i].visit_counts)
+
+    def test_learning_improves_reward(self, device3):
+        env = BatchedSlottedEnv(
+            device3, ConstantRate(0.15), n_replicas=4, seeds=11,
+            queue_capacity=8, p_serve=0.9,
+        )
+        driver = BatchedQDPM(env, epsilon=0.08, seed=1)
+        hist = driver.run(20_000, record_every=2_000)
+        assert hist.reward.shape == (10, 4)
+        assert hist.reward[-2:].mean() > hist.reward[:2].mean()
+
+    def test_history_windows_and_partial_tail(self, device3):
+        env = BatchedSlottedEnv(
+            device3, ConstantRate(0.2), n_replicas=2, seeds=0
+        )
+        driver = BatchedQDPM(env, seed=0)
+        hist = driver.run(2_500, record_every=1_000)
+        assert len(hist) == 3  # 2 full windows + partial tail
+        assert list(hist.slots) == [999, 1999, 2499]
+        replica = hist.replica(1)
+        assert replica.reward.shape == (3,)
+        mean = hist.mean_history()
+        assert np.allclose(mean.reward, hist.reward.mean(axis=1))
+
+    def test_greedy_policy_matches_home_fallback(self, device3):
+        env = BatchedSlottedEnv(
+            device3, ConstantRate(0.15), n_replicas=2, seeds=0
+        )
+        driver = BatchedQDPM(env, seed=0)
+        policy = driver.greedy_policy(0)
+        home = env.mode_space.action_index(device3.initial_state)
+        # untrained: every steady state with the home action allowed
+        # falls back to it
+        assert policy(0) == home
+
+    def test_callback_fires_per_full_window(self, device3):
+        env = BatchedSlottedEnv(device3, ConstantRate(0.2), n_replicas=2, seeds=0)
+        driver = BatchedQDPM(env, seed=0)
+        seen = []
+        driver.run(3_000, record_every=1_000, callback=seen.append)
+        assert seen == [999, 1999, 2999]
+
+    def test_invalid_args_raise(self, device3):
+        env = BatchedSlottedEnv(device3, ConstantRate(0.2), n_replicas=2, seeds=0)
+        with pytest.raises(ValueError):
+            BatchedQDPM(env, discount=1.0)
+        with pytest.raises(ValueError):
+            BatchedQDPM(env, epsilon=-0.1)
+        driver = BatchedQDPM(env)
+        with pytest.raises(ValueError):
+            driver.run(0)
+        with pytest.raises(ValueError):
+            driver.replica_table(5)

@@ -1,0 +1,218 @@
+"""SweepRunner: chunking, CI aggregation, policy mode, scalar fallback."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import QDPM
+from repro.device import abstract_three_state
+from repro.env import SlottedDPMEnv, build_dpm_model
+from repro.runtime import RolloutSpec, SweepRunner
+from repro.workload import ConstantRate, SinusoidalRate
+
+
+@pytest.fixture(scope="module")
+def device():
+    return abstract_three_state()
+
+
+@pytest.fixture(scope="module")
+def spec():
+    return RolloutSpec(
+        schedule=ConstantRate(0.15),
+        n_slots=4_000,
+        record_every=1_000,
+        queue_capacity=6,
+        epsilon=0.08,
+    )
+
+
+class TestRunMany:
+    def test_one_run_per_seed(self, spec):
+        result = SweepRunner(batch_size=2).run_many(spec, seeds=[1, 2, 3, 4, 5])
+        assert result.n_seeds == 5
+        assert result.seeds == [1, 2, 3, 4, 5]
+        for run in result.runs:
+            assert run.history.reward.shape == (4,)
+            assert run.totals.slots == 4_000
+
+    def test_deterministic_given_seeds(self, spec):
+        seeds = [10, 20, 30]
+        first = SweepRunner(batch_size=2).run_many(spec, seeds)
+        second = SweepRunner(batch_size=2).run_many(spec, seeds)
+        for a, b in zip(first.runs, second.runs):
+            assert a.mean_reward == b.mean_reward
+            assert a.saving_ratio == b.saving_ratio
+            assert np.array_equal(a.history.reward, b.history.reward)
+
+    def test_learning_chunking_invariant(self, spec):
+        """A seed's trained outcome is independent of batch composition:
+        env streams AND exploration streams are per-replica, so
+        re-chunking the same seed list is bit-identical per seed."""
+        seeds = [10, 20, 30]
+        whole = SweepRunner(batch_size=8).run_many(spec, seeds)
+        split = SweepRunner(batch_size=1).run_many(spec, seeds)
+        for a, b in zip(whole.runs, split.runs):
+            assert a.seed == b.seed
+            assert a.mean_reward == b.mean_reward
+            assert np.array_equal(a.history.reward, b.history.reward)
+            assert a.totals == b.totals
+
+    def test_policy_mode_chunking_invariant(self, device):
+        """Fixed-policy sweeps are bit-identical however seeds are
+        chunked (trajectories depend only on per-replica env streams)."""
+        model = build_dpm_model(
+            device, arrival_rate=0.15, queue_capacity=6, p_serve=0.9
+        )
+        policy = model.solve(0.95, "policy_iteration").policy
+        pspec = RolloutSpec(
+            schedule=ConstantRate(0.15), n_slots=1_000, record_every=1_000,
+            queue_capacity=6, policy=policy,
+        )
+        seeds = [10, 20, 30]
+        whole = SweepRunner(batch_size=8).run_many(pspec, seeds)
+        split = SweepRunner(batch_size=1).run_many(pspec, seeds)
+        for a, b in zip(whole.runs, split.runs):
+            assert a.seed == b.seed
+            assert a.mean_reward == b.mean_reward
+            assert a.totals == b.totals
+
+    def test_ci_aggregation(self, spec):
+        result = SweepRunner().run_many(spec, seeds=range(6))
+        ci = result.reward_ci()
+        rewards = result.rewards()
+        assert rewards.shape == (6,)
+        assert ci.low <= ci.estimate <= ci.high
+        assert ci.estimate == pytest.approx(rewards.mean())
+        sci = result.saving_ci()
+        assert sci.low <= sci.estimate <= sci.high
+
+    def test_mean_history_and_matrix(self, spec):
+        result = SweepRunner().run_many(spec, seeds=[0, 1, 2])
+        matrix = result.history_matrix("reward")
+        assert matrix.shape == (4, 3)
+        mean = result.mean_history()
+        assert np.allclose(mean.reward, matrix.mean(axis=1))
+
+    def test_empty_seeds_raises(self, spec):
+        with pytest.raises(ValueError):
+            SweepRunner().run_many(spec, seeds=[])
+
+    def test_bad_batch_size_raises(self):
+        with pytest.raises(ValueError):
+            SweepRunner(batch_size=0)
+
+
+class TestPolicyMode:
+    def test_fixed_policy_matches_scalar_rollout(self, device):
+        """Policy-mode sweep == the scalar fixed-policy loop, bit for bit
+        (matched env streams, deterministic actions)."""
+        model = build_dpm_model(
+            device, arrival_rate=0.2, queue_capacity=6, p_serve=0.9
+        )
+        policy = model.solve(0.95, "policy_iteration").policy
+        n_slots = 2_000
+        spec = RolloutSpec(
+            schedule=SinusoidalRate(0.2, 0.1, 500),
+            n_slots=n_slots,
+            record_every=n_slots,
+            queue_capacity=6,
+            policy=policy,
+            env_seed_offset=100,
+        )
+        result = SweepRunner().run_many(spec, seeds=[23, 24])
+
+        for run in result.runs:
+            env = SlottedDPMEnv(
+                device, SinusoidalRate(0.2, 0.1, 500), queue_capacity=6,
+                p_serve=0.9, seed=run.seed + 100,
+            )
+            total = 0.0
+            for _ in range(n_slots):
+                state = env.state
+                action = policy(state)
+                if action not in env.allowed_actions(state):
+                    action = env.allowed_actions(state)[0]
+                _, reward, _ = env.step(action)
+                total += reward
+            assert run.mean_reward == pytest.approx(total / n_slots, rel=1e-12)
+            assert run.saving_ratio == pytest.approx(
+                env.energy_saving_ratio(), rel=1e-12
+            )
+            assert run.totals == env.totals
+
+
+class TestWarmup:
+    def test_warmup_then_main_phase(self, device):
+        spec = RolloutSpec(
+            schedule=SinusoidalRate(0.2, 0.1, 1_000),
+            n_slots=3_000,
+            record_every=3_000,
+            queue_capacity=6,
+            warmup_schedule=ConstantRate(0.2),
+            warmup_slots=3_000,
+            env_seed_offset=100,
+        )
+        result = SweepRunner().run_many(spec, seeds=[23])
+        run = result.runs[0]
+        # totals cover only the main phase
+        assert run.totals.slots == 3_000
+        # warmed-up controller should beat a cold one on the same workload
+        cold = SweepRunner().run_many(
+            RolloutSpec(
+                schedule=SinusoidalRate(0.2, 0.1, 1_000),
+                n_slots=3_000,
+                record_every=3_000,
+                queue_capacity=6,
+                env_seed_offset=100,
+            ),
+            seeds=[23],
+        )
+        assert run.mean_reward > cold.runs[0].mean_reward
+
+
+class TestScalarFallback:
+    def test_controller_factory_routes_per_seed(self, device, spec):
+        built = []
+
+        def factory(seed):
+            env = SlottedDPMEnv(
+                device, ConstantRate(0.15), queue_capacity=6, p_serve=0.9,
+                seed=seed,
+            )
+            controller = QDPM(env, epsilon=0.08, seed=seed + 1)
+            built.append(seed)
+            return controller
+
+        result = SweepRunner().run_many(
+            spec, seeds=[5, 6], controller_factory=factory
+        )
+        assert built == [5, 6]
+        assert result.n_seeds == 2
+        for run in result.runs:
+            assert run.totals.slots == 4_000
+            assert np.isfinite(run.mean_reward)
+
+
+class TestRolloutSpecHelpers:
+    def test_from_env_config_duck_typing(self):
+        class Cfg:
+            device = "abstract3"
+            slot_length = 1.0
+            queue_capacity = 5
+            p_serve = 0.8
+            perf_weight = 0.4
+            loss_penalty = 1.5
+            discount = 0.9
+
+        spec = RolloutSpec.from_env_config(
+            Cfg(), ConstantRate(0.1), 1_000, epsilon=0.2
+        )
+        assert spec.queue_capacity == 5
+        assert spec.p_serve == 0.8
+        assert spec.discount == 0.9
+        assert spec.epsilon == 0.2
+        env = spec.build_env([0, 1])
+        assert env.n_replicas == 2
+        assert env.queue_capacity == 5
