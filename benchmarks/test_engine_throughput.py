@@ -1,31 +1,60 @@
-"""Engine throughput bench: scalar vs batched slots/sec.
+"""Engine throughput bench: scalar vs batched vs sharded slots/sec.
 
-The tentpole claim of the vectorized runtime, measured: training B
-independent Q-DPM seeds lock-step on :class:`~repro.runtime.BatchedQDPM`
-sustains >= 5x the replica-slots/sec of the scalar
-:class:`~repro.core.QDPM` loop at B >= 32.  Recorded per PR so future
-engine changes have a perf trajectory to regress against.
+The tentpole claims of the vectorized + sharded runtime, measured:
+
+- training B independent Q-DPM seeds lock-step on
+  :class:`~repro.runtime.BatchedQDPM` sustains >= 5x the
+  replica-slots/sec of the scalar :class:`~repro.core.QDPM` loop at
+  B >= 32 (shared-RNG mode);
+- sharding a multi-chunk sweep across 4 worker processes
+  (``SweepRunner(n_jobs=4)``) sustains >= 2x the wall-clock throughput
+  of the serial chunk loop on a >= 4-core host (skipped, not failed,
+  on smaller machines).
+
+Every case records its numbers into ``BENCH_engine.json`` at the repo
+root (read-modify-write, so cases compose across pytest invocations),
+giving the perf trajectory a machine-readable artifact per PR instead
+of living only in pytest output.  The quick snapshot case is *not*
+marked slow, so a ``-m "not slow"`` CI run still produces the artifact.
 
 Deselect with ``-m "not slow"`` for a quick suite run.
 """
 
 from __future__ import annotations
 
+import json
+import os
 import time
+from pathlib import Path
 
 import pytest
 
 from repro.core import QDPM
 from repro.device import abstract_three_state
 from repro.env import SlottedDPMEnv
-from repro.runtime import BatchedQDPM, BatchedSlottedEnv
+from repro.runtime import BatchedQDPM, BatchedSlottedEnv, RolloutSpec, SweepRunner
 from repro.workload import ConstantRate
 
 N_SLOTS = 20_000
 ENV_KW = dict(queue_capacity=8, p_serve=0.9)
 
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
 
-def _scalar_slots_per_sec(repeats: int = 3) -> float:
+
+def _record_bench(section: str, payload: dict) -> None:
+    """Merge one section into the shared perf artifact."""
+    data = {}
+    if BENCH_PATH.exists():
+        try:
+            data = json.loads(BENCH_PATH.read_text())
+        except ValueError:
+            data = {}
+    data["cpu_count"] = os.cpu_count()
+    data[section] = payload
+    BENCH_PATH.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+
+
+def _scalar_slots_per_sec(n_slots: int = N_SLOTS, repeats: int = 3) -> float:
     """Best-of-N scalar training throughput (one seed)."""
     best = 0.0
     for _ in range(repeats):
@@ -34,12 +63,13 @@ def _scalar_slots_per_sec(repeats: int = 3) -> float:
         )
         controller = QDPM(env, epsilon=0.08, seed=1)
         start = time.perf_counter()
-        controller.run(N_SLOTS, record_every=N_SLOTS)
-        best = max(best, N_SLOTS / (time.perf_counter() - start))
+        controller.run(n_slots, record_every=n_slots)
+        best = max(best, n_slots / (time.perf_counter() - start))
     return best
 
 
-def _batched_slots_per_sec(n_replicas: int, rng_mode: str) -> float:
+def _batched_slots_per_sec(n_replicas: int, rng_mode: str,
+                           n_slots: int = N_SLOTS) -> float:
     """Batched training throughput in replica-slots/sec."""
     env = BatchedSlottedEnv(
         abstract_three_state(), ConstantRate(0.15), n_replicas=n_replicas,
@@ -47,8 +77,24 @@ def _batched_slots_per_sec(n_replicas: int, rng_mode: str) -> float:
     )
     driver = BatchedQDPM(env, epsilon=0.08, seed=1)
     start = time.perf_counter()
-    driver.run(N_SLOTS, record_every=N_SLOTS)
-    return N_SLOTS * n_replicas / (time.perf_counter() - start)
+    driver.run(n_slots, record_every=n_slots)
+    return n_slots * n_replicas / (time.perf_counter() - start)
+
+
+def _sweep_spec(n_slots: int) -> RolloutSpec:
+    return RolloutSpec(
+        schedule=ConstantRate(0.15), n_slots=n_slots, record_every=n_slots,
+        epsilon=0.08, **ENV_KW,
+    )
+
+
+def _sweep_seconds(n_jobs: int, n_seeds: int, batch_size: int,
+                   n_slots: int) -> float:
+    """Wall-clock of one multi-chunk sweep at a given job count."""
+    runner = SweepRunner(batch_size=batch_size, n_jobs=n_jobs)
+    start = time.perf_counter()
+    runner.run_many(_sweep_spec(n_slots), seeds=list(range(n_seeds)))
+    return time.perf_counter() - start
 
 
 @pytest.mark.slow
@@ -65,6 +111,13 @@ def test_engine_throughput():
                 f"batched[{rng_mode:7s}] B={b:3d}: {sps:12,.0f} "
                 f"replica-slots/sec ({sps / scalar:5.1f}x)"
             )
+    _record_bench("engine_throughput", {
+        "n_slots": N_SLOTS,
+        "scalar_slots_per_sec": scalar,
+        "batched_replica_slots_per_sec": {
+            f"{mode}_B{b}": sps for (mode, b), sps in results.items()
+        },
+    })
 
     # the acceptance bar: >= 5x scalar throughput at B >= 32.  The
     # bit-exact per-replica-stream mode pays O(B) generator calls per
@@ -77,3 +130,63 @@ def test_engine_throughput():
     # monotone scaling: more replicas per batch amortize better
     assert results[("shared", 128)] > results[("shared", 32)]
     assert results[("replica", 128)] > results[("replica", 32)]
+
+
+@pytest.mark.slow
+def test_sharded_sweep_speedup():
+    """Sharding a multi-chunk sweep across 4 processes >= 2x serial.
+
+    16 seeds x batch 4 = 4 independent chunks; at ``n_jobs = 4`` each
+    worker owns one chunk, so ideal scaling is ~4x and the bar is a
+    conservative 2x.  Requires real cores — skipped (not failed) on
+    hosts with fewer than 4.
+    """
+    n_cores = os.cpu_count() or 1
+    n_seeds, batch_size, n_slots = 16, 4, 8_000
+    serial = _sweep_seconds(1, n_seeds, batch_size, n_slots)
+    sharded = _sweep_seconds(4, n_seeds, batch_size, n_slots)
+    speedup = serial / sharded
+    print()
+    print(
+        f"sweep {n_seeds} seeds x {n_slots} slots (batch {batch_size}): "
+        f"serial {serial:.2f}s vs 4 jobs {sharded:.2f}s ({speedup:.2f}x, "
+        f"{n_cores} cores)"
+    )
+    _record_bench("sharded_sweep", {
+        "n_seeds": n_seeds,
+        "batch_size": batch_size,
+        "n_slots": n_slots,
+        "serial_seconds": serial,
+        "jobs4_seconds": sharded,
+        "speedup": speedup,
+    })
+    if n_cores < 4:
+        pytest.skip(
+            f"sharded-speedup bar needs >= 4 cores, host has {n_cores} "
+            f"(numbers recorded to {BENCH_PATH.name})"
+        )
+    assert speedup >= 2.0, (
+        f"sharded sweep only {speedup:.2f}x serial at 4 jobs on "
+        f"{n_cores} cores"
+    )
+
+
+def test_quick_throughput_snapshot():
+    """Small, assertion-light snapshot so a ``-m "not slow"`` run (the CI
+    bench job) still writes the ``BENCH_engine.json`` artifact."""
+    n_slots = 2_000
+    scalar = _scalar_slots_per_sec(n_slots=n_slots, repeats=1)
+    batched = _batched_slots_per_sec(16, "shared", n_slots=n_slots)
+    serial = _sweep_seconds(1, n_seeds=4, batch_size=2, n_slots=n_slots)
+    sharded = _sweep_seconds(2, n_seeds=4, batch_size=2, n_slots=n_slots)
+    _record_bench("quick_snapshot", {
+        "n_slots": n_slots,
+        "scalar_slots_per_sec": scalar,
+        "batched_shared_B16_replica_slots_per_sec": batched,
+        "sweep_serial_seconds": serial,
+        "sweep_jobs2_seconds": sharded,
+    })
+    assert scalar > 0 and batched > 0
+    assert BENCH_PATH.exists()
+    data = json.loads(BENCH_PATH.read_text())
+    assert "quick_snapshot" in data and "cpu_count" in data

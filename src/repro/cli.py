@@ -7,6 +7,7 @@ Usage::
     python -m repro overhead        # CLAIM-EFF / CLAIM-MEM tables
     python -m repro variation       # CLAIM-VAR drift tolerance
     python -m repro policies        # EXT-POLICY event-driven table
+    python -m repro grid            # GRID rate x device x controller table
     python -m repro all             # everything, in order
     python -m repro sweep --seeds 8 # multi-seed CI sweep of fig1/fig2/variation
 
@@ -14,7 +15,9 @@ Each command prints the same ASCII figure/table recorded in
 EXPERIMENTS.md.  ``--quick`` shrinks horizons ~10x for smoke runs.
 ``--seeds N`` runs N independent seeds lock-step on the batched engine
 (:mod:`repro.runtime`) and adds bootstrap CIs; ``--batch B`` caps the
-replicas per lock-step batch.
+replicas per lock-step batch; ``--jobs J`` shards seed chunks (and grid
+cells / policy-table cells) across J worker processes — results are
+bit-identical at any job count.
 """
 
 from __future__ import annotations
@@ -27,48 +30,53 @@ from typing import Callable, Dict, List, Optional
 from .experiments import (
     Fig1Config,
     Fig2Config,
+    GridConfig,
     OverheadConfig,
     PolicyTableConfig,
     VariationConfig,
     run_fig1,
     run_fig2,
+    run_grid,
     run_overhead,
     run_policy_table,
     run_variation,
 )
 
 
-def _sweep_settings(config, n_seeds: Optional[int], batch: Optional[int]):
+def _sweep_settings(config, n_seeds: Optional[int], batch: Optional[int],
+                    jobs: Optional[int] = None):
     """Overlay CLI sweep flags onto a config's ``sweep`` block."""
     sweep = config.sweep
     if n_seeds is not None:
         sweep = dataclasses.replace(sweep, n_seeds=n_seeds)
     if batch is not None:
         sweep = dataclasses.replace(sweep, batch_size=batch)
+    if jobs is not None:
+        sweep = dataclasses.replace(sweep, n_jobs=jobs)
     return dataclasses.replace(config, sweep=sweep)
 
 
 def _fig1(quick: bool, n_seeds: Optional[int] = None,
-          batch: Optional[int] = None) -> str:
+          batch: Optional[int] = None, jobs: Optional[int] = None) -> str:
     config = Fig1Config()
     if quick:
         config = dataclasses.replace(config, n_slots=30_000, record_every=1_000)
-    return run_fig1(_sweep_settings(config, n_seeds, batch)).render()
+    return run_fig1(_sweep_settings(config, n_seeds, batch, jobs)).render()
 
 
 def _fig2(quick: bool, n_seeds: Optional[int] = None,
-          batch: Optional[int] = None) -> str:
+          batch: Optional[int] = None, jobs: Optional[int] = None) -> str:
     config = Fig2Config()
     if quick:
         config = dataclasses.replace(
             config, segment_slots=8_000, record_every=500, mb_min_samples=400,
             mb_freeze_slots=800,
         )
-    return run_fig2(_sweep_settings(config, n_seeds, batch)).render()
+    return run_fig2(_sweep_settings(config, n_seeds, batch, jobs)).render()
 
 
 def _overhead(quick: bool, n_seeds: Optional[int] = None,
-              batch: Optional[int] = None) -> str:
+              batch: Optional[int] = None, jobs: Optional[int] = None) -> str:
     config = OverheadConfig()
     if quick:
         config = dataclasses.replace(
@@ -80,35 +88,50 @@ def _overhead(quick: bool, n_seeds: Optional[int] = None,
 
 
 def _variation(quick: bool, n_seeds: Optional[int] = None,
-               batch: Optional[int] = None) -> str:
+               batch: Optional[int] = None, jobs: Optional[int] = None) -> str:
     config = VariationConfig()
     if quick:
         config = dataclasses.replace(
             config, n_slots=20_000, warmup_slots=15_000
         )
-    return run_variation(_sweep_settings(config, n_seeds, batch)).render()
+    return run_variation(_sweep_settings(config, n_seeds, batch, jobs)).render()
 
 
 def _policies(quick: bool, n_seeds: Optional[int] = None,
-              batch: Optional[int] = None) -> str:
+              batch: Optional[int] = None, jobs: Optional[int] = None) -> str:
     config = PolicyTableConfig()
     if quick:
         config = dataclasses.replace(config, duration=5_000.0)
+    if jobs is not None:
+        config = dataclasses.replace(config, n_jobs=jobs)
     return run_policy_table(config).render()
+
+
+def _grid(quick: bool, n_seeds: Optional[int] = None,
+          batch: Optional[int] = None, jobs: Optional[int] = None) -> str:
+    config = GridConfig()
+    if quick:
+        config = dataclasses.replace(
+            config, horizons=(5_000,), record_every=1_000
+        )
+    return run_grid(_sweep_settings(config, n_seeds, batch, jobs)).render()
 
 
 _COMMANDS: Dict[str, Callable[..., str]] = {
     "fig1": _fig1,
     "fig2": _fig2,
+    "grid": _grid,
     "overhead": _overhead,
     "variation": _variation,
     "policies": _policies,
 }
 
 #: experiments with a multi-seed (batched-engine) path
-_SWEEPABLE = ("fig1", "fig2", "variation")
+_SWEEPABLE = ("fig1", "fig2", "grid", "variation")
 #: experiments that consume --batch (sweepable + the batched Q-op timing)
 _BATCHABLE = _SWEEPABLE + ("overhead",)
+#: experiments that consume --jobs (multiprocess-sharded work units)
+_JOBBABLE = _SWEEPABLE + ("policies",)
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -141,18 +164,29 @@ def main(argv: Optional[List[str]] = None) -> int:
         metavar="B",
         help="max replicas per lock-step batch (default 32)",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="J",
+        help="shard work units across J worker processes (default 1)",
+    )
     args = parser.parse_args(argv)
     if args.seeds is not None and args.seeds < 1:
         parser.error("--seeds must be >= 1")
     if args.batch is not None and args.batch < 1:
         parser.error("--batch must be >= 1")
+    if args.jobs is not None and args.jobs < 1:
+        parser.error("--jobs must be >= 1")
 
     if args.experiment == "sweep":
         n_seeds = args.seeds if args.seeds is not None else 8
-        names = list(_SWEEPABLE)
+        names = ("fig1", "fig2", "variation")
         for name in names:
             print(f"=== {name} (x{n_seeds} seeds) ===")
-            print(_COMMANDS[name](args.quick, n_seeds=n_seeds, batch=args.batch))
+            print(_COMMANDS[name](
+                args.quick, n_seeds=n_seeds, batch=args.batch, jobs=args.jobs
+            ))
             print()
         return 0
 
@@ -160,12 +194,17 @@ def main(argv: Optional[List[str]] = None) -> int:
         if args.seeds is not None and args.experiment not in _SWEEPABLE:
             parser.error(
                 f"--seeds is not supported for {args.experiment!r} "
-                f"(multi-seed experiments: {', '.join(_SWEEPABLE)})"
+                f"(multi-seed experiments: {', '.join(sorted(_SWEEPABLE))})"
             )
         if args.batch is not None and args.experiment not in _BATCHABLE:
             parser.error(
                 f"--batch is not supported for {args.experiment!r} "
-                f"(batched experiments: {', '.join(_BATCHABLE)})"
+                f"(batched experiments: {', '.join(sorted(_BATCHABLE))})"
+            )
+        if args.jobs is not None and args.experiment not in _JOBBABLE:
+            parser.error(
+                f"--jobs is not supported for {args.experiment!r} "
+                f"(sharded experiments: {', '.join(sorted(_JOBBABLE))})"
             )
 
     names = sorted(_COMMANDS) if args.experiment == "all" else [args.experiment]
@@ -175,14 +214,17 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"note: --seeds has no effect on {name!r}")
         if name not in _BATCHABLE and args.batch is not None:
             print(f"note: --batch has no effect on {name!r}")
-        if args.seeds is not None or args.batch is not None:
-            out = _COMMANDS[name](
-                args.quick,
-                n_seeds=args.seeds if name in _SWEEPABLE else None,
-                batch=args.batch if name in _BATCHABLE else None,
-            )
-        else:
-            out = _COMMANDS[name](args.quick)
+        if name not in _JOBBABLE and args.jobs is not None:
+            print(f"note: --jobs has no effect on {name!r}")
+        kwargs = {}
+        if args.seeds is not None and name in _SWEEPABLE:
+            kwargs["n_seeds"] = args.seeds
+        if args.batch is not None and name in _BATCHABLE:
+            kwargs["batch"] = args.batch
+        if args.jobs is not None and name in _JOBBABLE:
+            kwargs["jobs"] = args.jobs
+        # no flags -> exactly one positional arg (the dispatch contract)
+        out = _COMMANDS[name](args.quick, **kwargs) if kwargs else _COMMANDS[name](args.quick)
         print(out)
         print()
     return 0

@@ -1,7 +1,13 @@
 """Q-DPM core: Q-table, schedules, exploration, TD agents, controller."""
 
 from .double_q import DoubleQLearningAgent
-from .exploration import Boltzmann, EpsilonGreedy, ExplorationStrategy, Greedy
+from .exploration import (
+    Boltzmann,
+    EpsilonGreedy,
+    ExplorationStrategy,
+    FixedDrawEpsilonGreedy,
+    Greedy,
+)
 from .qdpm import QDPM, RunHistory
 from .qlambda import WatkinsQLambdaAgent
 from .qlearning import ExpectedSarsaAgent, QLearningAgent, SarsaAgent, TDAgent
@@ -24,6 +30,7 @@ __all__ = [
     "ExplorationStrategy",
     "Greedy",
     "EpsilonGreedy",
+    "FixedDrawEpsilonGreedy",
     "Boltzmann",
     "TDAgent",
     "QLearningAgent",

@@ -84,6 +84,58 @@ class EpsilonGreedy(ExplorationStrategy):
         return f"EpsilonGreedy({self._epsilon!r})"
 
 
+class FixedDrawEpsilonGreedy(ExplorationStrategy):
+    """Epsilon-greedy that consumes exactly three uniforms per call.
+
+    :class:`EpsilonGreedy` draws a *variable* number of uniforms per slot
+    (the explore gate, then either one ``choice`` over the allowed set or
+    a tie-break ``choice`` only when ties exist), so a scalar agent's
+    stream never lines up with the batched engine's fixed-layout streams.
+    This strategy consumes the same fixed three-uniform block per slot as
+    :class:`~repro.runtime.BatchedQDPM` — ``[explore?, random-action
+    pick, greedy tie-break pick]`` — with identical index arithmetic, so
+    a scalar Q-DPM run seeded like batched replica ``i`` reproduces that
+    replica's action stream bit for bit.  Same distribution as
+    :class:`EpsilonGreedy` (uniform over allowed on explore, uniform over
+    near-max ties on exploit); only the stream layout differs.
+    """
+
+    def __init__(self, epsilon: Union[float, Schedule] = 0.1,
+                 tolerance: float = 1e-12) -> None:
+        self._epsilon = _as_schedule(epsilon)
+        self._tolerance = float(tolerance)
+
+    def epsilon_at(self, step: int) -> float:
+        """Exploration probability at a given step."""
+        return self._epsilon.value(step)
+
+    def select(
+        self,
+        table: QTable,
+        observation: int,
+        allowed: Sequence[int],
+        step: int,
+        rng: np.random.Generator,
+    ) -> int:
+        allowed = np.asarray(allowed, dtype=int)
+        if allowed.size == 0:
+            raise ValueError("allowed action set must be non-empty")
+        # the fixed per-slot block, in the batched engine's layout
+        draws = rng.random(3)
+        row = table._q[observation, allowed]  # noqa: SLF001 - hot path
+        near = row >= row.max() - self._tolerance
+        count = int(near.sum())
+        kth = min(int(draws[2] * count), count - 1)
+        greedy = int(allowed[np.nonzero(near)[0][kth]])
+        if draws[0] < self.epsilon_at(step):
+            pick = min(int(draws[1] * allowed.size), allowed.size - 1)
+            return int(allowed[pick])
+        return greedy
+
+    def __repr__(self) -> str:
+        return f"FixedDrawEpsilonGreedy({self._epsilon!r})"
+
+
 class Boltzmann(ExplorationStrategy):
     """Softmax exploration: P(a) proportional to exp(Q(s, a) / T)."""
 

@@ -65,6 +65,13 @@ class QDPM:
     discount, learning_rate, epsilon, seed:
         Convenience knobs forwarded to the default agent when ``agent``
         is not supplied.
+    exploration:
+        Exploration strategy for the default agent; ``None`` keeps the
+        paper's :class:`~repro.core.exploration.EpsilonGreedy`.  Pass
+        :class:`~repro.core.exploration.FixedDrawEpsilonGreedy` to
+        consume the batched engine's fixed three-uniform block per slot,
+        making a scalar run bit-identical to a
+        :class:`~repro.runtime.BatchedQDPM` replica under matched seeds.
     """
 
     def __init__(
@@ -76,6 +83,7 @@ class QDPM:
         learning_rate: float = 0.1,
         epsilon: float = 0.1,
         seed: Optional[int] = None,
+        exploration: Optional[ExplorationStrategy] = None,
     ) -> None:
         self.env = env
         self.observation = (
@@ -87,8 +95,16 @@ class QDPM:
                 n_actions=env.n_actions,
                 discount=discount,
                 learning_rate=learning_rate,
-                exploration=EpsilonGreedy(epsilon),
+                exploration=(
+                    exploration if exploration is not None
+                    else EpsilonGreedy(epsilon)
+                ),
                 seed=seed,
+            )
+        elif exploration is not None:
+            raise ValueError(
+                "pass exploration only when the default agent is built "
+                "(agent is None); configure a supplied agent directly"
             )
         if agent.table.n_observations != self.observation.n_observations:
             raise ValueError(

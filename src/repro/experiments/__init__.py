@@ -4,6 +4,7 @@ from .config import (
     EnvConfig,
     Fig1Config,
     Fig2Config,
+    GridConfig,
     OverheadConfig,
     PolicyTableConfig,
     SweepConfig,
@@ -11,6 +12,7 @@ from .config import (
 )
 from .fig1_convergence import Fig1Result, run_fig1
 from .fig2_nonstationary import Fig2Result, run_fig2
+from .grid_table import run_grid
 from .overhead import OverheadResult, OverheadRow, run_overhead
 from .policy_table import PolicyTableResult, PolicyTableRow, run_policy_table
 from .variation import VariationResult, VariationRow, run_variation
@@ -20,6 +22,7 @@ __all__ = [
     "SweepConfig",
     "Fig1Config",
     "Fig2Config",
+    "GridConfig",
     "OverheadConfig",
     "VariationConfig",
     "PolicyTableConfig",
@@ -27,6 +30,7 @@ __all__ = [
     "Fig1Result",
     "run_fig2",
     "Fig2Result",
+    "run_grid",
     "run_overhead",
     "OverheadResult",
     "OverheadRow",

@@ -30,13 +30,17 @@ class SweepConfig:
 
     ``n_seeds`` independent replicas run lock-step on the batched engine
     (:mod:`repro.runtime`), chunked ``batch_size`` at a time; seed ``i``
-    is ``seed + i * seed_stride``.  With the default ``n_seeds = 1`` an
-    experiment reproduces its classic single-seed protocol.
+    is ``seed + i * seed_stride``.  ``n_jobs`` shards the chunks across
+    worker processes (results are bit-identical for any
+    ``(batch_size, n_jobs)`` combination).  With the default
+    ``n_seeds = 1`` an experiment reproduces its classic single-seed
+    protocol.
     """
 
     n_seeds: int = 1
     batch_size: int = 32
     seed_stride: int = 1_000
+    n_jobs: int = 1
 
     def seeds(self, base_seed: int) -> List[int]:
         """The seed list this sweep realizes from an experiment's base seed."""
@@ -147,3 +151,32 @@ class PolicyTableConfig:
     pareto_xm: float = 6.0
     seed: int = 3
     timeout_scale_alt: float = 2.0  #: second timeout variant, x break-even
+    n_jobs: int = 1                #: worker processes for the policy x trace grid
+
+
+@dataclass(frozen=True)
+class GridConfig:
+    """GRID — scenario grid over rate x device x horizon x controller.
+
+    The grid-product workload the batched + sharded runtime opens: every
+    cell is a multi-seed sweep (``sweep.n_seeds`` seeds, chunked
+    ``sweep.batch_size`` at a time), and the whole cell x chunk matrix
+    fans out across ``sweep.n_jobs`` worker processes.  Controllers:
+    ``"qdpm"`` (learning) and ``"frozen"`` (optimal policy solved per
+    cell at the cell's mean rate).
+    """
+
+    env: EnvConfig = field(default_factory=EnvConfig)
+    sweep: SweepConfig = field(default_factory=lambda: SweepConfig(n_seeds=4))
+    rates: Tuple[float, ...] = (0.05, 0.15, 0.30)
+    devices: Tuple[str, ...] = ("abstract3", "two_state")
+    horizons: Tuple[int, ...] = (40_000,)
+    controllers: Tuple[str, ...] = ("qdpm", "frozen")
+    record_every: int = 2_000
+    learning_rate: float = 0.1
+    epsilon: float = 0.08
+    seed: int = 7
+
+    def seeds(self) -> List[int]:
+        """The seed list realized by the sweep settings."""
+        return self.sweep.seeds(self.seed)

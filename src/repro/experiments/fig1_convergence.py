@@ -144,7 +144,9 @@ def run_fig1(config: Fig1Config = Fig1Config()) -> Fig1Result:
         if chunk_seeds[0] == seeds[0]:
             lead["driver"] = driver
 
-    runner = SweepRunner(batch_size=config.sweep.batch_size)
+    runner = SweepRunner(
+        batch_size=config.sweep.batch_size, n_jobs=config.sweep.n_jobs
+    )
     sweep = runner.run_many(
         spec, seeds, on_record=on_record, on_chunk_done=on_chunk_done
     )

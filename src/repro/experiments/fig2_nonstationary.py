@@ -172,7 +172,9 @@ def run_fig2(config: Fig2Config = Fig2Config()) -> Fig2Result:
         epsilon=config.epsilon,
     )
     seeds = config.seeds()
-    runner = SweepRunner(batch_size=config.sweep.batch_size)
+    runner = SweepRunner(
+        batch_size=config.sweep.batch_size, n_jobs=config.sweep.n_jobs
+    )
 
     # --- Q-DPM (batched) -----------------------------------------------
     sweep_q = runner.run_many(spec, seeds)

@@ -24,6 +24,7 @@ from ..baselines import (
     PredictiveShutdown,
 )
 from ..device import get_preset
+from ..runtime import get_executor
 from ..sim import DPMSimulator, SimReport
 from ..workload import Exponential, Pareto, Trace, renewal_trace
 from .config import PolicyTableConfig
@@ -92,10 +93,31 @@ def _policy_label(policy, break_even: float, config: PolicyTableConfig) -> str:
     return policy.name
 
 
+def _simulate_cell(config: PolicyTableConfig, trace: Trace, policy,
+                   oracle: bool) -> SimReport:
+    """One (policy, trace) simulation — the grid's shardable work unit.
+
+    Module-level and built from picklable values only, so the executor
+    can ship cells to worker processes; the simulation itself is
+    deterministic given the trace, so sharding never changes the table.
+    """
+    sim = DPMSimulator(
+        get_preset(config.device), policy,
+        service_time=config.service_time, oracle=oracle,
+    )
+    return sim.run(trace)
+
+
 def run_policy_table(
     config: PolicyTableConfig = PolicyTableConfig(),
 ) -> PolicyTableResult:
-    """Run the full grid; deterministic given the config seed."""
+    """Run the full grid; deterministic given the config seed.
+
+    ``config.n_jobs > 1`` shards the (policy x trace) cells — including
+    the per-trace always-on normalization runs — across worker
+    processes; cell results are independent, so the table is identical
+    at any job count.
+    """
     device = get_preset(config.device)
     deepest = device.deepest_state()
     break_even = device.break_even_time(deepest, device.initial_state)
@@ -110,31 +132,38 @@ def run_policy_table(
         ),
     }
 
-    rows: List[PolicyTableRow] = []
+    # flatten: per trace, one baseline (always-on normalization) cell
+    # followed by the policy roster cells, all independent work units
+    tasks: List[tuple] = []
+    labels: List[tuple] = []  # (trace_name, policy_label or None)
     for trace_name, trace in traces.items():
-        # normalize saving to the measured always-on power on this trace
-        baseline_report = DPMSimulator(
-            device, AlwaysOn(), service_time=config.service_time
-        ).run(trace)
-        base_power = baseline_report.mean_power
+        tasks.append((config, trace, AlwaysOn(), False))
+        labels.append((trace_name, None))
         for policy, oracle in _policies(config, break_even):
-            sim = DPMSimulator(
-                device, policy, service_time=config.service_time, oracle=oracle
+            tasks.append((config, trace, policy, oracle))
+            labels.append((trace_name, _policy_label(policy, break_even, config)))
+    reports = get_executor(config.n_jobs).map(_simulate_cell, tasks)
+
+    rows: List[PolicyTableRow] = []
+    base_power = 0.0
+    for (trace_name, policy_label), report in zip(labels, reports):
+        if policy_label is None:
+            # normalize saving to the measured always-on power on this trace
+            base_power = report.mean_power
+            continue
+        saving = (
+            1.0 - report.mean_power / base_power if base_power > 0 else 0.0
+        )
+        rows.append(
+            PolicyTableRow(
+                policy=policy_label,
+                trace=trace_name,
+                mean_power=report.mean_power,
+                saving_vs_always_on=saving,
+                mean_latency=report.mean_latency,
+                p95_latency=report.p95_latency,
+                n_shutdowns=report.n_shutdowns,
+                n_wrong_shutdowns=report.n_wrong_shutdowns,
             )
-            report: SimReport = sim.run(trace)
-            saving = (
-                1.0 - report.mean_power / base_power if base_power > 0 else 0.0
-            )
-            rows.append(
-                PolicyTableRow(
-                    policy=_policy_label(policy, break_even, config),
-                    trace=trace_name,
-                    mean_power=report.mean_power,
-                    saving_vs_always_on=saving,
-                    mean_latency=report.mean_latency,
-                    p95_latency=report.p95_latency,
-                    n_shutdowns=report.n_shutdowns,
-                    n_wrong_shutdowns=report.n_wrong_shutdowns,
-                )
-            )
+        )
     return PolicyTableResult(config=config, rows=rows)

@@ -109,7 +109,9 @@ def run_variation(config: VariationConfig = VariationConfig()) -> VariationResul
         config.env.discount, "policy_iteration"
     ).policy
 
-    runner = SweepRunner(batch_size=config.sweep.batch_size)
+    runner = SweepRunner(
+        batch_size=config.sweep.batch_size, n_jobs=config.sweep.n_jobs
+    )
     seeds = config.seeds()
     multi = len(seeds) > 1
 

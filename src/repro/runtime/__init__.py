@@ -3,7 +3,7 @@
 The scalar stack (:class:`~repro.env.SlottedDPMEnv` +
 :class:`~repro.core.QDPM`) pays a Python interpreter round-trip per slot
 per seed.  This subsystem batches B independent replicas into NumPy
-array ops:
+array ops and shards the resulting work units across processes:
 
 - :class:`BatchedSlottedEnv` — B environment replicas stepped in
   lock-step, bit-for-bit equivalent to B scalar envs under matched
@@ -11,13 +11,27 @@ array ops:
 - :class:`BatchedQDPM` — B independent Q-DPM learners trained in one
   loop over disjoint row blocks of a single Q-table;
 - :class:`SweepRunner` — the unified multi-seed entry point
-  (``run_many(spec, seeds, batch_size)``) every experiment routes
-  through, with bootstrap-CI aggregation.
+  (``run_many(spec, seeds, batch_size, n_jobs)``) every experiment
+  routes through, with bootstrap-CI aggregation;
+- :mod:`~repro.runtime.executor` — the serial / multiprocessing
+  executor abstraction that ships ``(spec, chunk_seeds)`` work units to
+  worker processes and reassembles results in seed order;
+- :class:`GridRunner` — grid-product scenario sweeps
+  (rate x device x horizon x controller) fanned across the executor.
 """
 
 from .batched_env import BatchedEnvTotals, BatchedSlottedEnv, BatchStepInfo
 from .batched_qdpm import BatchedQDPM, BatchRunHistory
-from .sweep import RolloutSpec, SeedRun, SweepResult, SweepRunner
+from .executor import (
+    AsyncTasks,
+    Executor,
+    MultiprocessExecutor,
+    SerialExecutor,
+    get_executor,
+    is_picklable,
+)
+from .grid import GridCell, GridCellResult, GridResult, GridRunner, GridSpec
+from .sweep import RolloutSpec, SeedRun, SweepResult, SweepRunner, run_chunk
 
 __all__ = [
     "BatchedSlottedEnv",
@@ -29,4 +43,16 @@ __all__ = [
     "SeedRun",
     "SweepResult",
     "SweepRunner",
+    "run_chunk",
+    "SerialExecutor",
+    "MultiprocessExecutor",
+    "Executor",
+    "AsyncTasks",
+    "get_executor",
+    "is_picklable",
+    "GridSpec",
+    "GridCell",
+    "GridCellResult",
+    "GridResult",
+    "GridRunner",
 ]

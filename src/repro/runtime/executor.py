@@ -1,0 +1,192 @@
+"""Process-parallel execution of sweep work units.
+
+:class:`SweepRunner` chunks are embarrassingly parallel: every chunk is a
+pure function of ``(RolloutSpec, chunk_seeds)`` — per-replica RNG streams
+are constructed from the seeds inside the chunk, so a chunk computes the
+same bits whether it runs in the parent process or a worker.  This module
+supplies the executor abstraction that ships those units out:
+
+- :class:`SerialExecutor` — in-process loop; the ``n_jobs = 1`` path and
+  the reference semantics;
+- :class:`MultiprocessExecutor` — a stdlib :mod:`multiprocessing` pool of
+  ``n_jobs`` workers; ``map`` preserves task order, so callers reassemble
+  results in seed order for free.
+
+Work functions must be module-level (picklable by reference) and their
+arguments/results picklable by value — every runtime work unit
+(``RolloutSpec``, seed lists, ``SeedRun``) is a plain dataclass/NumPy
+composite, so this holds by construction.  :func:`is_picklable` lets
+callers probe user-supplied callables (e.g. scalar-fallback controller
+factories, which are often closures) and degrade to the serial path
+instead of crashing the pool.
+"""
+
+from __future__ import annotations
+
+import pickle
+from multiprocessing import get_context
+from typing import Any, Callable, List, Optional, Sequence, Tuple, Union
+
+
+def is_picklable(obj: Any) -> bool:
+    """True when ``obj`` survives :func:`pickle.dumps` (pool-shippable)."""
+    try:
+        pickle.dumps(obj)
+    except Exception:
+        return False
+    return True
+
+
+class AsyncTasks:
+    """Handle for tasks submitted via :meth:`Executor.submit_all`.
+
+    ``get()`` blocks until every task finishes and returns the results in
+    submission order; it must be called exactly once (it releases the
+    worker pool).
+    """
+
+    def __init__(
+        self,
+        results: Optional[List[Any]] = None,
+        pool: Any = None,
+        async_result: Any = None,
+    ) -> None:
+        self._results = results
+        self._pool = pool
+        self._async = async_result
+        self._cancelled = False
+
+    def get(self) -> List[Any]:
+        """Results in submission order (blocking).
+
+        Raises
+        ------
+        RuntimeError
+            If the tasks were already abandoned via :meth:`cancel` —
+            their results no longer exist, and waiting would hang.
+        """
+        if self._cancelled:
+            raise RuntimeError("tasks were cancelled; no results to get")
+        if self._results is not None:
+            return self._results
+        try:
+            return self._async.get()
+        finally:
+            self._release()
+
+    def cancel(self) -> None:
+        """Abandon the submitted tasks and release the pool.
+
+        For cleanup paths where the caller is already failing: workers
+        are terminated rather than drained, so no result is produced and
+        no process leaks.  Safe to call after ``get`` (no-op) or instead
+        of it (a later ``get`` raises rather than hangs).
+        """
+        self._cancelled = self._results is None
+        self._release(terminate=True)
+
+    def _release(self, terminate: bool = False) -> None:
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            if terminate:
+                pool.terminate()
+            else:
+                pool.close()
+            pool.join()
+
+
+class SerialExecutor:
+    """In-process executor: the reference (and ``n_jobs = 1``) path."""
+
+    n_jobs = 1
+
+    def map(self, fn: Callable[..., Any],
+            tasks: Sequence[Tuple]) -> List[Any]:
+        """``[fn(*task) for task in tasks]`` — order-preserving."""
+        return [fn(*task) for task in tasks]
+
+    def submit_all(self, fn: Callable[..., Any],
+                   tasks: Sequence[Tuple]) -> AsyncTasks:
+        """Eager serial execution behind the async-handle interface."""
+        return AsyncTasks(results=self.map(fn, tasks))
+
+    def __repr__(self) -> str:
+        return "SerialExecutor()"
+
+
+class MultiprocessExecutor:
+    """Stdlib :mod:`multiprocessing` pool executor.
+
+    Parameters
+    ----------
+    n_jobs:
+        Worker process count (>= 1).
+    start_method:
+        Forwarded to :func:`multiprocessing.get_context`; ``None`` uses
+        the platform default (``fork`` on Linux, ``spawn`` elsewhere —
+        work functions are module-level, so both work).
+    """
+
+    def __init__(self, n_jobs: int, start_method: Optional[str] = None) -> None:
+        if int(n_jobs) < 1:
+            raise ValueError(f"n_jobs must be >= 1, got {n_jobs}")
+        self.n_jobs = int(n_jobs)
+        self._start_method = start_method
+
+    def _pool(self, n_tasks: int):
+        ctx = get_context(self._start_method)
+        return ctx.Pool(processes=min(self.n_jobs, n_tasks))
+
+    def map(self, fn: Callable[..., Any],
+            tasks: Sequence[Tuple]) -> List[Any]:
+        """Order-preserving parallel ``starmap`` over the worker pool."""
+        tasks = list(tasks)
+        if len(tasks) <= 1 or self.n_jobs == 1:
+            return [fn(*task) for task in tasks]
+        with self._pool(len(tasks)) as pool:
+            return pool.starmap(fn, tasks)
+
+    def submit_all(self, fn: Callable[..., Any],
+                   tasks: Sequence[Tuple]) -> AsyncTasks:
+        """Dispatch tasks to workers and return immediately.
+
+        Lets the parent overlap its own work (e.g. a callback-bearing
+        lead chunk) with the pool; collect with :meth:`AsyncTasks.get`.
+        Even a single task goes to a worker — eager in-parent execution
+        would serialize exactly the overlap this method exists for.
+        """
+        tasks = list(tasks)
+        if not tasks:
+            return AsyncTasks(results=[])
+        pool = self._pool(len(tasks))
+        return AsyncTasks(pool=pool, async_result=pool.starmap_async(fn, tasks))
+
+    def __repr__(self) -> str:
+        return f"MultiprocessExecutor(n_jobs={self.n_jobs})"
+
+
+#: Executors accepted wherever an ``n_jobs`` knob is exposed.
+Executor = Union[SerialExecutor, MultiprocessExecutor]
+
+
+def get_executor(n_jobs: int = 1) -> Executor:
+    """Executor for an ``n_jobs`` knob: 1 -> serial, > 1 -> process pool.
+
+    Raises
+    ------
+    ValueError
+        If ``n_jobs`` is not a positive integer.
+    """
+    try:
+        as_int = int(n_jobs)
+        exact = as_int == n_jobs
+    except (TypeError, ValueError):
+        raise ValueError(f"n_jobs must be a positive integer, got {n_jobs!r}")
+    if not exact:
+        raise ValueError(f"n_jobs must be a positive integer, got {n_jobs!r}")
+    n_jobs = as_int
+    if n_jobs < 1:
+        raise ValueError(f"n_jobs must be >= 1, got {n_jobs}")
+    if n_jobs == 1:
+        return SerialExecutor()
+    return MultiprocessExecutor(n_jobs)

@@ -12,6 +12,11 @@ summarize".  :class:`SweepRunner` owns that loop once:
   engine with a precomputed state->action lookup;
 - controllers that cannot be batched (the model-based adaptive pipeline)
   fall back to a per-seed scalar loop behind the same interface;
+- seed chunks are embarrassingly parallel, so ``n_jobs > 1`` ships
+  ``(spec, chunk_seeds)`` work units across a process pool
+  (:mod:`repro.runtime.executor`) and reassembles results in seed
+  order — per-seed results are bit-identical for every
+  ``(batch_size, n_jobs)`` combination;
 - per-seed summaries aggregate to mean +- bootstrap CI via the existing
   :mod:`repro.analysis.bootstrap`.
 
@@ -36,6 +41,12 @@ from ..mdp import DeterministicPolicy
 from ..workload.nonstationary import RateSchedule
 from .batched_env import BatchedSlottedEnv
 from .batched_qdpm import BatchedQDPM, BatchRunHistory, run_lockstep
+from .executor import (
+    MultiprocessExecutor,
+    SerialExecutor,
+    get_executor,
+    is_picklable,
+)
 
 
 @dataclass(frozen=True)
@@ -209,6 +220,77 @@ def _horizon_mean(history: RunHistory, n_slots: int,
     return float((history.reward * weights).sum() / weights.sum())
 
 
+def run_chunk(spec: RolloutSpec, chunk_seeds: Sequence[int],
+              on_record=None, on_chunk_done=None) -> List[SeedRun]:
+    """Execute one seed chunk of ``spec`` — the sweep's unit of work.
+
+    Pure function of ``(spec, chunk_seeds)``: every RNG stream is
+    constructed from the chunk's seeds, so the same bits come out whether
+    the chunk runs in the parent process or a pool worker.  The optional
+    hooks are in-process callbacks and are never shipped to workers.
+    """
+    env = spec.build_env(chunk_seeds)
+    if spec.policy is not None:
+        lut = _policy_action_lut(env, spec.policy)
+        hist = _run_fixed_policy(
+            env, lut, spec.n_slots, spec.record_every
+        )
+    else:
+        warmup = spec.warmup_schedule is not None and spec.warmup_slots > 0
+        driver = BatchedQDPM(
+            spec.build_env(chunk_seeds, warmup=True) if warmup else env,
+            discount=spec.discount,
+            learning_rate=spec.learning_rate,
+            epsilon=spec.epsilon,
+            initial_q=spec.initial_q,
+            seed=[s + 1 for s in chunk_seeds],
+        )
+        if warmup:
+            driver.run(spec.warmup_slots, record_every=spec.warmup_slots)
+            driver.env = env
+        callback = None
+        if on_record is not None:
+            callback = lambda slot: on_record(slot, driver, chunk_seeds)
+        hist = driver.run(
+            spec.n_slots, record_every=spec.record_every,
+            callback=callback,
+        )
+        if on_chunk_done is not None:
+            on_chunk_done(driver, chunk_seeds)
+    savings = env.energy_saving_ratio()
+    runs: List[SeedRun] = []
+    for i, seed in enumerate(chunk_seeds):
+        history = hist.replica(i)
+        runs.append(
+            SeedRun(
+                seed=seed,
+                history=history,
+                mean_reward=_horizon_mean(
+                    history, spec.n_slots, spec.record_every
+                ),
+                saving_ratio=float(savings[i]),
+                totals=env.totals.replica(i),
+            )
+        )
+    return runs
+
+
+def _run_scalar_seed(spec: RolloutSpec, seed: int,
+                     controller_factory) -> SeedRun:
+    """One scalar-fallback rollout (module-level, so it can ship to a
+    worker when the factory itself is picklable)."""
+    controller = controller_factory(seed)
+    history = controller.run(spec.n_slots, record_every=spec.record_every)
+    env = controller.env
+    return SeedRun(
+        seed=seed,
+        history=history,
+        mean_reward=_horizon_mean(history, spec.n_slots, spec.record_every),
+        saving_ratio=float(env.energy_saving_ratio()),
+        totals=env.totals,
+    )
+
+
 class SweepRunner:
     """Chunked multi-seed executor over the batched engine.
 
@@ -217,116 +299,99 @@ class SweepRunner:
     batch_size:
         Maximum replicas per lock-step batch; seed lists longer than
         this are processed in consecutive chunks.
+    n_jobs:
+        Worker processes to shard chunks across (default 1 = in-process).
+        Chunks are pure functions of their seeds, so per-seed results
+        are bit-identical for every ``(batch_size, n_jobs)`` combination.
     """
 
-    def __init__(self, batch_size: int = 32) -> None:
+    def __init__(self, batch_size: int = 32, n_jobs: int = 1) -> None:
         if batch_size < 1:
             raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        if int(n_jobs) < 1:
+            raise ValueError(f"n_jobs must be >= 1, got {n_jobs}")
         self.batch_size = int(batch_size)
+        self.n_jobs = int(n_jobs)
 
     def run_many(
         self,
         spec: RolloutSpec,
         seeds: Sequence[int],
         batch_size: Optional[int] = None,
+        n_jobs: Optional[int] = None,
         on_record: Optional[Callable[[int, BatchedQDPM, Sequence[int]], None]] = None,
         on_chunk_done: Optional[Callable[[BatchedQDPM, Sequence[int]], None]] = None,
         controller_factory: Optional[Callable[[int], object]] = None,
     ) -> SweepResult:
-        """Run ``spec`` once per seed; batched wherever possible.
+        """Run ``spec`` once per seed; batched and sharded wherever possible.
 
         ``on_record(slot, driver, chunk_seeds)`` fires at every record
-        point of every learning chunk (snapshot hooks);
-        ``on_chunk_done(driver, chunk_seeds)`` after each learning chunk
-        finishes (final-table extraction).
+        point of a learning chunk executed in the parent process
+        (snapshot hooks); ``on_chunk_done(driver, chunk_seeds)`` after
+        such a chunk finishes (final-table extraction).  With
+        ``n_jobs = 1`` that is every chunk; with ``n_jobs > 1`` only the
+        *first* chunk runs in the parent (overlapped with the worker
+        pool), so hooks see exactly the lead chunk — the contract the
+        figure experiments rely on.  Hooks never change results.
         ``controller_factory(seed)`` switches to the scalar fallback: it
         must return an object with ``.run(n_slots, record_every)`` ->
         ``RunHistory`` and an ``.env`` exposing ``totals`` /
         ``energy_saving_ratio()`` (e.g. the model-based pipeline).
+        Factories that pickle are sharded per seed; closures degrade to
+        the in-process loop.
         """
         seeds = [int(s) for s in seeds]
         if not seeds:
             raise ValueError("need at least one seed")
-        if controller_factory is not None:
-            return self._run_scalar(spec, seeds, controller_factory)
         chunk = batch_size if batch_size is not None else self.batch_size
+        if chunk < 1:
+            raise ValueError(f"batch_size must be >= 1, got {chunk}")
+        executor = get_executor(n_jobs if n_jobs is not None else self.n_jobs)
+        if controller_factory is not None:
+            return self._run_scalar(spec, seeds, controller_factory, executor)
+        chunks = [seeds[i:i + chunk] for i in range(0, len(seeds), chunk)]
         result = SweepResult(spec=spec)
-        for start in range(0, len(seeds), chunk):
-            chunk_seeds = seeds[start:start + chunk]
+        if isinstance(executor, SerialExecutor) or len(chunks) == 1:
+            for chunk_seeds in chunks:
+                result.runs.extend(
+                    run_chunk(spec, chunk_seeds, on_record, on_chunk_done)
+                )
+            return result
+        # Sharded path: ship the tail chunks to the pool first, then run
+        # the lead chunk in the parent (with the in-process hooks)
+        # overlapped with the workers.  The parent counts as one of the
+        # n_jobs lanes, so the pool gets n_jobs - 1 workers and total
+        # concurrency honors the knob.  pool order == submission order,
+        # so runs come back in seed order.
+        pending = MultiprocessExecutor(executor.n_jobs - 1).submit_all(
+            run_chunk, [(spec, c) for c in chunks[1:]]
+        )
+        try:
             result.runs.extend(
-                self._run_chunk(spec, chunk_seeds, on_record, on_chunk_done)
+                run_chunk(spec, chunks[0], on_record, on_chunk_done)
             )
+        except BaseException:
+            # lead chunk (or a user hook) failed: don't leak the pool
+            pending.cancel()
+            raise
+        for chunk_runs in pending.get():
+            result.runs.extend(chunk_runs)
         return result
 
     # ------------------------------------------------------------------ #
-    # execution paths
+    # scalar fallback
     # ------------------------------------------------------------------ #
 
-    def _run_chunk(self, spec: RolloutSpec, chunk_seeds: List[int],
-                   on_record, on_chunk_done=None) -> List[SeedRun]:
-        env = spec.build_env(chunk_seeds)
-        if spec.policy is not None:
-            lut = _policy_action_lut(env, spec.policy)
-            hist = _run_fixed_policy(
-                env, lut, spec.n_slots, spec.record_every
-            )
-        else:
-            warmup = spec.warmup_schedule is not None and spec.warmup_slots > 0
-            driver = BatchedQDPM(
-                spec.build_env(chunk_seeds, warmup=True) if warmup else env,
-                discount=spec.discount,
-                learning_rate=spec.learning_rate,
-                epsilon=spec.epsilon,
-                initial_q=spec.initial_q,
-                seed=[s + 1 for s in chunk_seeds],
-            )
-            if warmup:
-                driver.run(spec.warmup_slots, record_every=spec.warmup_slots)
-                driver.env = env
-            callback = None
-            if on_record is not None:
-                callback = lambda slot: on_record(slot, driver, chunk_seeds)
-            hist = driver.run(
-                spec.n_slots, record_every=spec.record_every,
-                callback=callback,
-            )
-            if on_chunk_done is not None:
-                on_chunk_done(driver, chunk_seeds)
-        savings = env.energy_saving_ratio()
-        runs: List[SeedRun] = []
-        for i, seed in enumerate(chunk_seeds):
-            history = hist.replica(i)
-            runs.append(
-                SeedRun(
-                    seed=seed,
-                    history=history,
-                    mean_reward=_horizon_mean(
-                        history, spec.n_slots, spec.record_every
-                    ),
-                    saving_ratio=float(savings[i]),
-                    totals=env.totals.replica(i),
-                )
-            )
-        return runs
-
     def _run_scalar(self, spec: RolloutSpec, seeds: List[int],
-                    controller_factory) -> SweepResult:
+                    controller_factory, executor) -> SweepResult:
         result = SweepResult(spec=spec)
-        for seed in seeds:
-            controller = controller_factory(seed)
-            history = controller.run(
-                spec.n_slots, record_every=spec.record_every
-            )
-            env = controller.env
-            result.runs.append(
-                SeedRun(
-                    seed=seed,
-                    history=history,
-                    mean_reward=_horizon_mean(
-                        history, spec.n_slots, spec.record_every
-                    ),
-                    saving_ratio=float(env.energy_saving_ratio()),
-                    totals=env.totals,
-                )
-            )
+        tasks = [(spec, seed, controller_factory) for seed in seeds]
+        if not isinstance(executor, SerialExecutor) and is_picklable(
+            controller_factory
+        ):
+            result.runs.extend(executor.map(_run_scalar_seed, tasks))
+        else:
+            # closures (and other unpicklable factories) keep the
+            # in-process loop — same bits, no sharding
+            result.runs.extend(_run_scalar_seed(*t) for t in tasks)
         return result

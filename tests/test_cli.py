@@ -41,6 +41,32 @@ class TestDispatch:
         cli.main(["fig1", "--quick"])
         assert seen["q"] is True
 
+    def test_grid_dispatches_like_any_command(self, monkeypatch, capsys):
+        monkeypatch.setitem(cli._COMMANDS, "grid", lambda quick: "FAKE-GRID")
+        assert cli.main(["grid"]) == 0
+        out = capsys.readouterr().out
+        assert "=== grid ===" in out
+        assert "FAKE-GRID" in out
+
+    def test_jobs_flag_forwarded(self, monkeypatch):
+        seen = {}
+
+        def fake(quick, n_seeds=None, batch=None, jobs=None):
+            seen.update(n_seeds=n_seeds, batch=batch, jobs=jobs)
+            return ""
+
+        monkeypatch.setitem(cli._COMMANDS, "grid", fake)
+        cli.main(["grid", "--seeds", "4", "--jobs", "2"])
+        assert seen == {"n_seeds": 4, "batch": None, "jobs": 2}
+
+    def test_jobs_flag_rejected_for_unsharded_experiment(self):
+        with pytest.raises(SystemExit):
+            cli.main(["overhead", "--jobs", "2"])
+
+    def test_bad_jobs_value_rejected(self):
+        with pytest.raises(SystemExit):
+            cli.main(["fig1", "--jobs", "0"])
+
 
 class TestRealQuickRun:
     def test_overhead_quick_end_to_end(self, capsys):

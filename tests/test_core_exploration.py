@@ -3,7 +3,15 @@
 import numpy as np
 import pytest
 
-from repro.core import Boltzmann, Constant, EpsilonGreedy, Greedy, LinearDecay, QTable
+from repro.core import (
+    Boltzmann,
+    Constant,
+    EpsilonGreedy,
+    FixedDrawEpsilonGreedy,
+    Greedy,
+    LinearDecay,
+    QTable,
+)
 
 
 @pytest.fixture
@@ -59,6 +67,52 @@ class TestEpsilonGreedy:
         assert all(
             strat.select(table, 0, [0, 1, 2, 3], 20, rng) == 2 for _ in range(20)
         )
+
+
+class TestFixedDrawEpsilonGreedy:
+    def test_consumes_exactly_three_uniforms_per_call(self, table):
+        strat = FixedDrawEpsilonGreedy(0.3)
+        rng = np.random.default_rng(0)
+        twin = np.random.default_rng(0)
+        for step in range(50):
+            strat.select(table, 0, [0, 1, 2, 3], step, rng)
+            twin.random(3)
+            assert rng.bit_generator.state == twin.bit_generator.state
+
+    def test_zero_epsilon_is_greedy_and_still_draws(self, table):
+        strat = FixedDrawEpsilonGreedy(0.0)
+        rng = np.random.default_rng(1)
+        twin = np.random.default_rng(1)
+        assert all(
+            strat.select(table, 0, [0, 1, 2, 3], i, rng) == 2 for i in range(50)
+        )
+        twin.random(3 * 50)
+        assert rng.bit_generator.state == twin.bit_generator.state
+
+    def test_matches_epsilon_greedy_distribution(self, table):
+        strat = FixedDrawEpsilonGreedy(0.4)
+        rng = np.random.default_rng(2)
+        picks = [strat.select(table, 0, [0, 1, 2, 3], i, rng) for i in range(4000)]
+        greedy_frac = np.mean([p == 2 for p in picks])
+        assert greedy_frac == pytest.approx(1 - 0.4 + 0.4 / 4, abs=0.04)
+
+    def test_uniform_tie_breaking(self):
+        ties = QTable(1, 3)  # all zeros: every action ties
+        strat = FixedDrawEpsilonGreedy(0.0)
+        rng = np.random.default_rng(3)
+        picks = [strat.select(ties, 0, [0, 1, 2], i, rng) for i in range(3000)]
+        counts = np.bincount(picks, minlength=3)
+        assert (counts > 800).all()  # near 1000 each
+
+    def test_only_allowed_actions(self, table):
+        strat = FixedDrawEpsilonGreedy(1.0)
+        rng = np.random.default_rng(4)
+        picks = {strat.select(table, 0, [1, 3], i, rng) for i in range(100)}
+        assert picks <= {1, 3}
+
+    def test_empty_allowed_raises(self, table, rng):
+        with pytest.raises(ValueError):
+            FixedDrawEpsilonGreedy(0.5).select(table, 0, [], 0, rng)
 
 
 class TestBoltzmann:

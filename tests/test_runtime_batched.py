@@ -303,3 +303,78 @@ class TestBatchedQDPM:
             driver.run(0)
         with pytest.raises(ValueError):
             driver.replica_table(5)
+
+
+class TestFixedDrawStreamParity:
+    """The exploration-stream parity contract: a scalar QDPM using
+    FixedDrawEpsilonGreedy consumes the batched engine's exact
+    three-uniform-per-slot layout, so under matched seeds (env seed s,
+    agent seed s + 1 — the sweep runner's arithmetic) scalar and batched
+    runs match stream for stream, not just in distribution."""
+
+    def test_scalar_matches_batched_replica_bit_for_bit(self, device3):
+        from repro.core import QDPM, FixedDrawEpsilonGreedy
+
+        seeds = [5, 6, 7]
+        n_slots, record_every, eps = 2_500, 500, 0.08
+        benv = BatchedSlottedEnv(
+            device3, ConstantRate(0.15), n_replicas=len(seeds),
+            queue_capacity=6, p_serve=0.9, seeds=seeds, rng_mode="replica",
+        )
+        driver = BatchedQDPM(benv, epsilon=eps, seed=[s + 1 for s in seeds])
+        batched = driver.run(n_slots, record_every=record_every)
+
+        for i, seed in enumerate(seeds):
+            env = SlottedDPMEnv(
+                device3, ConstantRate(0.15), queue_capacity=6, p_serve=0.9,
+                seed=seed,
+            )
+            controller = QDPM(
+                env, epsilon=eps, seed=seed + 1,
+                exploration=FixedDrawEpsilonGreedy(eps),
+            )
+            scalar = controller.run(n_slots, record_every=record_every)
+            replica = batched.replica(i)
+            assert np.array_equal(scalar.reward, replica.reward)
+            assert np.array_equal(scalar.energy, replica.energy)
+            assert np.array_equal(scalar.queue, replica.queue)
+            assert np.array_equal(scalar.td_error, replica.td_error)
+            # trained tables agree to the last bit too
+            assert np.array_equal(
+                controller.agent.table.values, driver.replica_table(i).values
+            )
+            assert np.array_equal(
+                controller.agent.table.visit_counts,
+                driver.replica_table(i).visit_counts,
+            )
+            assert env.totals == benv.totals.replica(i)
+
+    def test_learning_rate_schedule_also_matches(self, device3):
+        from repro.core import QDPM, FixedDrawEpsilonGreedy, HarmonicDecay, QLearningAgent
+
+        seed, eps, n_slots = 11, 0.1, 1_500
+        lr = HarmonicDecay(0.5)
+        benv = BatchedSlottedEnv(
+            device3, ConstantRate(0.2), n_replicas=1, queue_capacity=6,
+            p_serve=0.9, seeds=[seed], rng_mode="replica",
+        )
+        driver = BatchedQDPM(
+            benv, epsilon=eps, learning_rate=lr, seed=[seed + 1]
+        )
+        batched = driver.run(n_slots, record_every=n_slots)
+
+        env = SlottedDPMEnv(
+            device3, ConstantRate(0.2), queue_capacity=6, p_serve=0.9,
+            seed=seed,
+        )
+        agent = QLearningAgent(
+            n_observations=env.n_states, n_actions=env.n_actions,
+            learning_rate=lr, exploration=FixedDrawEpsilonGreedy(eps),
+            seed=seed + 1,
+        )
+        controller = QDPM(env, agent=agent)
+        scalar = controller.run(n_slots, record_every=n_slots)
+        assert np.array_equal(scalar.reward, batched.replica(0).reward)
+        assert np.array_equal(
+            controller.agent.table.values, driver.replica_table(0).values
+        )

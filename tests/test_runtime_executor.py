@@ -1,0 +1,237 @@
+"""Executor layer: serial/multiprocess parity, determinism, validation.
+
+The contract under test is the tentpole guarantee: per-seed sweep
+results are bit-identical for every ``(batch_size, n_jobs)``
+combination — chunks are pure functions of their seeds, the pool
+preserves task order, and the scalar fallback shards only when its
+factory can ship.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.core import QDPM
+from repro.device import abstract_three_state
+from repro.env import SlottedDPMEnv, build_dpm_model
+from repro.runtime import (
+    MultiprocessExecutor,
+    RolloutSpec,
+    SerialExecutor,
+    SweepRunner,
+    get_executor,
+    is_picklable,
+)
+from repro.workload import ConstantRate
+
+
+@pytest.fixture(scope="module")
+def spec():
+    return RolloutSpec(
+        schedule=ConstantRate(0.15),
+        n_slots=2_000,
+        record_every=500,
+        queue_capacity=6,
+        epsilon=0.08,
+    )
+
+
+def _square(x):
+    return x * x
+
+
+def _pid_square(x):
+    return os.getpid(), x * x
+
+
+def _scalar_factory(seed):
+    """Module-level controller factory — picklable, so it shards."""
+    env = SlottedDPMEnv(
+        abstract_three_state(), ConstantRate(0.15), queue_capacity=6,
+        p_serve=0.9, seed=seed,
+    )
+    return QDPM(env, epsilon=0.08, seed=seed + 1)
+
+
+def _assert_identical(a, b):
+    assert [r.seed for r in a.runs] == [r.seed for r in b.runs]
+    for x, y in zip(a.runs, b.runs):
+        assert x.mean_reward == y.mean_reward
+        assert x.saving_ratio == y.saving_ratio
+        assert np.array_equal(x.history.reward, y.history.reward)
+        assert np.array_equal(x.history.energy, y.history.energy)
+        assert x.totals == y.totals
+
+
+class TestExecutorPrimitives:
+    def test_get_executor_kinds(self):
+        assert isinstance(get_executor(1), SerialExecutor)
+        assert isinstance(get_executor(4), MultiprocessExecutor)
+
+    @pytest.mark.parametrize("bad", [0, -1, 2.5, "two", None])
+    def test_invalid_n_jobs_raises(self, bad):
+        with pytest.raises(ValueError):
+            get_executor(bad)
+
+    def test_serial_map_preserves_order(self):
+        tasks = [(i,) for i in range(7)]
+        assert SerialExecutor().map(_square, tasks) == [i * i for i in range(7)]
+
+    def test_multiprocess_map_preserves_order(self):
+        tasks = [(i,) for i in range(9)]
+        assert MultiprocessExecutor(3).map(_square, tasks) == [
+            i * i for i in range(9)
+        ]
+
+    def test_submit_all_overlaps_then_gets(self):
+        pending = MultiprocessExecutor(2).submit_all(_square, [(i,) for i in range(5)])
+        # parent-side work happens here, then collection
+        assert pending.get() == [0, 1, 4, 9, 16]
+
+    def test_submit_all_single_task_still_uses_a_worker(self):
+        """One task must not run eagerly in the parent — a 2-chunk sweep
+        relies on its single tail chunk overlapping the lead chunk."""
+        pending = MultiprocessExecutor(2).submit_all(_pid_square, [(3,)])
+        ((pid, value),) = pending.get()
+        assert value == 9
+        assert pid != os.getpid()
+
+    def test_submit_all_cancel_releases_pool(self):
+        pending = MultiprocessExecutor(2).submit_all(_square, [(i,) for i in range(4)])
+        pending.cancel()  # no leaked workers; safe without get()
+        with pytest.raises(RuntimeError, match="cancelled"):
+            pending.get()  # loud, not a hang
+        empty = MultiprocessExecutor(2).submit_all(_square, [])
+        assert empty.get() == []
+        empty.cancel()  # no-op on the eager branch
+        assert empty.get() == []  # eager results survive cancel
+
+    def test_is_picklable(self):
+        assert is_picklable(_square)
+        assert not is_picklable(lambda x: x)
+
+
+class TestShardedDeterminism:
+    def test_learning_bit_identical_across_n_jobs(self, spec):
+        seeds = [1, 2, 3, 4, 5, 6]
+        serial = SweepRunner(batch_size=2, n_jobs=1).run_many(spec, seeds)
+        for n_jobs in (2, 4):
+            sharded = SweepRunner(batch_size=2, n_jobs=n_jobs).run_many(spec, seeds)
+            _assert_identical(serial, sharded)
+
+    def test_bit_identical_across_batch_sizes_while_sharded(self, spec):
+        seeds = [10, 20, 30, 40, 50]
+        a = SweepRunner(batch_size=1, n_jobs=3).run_many(spec, seeds)
+        b = SweepRunner(batch_size=3, n_jobs=2).run_many(spec, seeds)
+        c = SweepRunner(batch_size=8, n_jobs=4).run_many(spec, seeds)
+        _assert_identical(a, b)
+        _assert_identical(a, c)
+
+    def test_fixed_policy_bit_identical_across_n_jobs(self):
+        model = build_dpm_model(
+            abstract_three_state(), arrival_rate=0.15, queue_capacity=6,
+            p_serve=0.9,
+        )
+        policy = model.solve(0.95, "policy_iteration").policy
+        pspec = RolloutSpec(
+            schedule=ConstantRate(0.15), n_slots=1_000, record_every=1_000,
+            queue_capacity=6, policy=policy,
+        )
+        seeds = [7, 8, 9, 10]
+        serial = SweepRunner(batch_size=1, n_jobs=1).run_many(pspec, seeds)
+        sharded = SweepRunner(batch_size=1, n_jobs=4).run_many(pspec, seeds)
+        _assert_identical(serial, sharded)
+
+    def test_scalar_fallback_shards_picklable_factory(self, spec):
+        seeds = [5, 6, 7]
+        serial = SweepRunner(n_jobs=1).run_many(
+            spec, seeds, controller_factory=_scalar_factory
+        )
+        sharded = SweepRunner(n_jobs=2).run_many(
+            spec, seeds, controller_factory=_scalar_factory
+        )
+        _assert_identical(serial, sharded)
+
+    def test_scalar_fallback_closure_degrades_to_serial(self, spec):
+        built = []
+
+        def factory(seed):  # closure: unpicklable, must run in-process
+            built.append(seed)
+            return _scalar_factory(seed)
+
+        result = SweepRunner(n_jobs=4).run_many(
+            spec, seeds=[5, 6], controller_factory=factory
+        )
+        assert built == [5, 6]
+        serial = SweepRunner(n_jobs=1).run_many(
+            spec, seeds=[5, 6], controller_factory=_scalar_factory
+        )
+        _assert_identical(serial, result)
+
+    def test_run_many_n_jobs_override(self, spec):
+        seeds = [1, 2, 3, 4]
+        base = SweepRunner(batch_size=2, n_jobs=1)
+        a = base.run_many(spec, seeds)
+        b = base.run_many(spec, seeds, n_jobs=4)
+        _assert_identical(a, b)
+
+
+class TestCallbackSemantics:
+    def test_hooks_fire_for_lead_chunk_only_when_sharded(self, spec):
+        seeds = [1, 2, 3, 4, 5, 6]
+        recorded, done = [], []
+        result = SweepRunner(batch_size=2, n_jobs=3).run_many(
+            spec, seeds,
+            on_record=lambda slot, driver, chunk: recorded.append((slot, tuple(chunk))),
+            on_chunk_done=lambda driver, chunk: done.append(tuple(chunk)),
+        )
+        # the lead chunk ran in the parent with hooks; workers ran dark
+        assert done == [(1, 2)]
+        assert {c for _, c in recorded} == {(1, 2)}
+        assert len(recorded) == spec.n_slots // spec.record_every
+        # hooks never change results
+        _assert_identical(
+            SweepRunner(batch_size=2, n_jobs=1).run_many(spec, seeds), result
+        )
+
+    def test_failing_hook_does_not_leak_workers(self, spec):
+        import multiprocessing
+
+        before = len(multiprocessing.active_children())
+        with pytest.raises(RuntimeError, match="hook boom"):
+            SweepRunner(batch_size=2, n_jobs=2).run_many(
+                spec, [1, 2, 3, 4],
+                on_record=lambda *a: (_ for _ in ()).throw(RuntimeError("hook boom")),
+            )
+        # pool terminated on the failure path, nothing left running
+        for child in multiprocessing.active_children():
+            child.join(timeout=10)
+        assert len(multiprocessing.active_children()) <= before
+
+    def test_hooks_fire_for_every_chunk_when_serial(self, spec):
+        seeds = [1, 2, 3, 4]
+        done = []
+        SweepRunner(batch_size=2, n_jobs=1).run_many(
+            spec, seeds, on_chunk_done=lambda driver, chunk: done.append(tuple(chunk)),
+        )
+        assert done == [(1, 2), (3, 4)]
+
+
+class TestValidation:
+    def test_bad_runner_args_raise(self):
+        with pytest.raises(ValueError):
+            SweepRunner(batch_size=0)
+        with pytest.raises(ValueError):
+            SweepRunner(n_jobs=0)
+
+    def test_bad_call_args_raise(self, spec):
+        runner = SweepRunner()
+        with pytest.raises(ValueError):
+            runner.run_many(spec, seeds=[])
+        with pytest.raises(ValueError):
+            runner.run_many(spec, seeds=[1], batch_size=0)
+        with pytest.raises(ValueError):
+            runner.run_many(spec, seeds=[1], n_jobs=0)
