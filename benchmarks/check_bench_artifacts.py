@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Gate the CI bench job on complete perf artifacts.
+
+A silently-skipped benchmark used to produce an empty (or partial)
+``BENCH_*.json`` that still uploaded fine — the artifact looked alive
+while carrying no numbers.  This checker fails loudly instead: each
+artifact must exist and contain every expected top-level section.
+
+Run:  python benchmarks/check_bench_artifacts.py [repo_root]
+Exit: 0 when every artifact is complete, 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+#: artifact -> top-level keys the bench suite must have recorded
+EXPECTED_KEYS = {
+    "BENCH_engine.json": ("cpu_count", "host", "quick_snapshot"),
+    "BENCH_sim.json": ("cpu_count", "host", "event_sim_kernel", "sim_sweep"),
+}
+
+
+def check_artifacts(root: Path) -> list:
+    """All problems found across the expected artifacts (empty = pass)."""
+    problems = []
+    for name, keys in EXPECTED_KEYS.items():
+        path = root / name
+        if not path.exists():
+            problems.append(f"{name}: missing (bench did not write it)")
+            continue
+        try:
+            data = json.loads(path.read_text())
+        except ValueError as exc:
+            problems.append(f"{name}: unparsable JSON ({exc})")
+            continue
+        for key in keys:
+            if key not in data:
+                problems.append(f"{name}: missing top-level key {key!r}")
+    return problems
+
+
+def main(argv=None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    root = Path(argv[0]) if argv else Path(__file__).resolve().parent.parent
+    problems = check_artifacts(root)
+    if problems:
+        print("bench artifact check FAILED:")
+        for problem in problems:
+            print(f"  - {problem}")
+        return 1
+    for name in EXPECTED_KEYS:
+        print(f"{name}: ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

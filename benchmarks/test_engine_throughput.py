@@ -25,10 +25,10 @@ from __future__ import annotations
 import json
 import os
 import time
-from pathlib import Path
 
 import pytest
 
+from _bench_util import REPO_ROOT, record_bench
 from repro.core import QDPM
 from repro.device import abstract_three_state
 from repro.env import SlottedDPMEnv
@@ -38,20 +38,12 @@ from repro.workload import ConstantRate
 N_SLOTS = 20_000
 ENV_KW = dict(queue_capacity=8, p_serve=0.9)
 
-BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
+BENCH_PATH = REPO_ROOT / "BENCH_engine.json"
 
 
 def _record_bench(section: str, payload: dict) -> None:
-    """Merge one section into the shared perf artifact."""
-    data = {}
-    if BENCH_PATH.exists():
-        try:
-            data = json.loads(BENCH_PATH.read_text())
-        except ValueError:
-            data = {}
-    data["cpu_count"] = os.cpu_count()
-    data[section] = payload
-    BENCH_PATH.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+    """Merge one section (plus host metadata) into the perf artifact."""
+    record_bench(BENCH_PATH, section, payload)
 
 
 def _scalar_slots_per_sec(n_slots: int = N_SLOTS, repeats: int = 3) -> float:
@@ -190,3 +182,6 @@ def test_quick_throughput_snapshot():
     assert BENCH_PATH.exists()
     data = json.loads(BENCH_PATH.read_text())
     assert "quick_snapshot" in data and "cpu_count" in data
+    # host metadata makes artifacts from different runners comparable
+    host = data["host"]
+    assert host["platform"] and host["python_version"] and host["timestamp_utc"]

@@ -22,7 +22,7 @@ from repro.baselines import (
     PredictiveShutdown,
 )
 from repro.device import mobile_hard_disk
-from repro.sim import DPMSimulator
+from repro.runtime import simulate_trace
 from repro.workload import Exponential, Pareto, renewal_trace
 
 DURATION = 30_000.0   # seconds of simulated disk traffic
@@ -59,12 +59,15 @@ def main() -> None:
     ]
 
     for trace_name, trace in traces.items():
-        base = DPMSimulator(disk, AlwaysOn(), service_time=SERVICE_TIME).run(trace)
+        # simulate_trace rides the vectorized busy-period kernel for the
+        # stateless policies and falls back to the scalar event loop for
+        # the adaptive/predictive arms
+        base = simulate_trace(disk, AlwaysOn(), trace, service_time=SERVICE_TIME)
         rows = []
         for policy, oracle in roster:
-            report = DPMSimulator(
-                disk, policy, service_time=SERVICE_TIME, oracle=oracle
-            ).run(trace)
+            report = simulate_trace(
+                disk, policy, trace, service_time=SERVICE_TIME, oracle=oracle
+            )
             label = policy.name
             if isinstance(policy, FixedTimeout):
                 timeout = policy._timeout if policy._timeout else break_even

@@ -24,8 +24,29 @@ from __future__ import annotations
 import math
 from typing import List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from ..device import PowerStateMachine
-from ..sim.policy_api import NEVER, EventPolicy, IdleContext, IdleDecision
+from ..sim.policy_api import (
+    NEVER,
+    BatchIdleContext,
+    BatchIdleDecision,
+    EventPolicy,
+    IdleContext,
+    IdleDecision,
+)
+
+
+def _constant_batch(
+    ctx: BatchIdleContext, target: Optional[str], timeout: float
+) -> BatchIdleDecision:
+    """Batch form of a gap-independent decision (the timeout family)."""
+    n = ctx.gap_starts.size
+    idx = -1 if target is None else ctx.device.state_names.index(target)
+    return BatchIdleDecision(
+        target_idx=np.full(n, idx, dtype=np.int64),
+        timeouts=np.full(n, float(timeout)),
+    )
 
 
 def _deepest_profitable_state(device: PowerStateMachine) -> str:
@@ -51,6 +72,9 @@ class AlwaysOn(EventPolicy):
     def on_idle(self, ctx: IdleContext) -> IdleDecision:
         return IdleDecision(target_state=None, timeout=NEVER)
 
+    def decide_batch(self, ctx: BatchIdleContext) -> BatchIdleDecision:
+        return _constant_batch(ctx, None, NEVER)
+
 
 class GreedySleep(EventPolicy):
     """Power down immediately on idleness (maximum shutdown aggression)."""
@@ -63,6 +87,10 @@ class GreedySleep(EventPolicy):
     def on_idle(self, ctx: IdleContext) -> IdleDecision:
         target = self._target or _deepest_profitable_state(ctx.device)
         return IdleDecision(target_state=target, timeout=0.0)
+
+    def decide_batch(self, ctx: BatchIdleContext) -> BatchIdleDecision:
+        target = self._target or _deepest_profitable_state(ctx.device)
+        return _constant_batch(ctx, target, 0.0)
 
 
 class FixedTimeout(EventPolicy):
@@ -90,6 +118,13 @@ class FixedTimeout(EventPolicy):
         if timeout is None:
             timeout = ctx.device.break_even_time(target, ctx.device.initial_state)
         return IdleDecision(target_state=target, timeout=timeout)
+
+    def decide_batch(self, ctx: BatchIdleContext) -> BatchIdleDecision:
+        target = self._target or _deepest_profitable_state(ctx.device)
+        timeout = self._timeout
+        if timeout is None:
+            timeout = ctx.device.break_even_time(target, ctx.device.initial_state)
+        return _constant_batch(ctx, target, timeout)
 
 
 class AdaptiveTimeout(EventPolicy):
@@ -225,6 +260,10 @@ class MultiLevelTimeout(EventPolicy):
         threshold, state = self._levels[0]
         return IdleDecision(target_state=state, timeout=threshold)
 
+    def decide_batch(self, ctx: BatchIdleContext) -> BatchIdleDecision:
+        threshold, state = self._levels[0]
+        return _constant_batch(ctx, state, threshold)
+
 
 class OracleShutdown(EventPolicy):
     """Clairvoyant policy: the offline lower bound of every comparison.
@@ -262,3 +301,39 @@ class OracleShutdown(EventPolicy):
         if best_state is None:
             return IdleDecision(target_state=None, timeout=NEVER)
         return IdleDecision(target_state=best_state, timeout=0.0)
+
+    def decide_batch(self, ctx: BatchIdleContext) -> BatchIdleDecision:
+        """All-gaps form of :meth:`on_idle`: per-gap argmin over the same
+        candidate roster, same strict-improvement tie-breaking."""
+        device, wait, home = ctx.device, ctx.wait_state, ctx.device.initial_state
+        names = device.state_names
+        n = ctx.gap_starts.size
+        target_idx = np.full(n, -1, dtype=np.int64)
+        timeouts = np.full(n, NEVER)
+        known = ~np.isnan(ctx.next_arrivals)
+        if (~known).any():
+            # no (visible) next arrival: deepest profitable state, now
+            deep = names.index(_deepest_profitable_state(device))
+            target_idx[~known] = deep
+            timeouts[~known] = 0.0
+        if known.any():
+            idle = ctx.next_arrivals[known] - ctx.gap_starts[known]
+            best_energy = device.state(wait).power * idle
+            best_idx = np.full(idle.size, -1, dtype=np.int64)
+            for name in device.sleep_states_by_depth(home):
+                if not (
+                    device.can_transition(home, name)
+                    or device.can_transition(wait, name)
+                ):
+                    continue
+                if not device.can_transition(name, home):
+                    continue
+                rt_energy, rt_latency = device.round_trip(home, name)
+                power = device.state(name).power
+                energy = rt_energy + power * np.maximum(0.0, idle - rt_latency)
+                better = energy < best_energy
+                best_energy = np.where(better, energy, best_energy)
+                best_idx = np.where(better, names.index(name), best_idx)
+            target_idx[known] = best_idx
+            timeouts[known] = np.where(best_idx >= 0, 0.0, NEVER)
+        return BatchIdleDecision(target_idx=target_idx, timeouts=timeouts)

@@ -8,6 +8,7 @@ Usage::
     python -m repro variation       # CLAIM-VAR drift tolerance
     python -m repro policies        # EXT-POLICY event-driven table
     python -m repro grid            # GRID rate x device x controller table
+    python -m repro sim-sweep       # SIM-SWEEP device x trace x policy CIs
     python -m repro all             # everything, in order
     python -m repro sweep --seeds 8 # multi-seed CI sweep of fig1/fig2/variation
 
@@ -33,12 +34,14 @@ from .experiments import (
     GridConfig,
     OverheadConfig,
     PolicyTableConfig,
+    SimSweepConfig,
     VariationConfig,
     run_fig1,
     run_fig2,
     run_grid,
     run_overhead,
     run_policy_table,
+    run_sim_sweep,
     run_variation,
 )
 
@@ -117,6 +120,18 @@ def _grid(quick: bool, n_seeds: Optional[int] = None,
     return run_grid(_sweep_settings(config, n_seeds, batch, jobs)).render()
 
 
+def _sim_sweep(quick: bool, n_seeds: Optional[int] = None,
+               batch: Optional[int] = None, jobs: Optional[int] = None) -> str:
+    config = SimSweepConfig()
+    if quick:
+        config = dataclasses.replace(config, duration=2_000.0, n_traces=4)
+    if n_seeds is not None:
+        config = dataclasses.replace(config, n_traces=n_seeds)
+    if jobs is not None:
+        config = dataclasses.replace(config, n_jobs=jobs)
+    return run_sim_sweep(config).render()
+
+
 _COMMANDS: Dict[str, Callable[..., str]] = {
     "fig1": _fig1,
     "fig2": _fig2,
@@ -124,14 +139,18 @@ _COMMANDS: Dict[str, Callable[..., str]] = {
     "overhead": _overhead,
     "variation": _variation,
     "policies": _policies,
+    "sim-sweep": _sim_sweep,
 }
 
 #: experiments with a multi-seed (batched-engine) path
 _SWEEPABLE = ("fig1", "fig2", "grid", "variation")
+#: experiments that consume --seeds (batched-engine replicas, plus the
+#: event-sim sweep where N means trace replications per cell)
+_SEEDABLE = _SWEEPABLE + ("sim-sweep",)
 #: experiments that consume --batch (sweepable + the batched Q-op timing)
 _BATCHABLE = _SWEEPABLE + ("overhead",)
 #: experiments that consume --jobs (multiprocess-sharded work units)
-_JOBBABLE = _SWEEPABLE + ("policies",)
+_JOBBABLE = _SWEEPABLE + ("policies", "sim-sweep")
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -155,7 +174,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         type=int,
         default=None,
         metavar="N",
-        help="run N independent seeds lock-step on the batched engine",
+        help="run N independent seeds lock-step on the batched engine "
+             "(for sim-sweep: N trace replications per cell)",
     )
     parser.add_argument(
         "--batch",
@@ -191,10 +211,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
 
     if args.experiment != "all":
-        if args.seeds is not None and args.experiment not in _SWEEPABLE:
+        if args.seeds is not None and args.experiment not in _SEEDABLE:
             parser.error(
                 f"--seeds is not supported for {args.experiment!r} "
-                f"(multi-seed experiments: {', '.join(sorted(_SWEEPABLE))})"
+                f"(multi-seed experiments: {', '.join(sorted(_SEEDABLE))})"
             )
         if args.batch is not None and args.experiment not in _BATCHABLE:
             parser.error(
@@ -210,14 +230,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     names = sorted(_COMMANDS) if args.experiment == "all" else [args.experiment]
     for name in names:
         print(f"=== {name} ===")
-        if name not in _SWEEPABLE and args.seeds is not None:
+        if name not in _SEEDABLE and args.seeds is not None:
             print(f"note: --seeds has no effect on {name!r}")
         if name not in _BATCHABLE and args.batch is not None:
             print(f"note: --batch has no effect on {name!r}")
         if name not in _JOBBABLE and args.jobs is not None:
             print(f"note: --jobs has no effect on {name!r}")
         kwargs = {}
-        if args.seeds is not None and name in _SWEEPABLE:
+        if args.seeds is not None and name in _SEEDABLE:
             kwargs["n_seeds"] = args.seeds
         if args.batch is not None and name in _BATCHABLE:
             kwargs["batch"] = args.batch

@@ -7,6 +7,7 @@ from .config import (
     GridConfig,
     OverheadConfig,
     PolicyTableConfig,
+    SimSweepConfig,
     SweepConfig,
     VariationConfig,
 )
@@ -15,6 +16,8 @@ from .fig2_nonstationary import Fig2Result, run_fig2
 from .grid_table import run_grid
 from .overhead import OverheadResult, OverheadRow, run_overhead
 from .policy_table import PolicyTableResult, PolicyTableRow, run_policy_table
+from .sim_sweep import build_spec as build_sim_sweep_spec
+from .sim_sweep import run_sim_sweep
 from .variation import VariationResult, VariationRow, run_variation
 
 __all__ = [
@@ -40,4 +43,7 @@ __all__ = [
     "run_policy_table",
     "PolicyTableResult",
     "PolicyTableRow",
+    "SimSweepConfig",
+    "run_sim_sweep",
+    "build_sim_sweep_spec",
 ]

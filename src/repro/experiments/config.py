@@ -155,6 +155,31 @@ class PolicyTableConfig:
 
 
 @dataclass(frozen=True)
+class SimSweepConfig:
+    """SIM-SWEEP — scenario grid on the event-driven simulator.
+
+    (device x trace family x policy) cells with ``n_traces`` seeded
+    trace replications per cell, fanned across ``n_jobs`` worker
+    processes in chunks of ``chunk_size`` and aggregated to mean +-
+    bootstrap CI.  Stateless policies ride the vectorized busy-period
+    kernel (:mod:`repro.runtime.eventsim`); stateful ones fall back to
+    the scalar event loop inside the same cells.
+    """
+
+    devices: Tuple[str, ...] = ("mobile_hdd", "wlan")
+    duration: float = 10_000.0
+    service_time: float = 0.4
+    exp_rate: float = 0.05
+    pareto_alpha: float = 1.6
+    pareto_xm: float = 6.0
+    n_traces: int = 8
+    seed: int = 3
+    seed_stride: int = 101
+    chunk_size: int = 4
+    n_jobs: int = 1
+
+
+@dataclass(frozen=True)
 class GridConfig:
     """GRID — scenario grid over rate x device x horizon x controller.
 

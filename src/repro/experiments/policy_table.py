@@ -24,8 +24,8 @@ from ..baselines import (
     PredictiveShutdown,
 )
 from ..device import get_preset
-from ..runtime import get_executor
-from ..sim import DPMSimulator, SimReport
+from ..runtime import get_executor, simulate_trace
+from ..sim import SimReport
 from ..workload import Exponential, Pareto, Trace, renewal_trace
 from .config import PolicyTableConfig
 
@@ -100,12 +100,14 @@ def _simulate_cell(config: PolicyTableConfig, trace: Trace, policy,
     Module-level and built from picklable values only, so the executor
     can ship cells to worker processes; the simulation itself is
     deterministic given the trace, so sharding never changes the table.
+    Routes through :func:`~repro.runtime.simulate_trace`, so the
+    stateless roster rides the vectorized busy-period kernel while the
+    adaptive/predictive arms keep the scalar event loop.
     """
-    sim = DPMSimulator(
-        get_preset(config.device), policy,
+    return simulate_trace(
+        get_preset(config.device), policy, trace,
         service_time=config.service_time, oracle=oracle,
     )
-    return sim.run(trace)
 
 
 def run_policy_table(

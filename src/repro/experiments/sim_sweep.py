@@ -1,0 +1,71 @@
+"""SIM-SWEEP: scenario-diverse cross-policy sweep on the event simulator.
+
+The policy-table experiment (EXT-POLICY) compares the roster on *one*
+device and *one* trace per workload family.  This experiment is what the
+vectorized event-sim runtime opens up: the full
+(device x trace family x policy) grid with many seeded trace
+replications per cell, so every comparison carries a bootstrap CI
+instead of a single-draw point estimate.  Cells fan across worker
+processes via :class:`~repro.runtime.SimSweepRunner`; stateless policies
+run on the busy-period kernel, the stateful adaptive/predictive arms
+fall back to the scalar event loop inside the same grid.
+"""
+
+from __future__ import annotations
+
+from ..baselines import (
+    AdaptiveTimeout,
+    AlwaysOn,
+    FixedTimeout,
+    GreedySleep,
+    OracleShutdown,
+    PredictiveShutdown,
+)
+from ..device import get_preset
+from ..runtime import PolicySpec, SimSweepResult, SimSweepRunner, SimSweepSpec, TraceSpec
+from ..workload import Exponential, Pareto
+from .config import SimSweepConfig
+
+
+def _policy_roster() -> tuple:
+    """The sweep's policy arms; targets resolve per device at run time."""
+    return (
+        PolicySpec("always_on", AlwaysOn()),
+        PolicySpec("greedy", GreedySleep()),
+        PolicySpec("timeout(Tbe)", FixedTimeout()),
+        PolicySpec("adaptive", AdaptiveTimeout(initial_timeout=1.0)),
+        PolicySpec("predictive", PredictiveShutdown(smoothing=0.5)),
+        PolicySpec("oracle", OracleShutdown(), oracle=True),
+    )
+
+
+def build_spec(config: SimSweepConfig = SimSweepConfig()) -> SimSweepSpec:
+    """The :class:`~repro.runtime.SimSweepSpec` this config realizes."""
+    for name in config.devices:
+        get_preset(name)  # fail fast on unknown presets
+    return SimSweepSpec(
+        devices=tuple(config.devices),
+        traces=(
+            TraceSpec(
+                name=f"exp(rate={config.exp_rate})",
+                dist=Exponential(config.exp_rate),
+                duration=config.duration,
+            ),
+            TraceSpec(
+                name=f"pareto(a={config.pareto_alpha})",
+                dist=Pareto(config.pareto_alpha, config.pareto_xm),
+                duration=config.duration,
+            ),
+        ),
+        policies=_policy_roster(),
+        n_traces=config.n_traces,
+        seed=config.seed,
+        seed_stride=config.seed_stride,
+        service_time=config.service_time,
+    )
+
+
+def run_sim_sweep(config: SimSweepConfig = SimSweepConfig()) -> SimSweepResult:
+    """Run the full grid; deterministic given the config (any job count)."""
+    runner = SimSweepRunner(chunk_size=config.chunk_size, n_jobs=config.n_jobs)
+    return runner.run(build_spec(config))

@@ -17,11 +17,18 @@ array ops and shards the resulting work units across processes:
   executor abstraction that ships ``(spec, chunk_seeds)`` work units to
   worker processes and reassembles results in seed order;
 - :class:`GridRunner` — grid-product scenario sweeps
-  (rate x device x horizon x controller) fanned across the executor.
+  (rate x device x horizon x controller) fanned across the executor;
+- :mod:`~repro.runtime.eventsim` — vectorized busy-period kernel for
+  the continuous-time event simulator (:func:`simulate_trace` runs
+  stateless policies as NumPy array ops over all idle gaps at once,
+  scalar fallback otherwise);
+- :class:`SimSweepRunner` — (device x trace x policy) event-sim cell
+  grids fanned across the executor with bootstrap-CI aggregation.
 """
 
 from .batched_env import BatchedEnvTotals, BatchedSlottedEnv, BatchStepInfo
 from .batched_qdpm import BatchedQDPM, BatchRunHistory
+from .eventsim import run_vectorized, simulate_trace
 from .executor import (
     AsyncTasks,
     Executor,
@@ -31,6 +38,15 @@ from .executor import (
     is_picklable,
 )
 from .grid import GridCell, GridCellResult, GridResult, GridRunner, GridSpec
+from .simsweep import (
+    PolicySpec,
+    SimCellResult,
+    SimSweepResult,
+    SimSweepRunner,
+    SimSweepSpec,
+    TraceSpec,
+    run_sim_chunk,
+)
 from .sweep import RolloutSpec, SeedRun, SweepResult, SweepRunner, run_chunk
 
 __all__ = [
@@ -55,4 +71,13 @@ __all__ = [
     "GridCellResult",
     "GridResult",
     "GridRunner",
+    "run_vectorized",
+    "simulate_trace",
+    "TraceSpec",
+    "PolicySpec",
+    "SimSweepSpec",
+    "SimCellResult",
+    "SimSweepResult",
+    "SimSweepRunner",
+    "run_sim_chunk",
 ]

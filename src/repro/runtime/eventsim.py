@@ -1,0 +1,345 @@
+"""Vectorized busy-period kernel for the event-driven DPM simulator.
+
+:class:`~repro.sim.DPMSimulator` pays one Python interpreter round-trip
+per event per trace.  For the *stateless* decision family — policies
+whose :meth:`~repro.sim.policy_api.EventPolicy.on_idle` is a pure
+function of the :class:`~repro.sim.policy_api.IdleContext` (the timeout
+family, greedy, always-on, multilevel, and the oracle) — the whole run
+collapses into NumPy array ops, because the FIFO single-server,
+wake-on-arrival semantics decompose a trace into busy periods and
+independent idle gaps:
+
+1.  **Busy periods** obey the Lindley recursion
+    ``completion[i] = max(completion[i-1], arrival[i] + wake[i]) + demand[i]``,
+    which vectorizes as a prefix max over ``arrival + wake - cum_demand``.
+2.  **Idle gaps** open where an arrival strictly exceeds the previous
+    completion; each gap's shutdown decision, transition energies,
+    residencies, and wake-up delay are pure per-gap functions that
+    evaluate over all gaps at once via
+    :meth:`~repro.sim.policy_api.EventPolicy.decide_batch`.
+3.  Wake-up delays feed back into busy-period boundaries, so the kernel
+    iterates 1+2 to a fixpoint.  Each pass makes at least one further
+    prefix of completions exact (the first gap's start never moves, so
+    induction walks forward), giving convergence in at most ``n + 1``
+    passes — typically 2-3, since wake delays rarely cascade.
+
+Equivalence with the scalar event loop is pinned field-for-field on the
+:class:`~repro.sim.SimReport` (tests/test_runtime_eventsim.py), including
+the loop's tie-breaking (arrivals pre-empt same-time timeouts), the
+"timeout events at or beyond the observation window are dropped" rule,
+zero-latency transition lumps, and zero-span residency keys.
+
+:func:`simulate_trace` is the drop-in entry point: it runs the kernel
+when the policy and device qualify and falls back to the scalar
+:class:`~repro.sim.DPMSimulator` automatically (stateful policies such as
+the adaptive and predictive baselines, non-free wait-state parking,
+or exotic decision targets).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..device import PowerStateMachine
+from ..sim.policy_api import BatchIdleContext, EventPolicy
+from ..sim.simulator import DPMSimulator, default_wait_state, resolve_demands
+from ..sim.stats import SimReport, compile_report
+from ..workload.trace import Trace
+
+
+@dataclass(frozen=True)
+class _TargetCosts:
+    """Transition/residency constants of one shutdown target state."""
+
+    name: str
+    power: float
+    down_latency: float
+    down_energy: float
+    down_mean_power: float
+    up_latency: float
+    up_energy: float
+    up_mean_power: float
+    break_even: float
+
+
+def _wait_parking_is_free(
+    device: PowerStateMachine, home: str, wait: str
+) -> bool:
+    """True when parking in ``wait`` is a free, instant round trip.
+
+    The kernel folds the park into plain residency accounting; a costly
+    wait-state trip would need event-level integration, so such devices
+    stay on the scalar loop.
+    """
+    if wait == home:
+        return True
+    if not (device.can_transition(home, wait) and device.can_transition(wait, home)):
+        return False
+    down = device.transition(home, wait)
+    up = device.transition(wait, home)
+    return (
+        down.energy == 0 and down.latency == 0
+        and up.energy == 0 and up.latency == 0
+    )
+
+
+def _target_costs(
+    device: PowerStateMachine, home: str, wait: str, idx: int
+) -> Optional[_TargetCosts]:
+    """Constants for shutdown target ``state_names[idx]``, or None if the
+    target is outside the shapes the kernel models (missing edges, or a
+    degenerate home/wait target)."""
+    names = device.state_names
+    if idx < 0 or idx >= len(names):
+        return None
+    name = names[idx]
+    if name == home or name == wait:
+        return None
+    if not (device.can_transition(wait, name) and device.can_transition(name, home)):
+        return None
+    down = device.transition(wait, name)
+    up = device.transition(name, home)
+    try:
+        break_even = device.break_even_time(name, home)
+    except (ValueError, KeyError):
+        break_even = 0.0
+    return _TargetCosts(
+        name=name,
+        power=device.state(name).power,
+        down_latency=down.latency,
+        down_energy=down.energy,
+        down_mean_power=down.mean_power,
+        up_latency=up.latency,
+        up_energy=up.energy,
+        up_mean_power=up.mean_power,
+        break_even=break_even,
+    )
+
+
+def run_vectorized(
+    device: PowerStateMachine,
+    policy: EventPolicy,
+    trace: Trace,
+    service_time: float = 0.5,
+    wait_state: Optional[str] = None,
+    oracle: bool = False,
+) -> Optional[SimReport]:
+    """Run the busy-period kernel; None when the run does not qualify.
+
+    Mirrors :class:`~repro.sim.DPMSimulator`'s constructor contract
+    (``service_time`` validation, wait-state existence check); a None
+    return means the caller should use the scalar loop, which either
+    simulates the run or raises the error the configuration deserves.
+    """
+    if service_time <= 0:
+        raise ValueError(f"service_time must be > 0, got {service_time}")
+    home = device.initial_state
+    wait = wait_state if wait_state is not None else default_wait_state(device)
+    device.state(wait)  # existence check
+    if not _wait_parking_is_free(device, home, wait):
+        return None
+
+    arrivals = trace.arrival_times
+    n = int(arrivals.size)
+    demands = resolve_demands(trace, service_time)
+    duration = trace.duration
+
+    policy.reset()
+    costs: Dict[int, _TargetCosts] = {}
+
+    # ---- fixpoint over wake-up delays --------------------------------- #
+    wake = np.zeros(n)
+    converged = False
+    for _ in range(n + 2):
+        if n:
+            total_demand = np.cumsum(demands)
+            earliest = arrivals + wake
+            floor = np.maximum.accumulate(earliest - (total_demand - demands))
+            completions = floor + total_demand
+            prev_completion = np.concatenate(([0.0], completions[:-1]))
+            opens = arrivals > prev_completion
+            opens[0] = True  # begin_idle(0.0) always opens the first gap
+            gap_starts = prev_completion[opens]
+            gap_ends = arrivals[opens]
+            final_start = float(completions[-1])
+        else:
+            completions = np.empty(0)
+            opens = np.zeros(0, dtype=bool)
+            gap_starts = np.empty(0)
+            gap_ends = np.empty(0)
+            final_start = 0.0
+
+        starts = np.concatenate((gap_starts, [final_start]))
+        if oracle:
+            next_arrivals = np.concatenate((gap_ends, [np.nan]))
+        else:
+            next_arrivals = np.full(starts.size, np.nan)
+        decision = policy.decide_batch(
+            BatchIdleContext(
+                gap_starts=starts,
+                next_arrivals=next_arrivals,
+                device=device,
+                wait_state=wait,
+            )
+        )
+        if decision is None:
+            return None
+        timeouts = np.asarray(decision.timeouts, dtype=float)
+        target_idx = np.asarray(decision.target_idx, dtype=np.int64)
+        if timeouts.shape != starts.shape or target_idx.shape != starts.shape:
+            return None
+        if (timeouts < 0).any():
+            return None
+        for idx in np.unique(target_idx[target_idx >= 0]):
+            idx = int(idx)
+            if idx not in costs:
+                tc = _target_costs(device, home, wait, idx)
+                if tc is None:
+                    return None
+                costs[idx] = tc
+
+        # Shutdown rule, matching the event loop's tie-breaking: a zero
+        # timeout executes inline at idle start (no horizon check); a
+        # positive timeout is a TIMEOUT event that fires only strictly
+        # before the gap-ending arrival (arrivals pre-empt same-time
+        # timeouts) and, for the trailing gap, strictly before the
+        # observation window ends.
+        rule_ends = np.concatenate((gap_ends, [duration]))
+        shutdown = (target_idx >= 0) & (
+            (timeouts == 0.0)
+            | (np.isfinite(timeouts) & (starts + timeouts < rule_ends))
+        )
+        down_lat = np.zeros(starts.size)
+        up_lat = np.zeros(starts.size)
+        for idx, tc in costs.items():
+            sel = target_idx == idx
+            down_lat[sel] = tc.down_latency
+            up_lat[sel] = tc.up_latency
+        shutdown_times = starts + timeouts
+        down_done = shutdown_times + down_lat
+
+        new_wake = np.zeros(n)
+        if n:
+            # a mid-trace gap's opener starts service only after the
+            # device finishes any in-flight down transition and wakes
+            with np.errstate(invalid="ignore"):
+                delays = np.maximum(gap_ends, down_done[:-1]) + up_lat[:-1] - gap_ends
+            new_wake[opens] = np.where(shutdown[:-1], delays, 0.0)
+        if np.array_equal(new_wake, wake):
+            converged = True
+            break
+        wake = new_wake
+    if not converged:  # pragma: no cover - n+1 passes provably suffice
+        return None
+
+    # ---- accounting ---------------------------------------------------- #
+    i_final = int(starts.size - 1)
+    final_target = int(target_idx[i_final])
+    final_shutdown = bool(shutdown[i_final])
+    end_time = float(duration)
+    if n:
+        end_time = max(end_time, float(completions[-1]))
+    if final_shutdown and costs[final_target].down_latency > 0:
+        end_time = max(end_time, float(down_done[i_final]))
+
+    idle_lengths = np.concatenate(
+        (gap_ends - gap_starts, [end_time - final_start])
+    )
+    n_shutdowns = int(np.count_nonzero(shutdown))
+    n_wrong = 0
+    if n:
+        be = np.zeros(starts.size)
+        for idx, tc in costs.items():
+            be[target_idx == idx] = tc.break_even
+        remaining = gap_ends - shutdown_times[:-1]
+        n_wrong = int(np.count_nonzero(shutdown[:-1] & (remaining < be[:-1])))
+
+    home_power = device.state(home).power
+    wait_power = device.state(wait).power
+    busy_time = float(demands.sum())
+    phase_ends = np.concatenate((gap_ends, [end_time]))
+    wait_total = float(
+        (np.where(shutdown, shutdown_times, phase_ends) - starts).sum()
+    )
+    target_spans = np.zeros(starts.size)
+    if n:
+        with np.errstate(invalid="ignore"):
+            target_spans[:-1] = np.where(
+                shutdown[:-1], np.maximum(0.0, gap_ends - down_done[:-1]), 0.0
+            )
+    if final_shutdown:
+        target_spans[i_final] = end_time - down_done[i_final]
+
+    # residency keys mirror the scalar meter exactly, including the
+    # zero-span entries its set_condition sequence creates
+    residency: Dict[str, float] = {home: busy_time}
+    if wait != home:
+        residency[wait] = wait_total
+    else:
+        residency[home] += wait_total
+    total_energy = home_power * busy_time + wait_power * wait_total
+
+    for idx, tc in costs.items():
+        sel_shut = (target_idx == idx) & shutdown
+        n_down = int(np.count_nonzero(sel_shut))
+        if n_down == 0:
+            continue
+        n_up = n_down - (1 if (final_shutdown and final_target == idx) else 0)
+        span = float(target_spans[sel_shut].sum())
+        residency[tc.name] = residency.get(tc.name, 0.0) + span
+        total_energy += tc.power * span
+        if tc.down_latency > 0:
+            label = f"{wait}->{tc.name}"
+            residency[label] = residency.get(label, 0.0) + n_down * tc.down_latency
+            total_energy += tc.down_mean_power * tc.down_latency * n_down
+        else:
+            total_energy += tc.down_energy * n_down
+        if n_up:
+            if tc.up_latency > 0:
+                label = f"{tc.name}->{home}"
+                residency[label] = residency.get(label, 0.0) + n_up * tc.up_latency
+                total_energy += tc.up_mean_power * tc.up_latency * n_up
+            else:
+                total_energy += tc.up_energy * n_up
+
+    return compile_report(
+        home_power=home_power,
+        end_time=end_time,
+        total_energy=total_energy,
+        latencies=completions - arrivals,
+        idle_lengths=idle_lengths,
+        n_shutdowns=n_shutdowns,
+        n_wrong_shutdowns=n_wrong,
+        state_residency=residency,
+    )
+
+
+def simulate_trace(
+    device: PowerStateMachine,
+    policy: EventPolicy,
+    trace: Trace,
+    service_time: float = 0.5,
+    wait_state: Optional[str] = None,
+    oracle: bool = False,
+) -> SimReport:
+    """One device + one trace + one policy, on the fastest valid engine.
+
+    Runs the vectorized busy-period kernel when the policy implements
+    :meth:`~repro.sim.policy_api.EventPolicy.decide_batch` and the device
+    shape qualifies, and falls back to the scalar
+    :class:`~repro.sim.DPMSimulator` event loop otherwise — same
+    :class:`~repro.sim.SimReport` either way.
+    """
+    report = run_vectorized(
+        device, policy, trace,
+        service_time=service_time, wait_state=wait_state, oracle=oracle,
+    )
+    if report is not None:
+        return report
+    return DPMSimulator(
+        device, policy,
+        service_time=service_time, wait_state=wait_state, oracle=oracle,
+    ).run(trace)

@@ -152,12 +152,15 @@ class MultiprocessExecutor:
 
         Lets the parent overlap its own work (e.g. a callback-bearing
         lead chunk) with the pool; collect with :meth:`AsyncTasks.get`.
-        Even a single task goes to a worker — eager in-parent execution
-        would serialize exactly the overlap this method exists for.
+        Fewer than two tasks (or a single-worker pool) run eagerly
+        in-process instead: pool spin-up costs more than the overlap a
+        lone task could buy (``BENCH_engine.json``'s quick snapshot
+        showed 2-job sweeps *slower* than serial for exactly this
+        reason), and one worker cannot overlap anything with itself.
         """
         tasks = list(tasks)
-        if not tasks:
-            return AsyncTasks(results=[])
+        if len(tasks) < 2 or self.n_jobs == 1:
+            return AsyncTasks(results=[fn(*task) for task in tasks])
         pool = self._pool(len(tasks))
         return AsyncTasks(pool=pool, async_result=pool.starmap_async(fn, tasks))
 

@@ -1,0 +1,231 @@
+"""Scenario sweeps over the event-driven simulator.
+
+:class:`SimSweepRunner` is the event-sim counterpart of
+:class:`~repro.runtime.SweepRunner`: it fans the full
+(device x trace family x policy) cell grid, with ``n_traces`` seeded
+trace replications per cell, across the executor layer
+(:mod:`repro.runtime.executor`) and aggregates each cell's replications
+into mean +- bootstrap CI.  Every work unit is a ``(cell, seed-chunk)``
+pair built from picklable values only — traces are *re-generated inside
+the worker* from ``(distribution, duration, seed)`` recipes rather than
+shipped as arrays — so per-seed reports are identical for every
+``(chunk_size, n_jobs)`` combination.
+
+Cells route through :func:`~repro.runtime.eventsim.simulate_trace`, so
+stateless policies ride the vectorized busy-period kernel and stateful
+ones (adaptive, predictive) transparently use the scalar event loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from ..analysis.ascii_plot import format_table
+from ..analysis.bootstrap import CI, bootstrap_ci
+from ..device import get_preset
+from ..sim.policy_api import EventPolicy
+from ..sim.stats import SimReport
+from ..workload.arrivals import InterArrival
+from ..workload.generator import renewal_trace
+from .eventsim import simulate_trace
+from .executor import get_executor
+
+
+@dataclass(frozen=True)
+class TraceSpec:
+    """Recipe for reproducible synthetic traces: one distribution, one
+    window, realized per replication from a seed inside the worker."""
+
+    name: str
+    dist: InterArrival
+    duration: float
+
+    def __post_init__(self) -> None:
+        if self.duration <= 0:
+            raise ValueError(f"duration must be > 0, got {self.duration}")
+
+    def realize(self, seed: int):
+        """Generate the trace replication for ``seed``."""
+        return renewal_trace(self.dist, self.duration, np.random.default_rng(seed))
+
+
+@dataclass(frozen=True)
+class PolicySpec:
+    """One policy arm of the sweep (label + instance + oracle flag)."""
+
+    label: str
+    policy: EventPolicy
+    oracle: bool = False
+
+
+@dataclass(frozen=True)
+class SimSweepSpec:
+    """The full (device x trace x policy) grid of one event-sim sweep."""
+
+    devices: Tuple[str, ...]
+    traces: Tuple[TraceSpec, ...]
+    policies: Tuple[PolicySpec, ...]
+    n_traces: int = 8
+    seed: int = 0
+    seed_stride: int = 101
+    service_time: float = 0.5
+
+    def __post_init__(self) -> None:
+        if not (self.devices and self.traces and self.policies):
+            raise ValueError("need at least one device, trace, and policy")
+        if self.n_traces < 1:
+            raise ValueError(f"n_traces must be >= 1, got {self.n_traces}")
+        if self.seed_stride < 1:
+            raise ValueError(f"seed_stride must be >= 1, got {self.seed_stride}")
+        if self.service_time <= 0:
+            raise ValueError(f"service_time must be > 0, got {self.service_time}")
+
+    def seeds(self) -> List[int]:
+        """Replication seeds, shared across cells so comparisons pair."""
+        return [self.seed + k * self.seed_stride for k in range(self.n_traces)]
+
+
+@dataclass
+class SimCellResult:
+    """One (device, trace, policy) cell aggregated over its replications."""
+
+    device: str
+    trace: str
+    policy: str
+    reports: List[SimReport]
+
+    def _ci(self, attr: str, confidence: float = 0.95) -> CI:
+        values = np.array([getattr(r, attr) for r in self.reports])
+        return bootstrap_ci(values, confidence=confidence)
+
+    def power_ci(self, confidence: float = 0.95) -> CI:
+        """Across-replication mean power."""
+        return self._ci("mean_power", confidence)
+
+    def saving_ci(self, confidence: float = 0.95) -> CI:
+        """Across-replication energy saving vs. always-on at home power."""
+        return self._ci("energy_saving_ratio", confidence)
+
+    def latency_ci(self, confidence: float = 0.95) -> CI:
+        """Across-replication mean request latency."""
+        return self._ci("mean_latency", confidence)
+
+    @property
+    def mean_shutdowns(self) -> float:
+        return float(np.mean([r.n_shutdowns for r in self.reports]))
+
+    @property
+    def mean_wrong_shutdowns(self) -> float:
+        return float(np.mean([r.n_wrong_shutdowns for r in self.reports]))
+
+
+@dataclass
+class SimSweepResult:
+    """All cells of one sweep, in (device, trace, policy) grid order."""
+
+    spec: SimSweepSpec
+    cells: List[SimCellResult] = field(default_factory=list)
+
+    def cell(self, device: str, trace: str, policy: str) -> SimCellResult:
+        """Look up one cell by its labels."""
+        for c in self.cells:
+            if (c.device, c.trace, c.policy) == (device, trace, policy):
+                return c
+        raise KeyError(f"no cell ({device!r}, {trace!r}, {policy!r})")
+
+    def render(self) -> str:
+        headers = [
+            "device", "trace", "policy", "power (W)", "+-", "saving",
+            "latency (s)", "shutdowns", "wrong",
+        ]
+        rows = []
+        for c in self.cells:
+            power = c.power_ci()
+            rows.append([
+                c.device, c.trace, c.policy,
+                round(power.estimate, 4), round(power.half_width, 4),
+                round(c.saving_ci().estimate, 4),
+                round(c.latency_ci().estimate, 3),
+                round(c.mean_shutdowns, 1), round(c.mean_wrong_shutdowns, 1),
+            ])
+        return format_table(
+            headers, rows,
+            title=f"SIM-SWEEP: event-sim scenario grid "
+                  f"({self.spec.n_traces} traces/cell)",
+        )
+
+
+def run_sim_chunk(
+    device_name: str,
+    policy_spec: PolicySpec,
+    trace_spec: TraceSpec,
+    service_time: float,
+    seeds: Sequence[int],
+) -> List[SimReport]:
+    """One (cell, seed-chunk) work unit — module-level and built from
+    picklable values only, so the executor can ship it to a worker.
+    Each seed's report is a pure function of the arguments."""
+    device = get_preset(device_name)
+    return [
+        simulate_trace(
+            device, policy_spec.policy, trace_spec.realize(seed),
+            service_time=service_time, oracle=policy_spec.oracle,
+        )
+        for seed in seeds
+    ]
+
+
+class SimSweepRunner:
+    """Chunked executor fan-out over the event-sim cell grid.
+
+    Parameters
+    ----------
+    chunk_size:
+        Trace replications per work unit; smaller chunks expose more
+        parallelism, larger ones amortize per-unit overhead.
+    n_jobs:
+        Worker processes to shard (cell, chunk) units across (1 = serial).
+    """
+
+    def __init__(self, chunk_size: int = 8, n_jobs: int = 1) -> None:
+        if chunk_size < 1:
+            raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+        self.chunk_size = int(chunk_size)
+        self.n_jobs = int(n_jobs)
+
+    def run(self, spec: SimSweepSpec) -> SimSweepResult:
+        """Run the full grid; deterministic for any (chunk_size, n_jobs)."""
+        seeds = spec.seeds()
+        chunks = [
+            seeds[i:i + self.chunk_size]
+            for i in range(0, len(seeds), self.chunk_size)
+        ]
+        cell_keys: List[Tuple[str, str, str]] = []
+        tasks = []
+        for device in spec.devices:
+            for trace_spec in spec.traces:
+                for policy_spec in spec.policies:
+                    cell_keys.append((device, trace_spec.name, policy_spec.label))
+                    for chunk in chunks:
+                        tasks.append(
+                            (device, policy_spec, trace_spec,
+                             spec.service_time, chunk)
+                        )
+        chunk_reports = get_executor(self.n_jobs).map(run_sim_chunk, tasks)
+
+        result = SimSweepResult(spec=spec)
+        per_cell = len(chunks)
+        for c, (device, trace_name, policy_label) in enumerate(cell_keys):
+            reports: List[SimReport] = []
+            for chunk_out in chunk_reports[c * per_cell:(c + 1) * per_cell]:
+                reports.extend(chunk_out)
+            result.cells.append(
+                SimCellResult(
+                    device=device, trace=trace_name, policy=policy_label,
+                    reports=reports,
+                )
+            )
+        return result

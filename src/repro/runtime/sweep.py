@@ -362,7 +362,11 @@ class SweepRunner:
         # overlapped with the workers.  The parent counts as one of the
         # n_jobs lanes, so the pool gets n_jobs - 1 workers and total
         # concurrency honors the knob.  pool order == submission order,
-        # so runs come back in seed order.
+        # so runs come back in seed order.  With a single tail chunk or
+        # n_jobs = 2, submit_all short-circuits to eager in-process
+        # execution (no overlap): the quick-snapshot bench showed pool
+        # spin-up dominating exactly those shapes, so they degrade to
+        # the serial path's cost instead of paying for a pool.
         pending = MultiprocessExecutor(executor.n_jobs - 1).submit_all(
             run_chunk, [(spec, c) for c in chunks[1:]]
         )

@@ -1,9 +1,16 @@
 """Event-driven continuous-time DPM simulation."""
 
 from .events import ARRIVAL, SERVICE_DONE, TIMEOUT, TRANSITION_DONE, Event, EventQueue
-from .policy_api import NEVER, EventPolicy, IdleContext, IdleDecision
-from .simulator import DPMSimulator, default_wait_state
-from .stats import EnergyMeter, IdleTracker, LatencyTracker, SimReport
+from .policy_api import (
+    NEVER,
+    BatchIdleContext,
+    BatchIdleDecision,
+    EventPolicy,
+    IdleContext,
+    IdleDecision,
+)
+from .simulator import DPMSimulator, default_wait_state, resolve_demands
+from .stats import EnergyMeter, IdleTracker, LatencyTracker, SimReport, compile_report
 
 __all__ = [
     "Event",
@@ -15,10 +22,14 @@ __all__ = [
     "EventPolicy",
     "IdleContext",
     "IdleDecision",
+    "BatchIdleContext",
+    "BatchIdleDecision",
     "NEVER",
     "DPMSimulator",
     "default_wait_state",
+    "resolve_demands",
     "SimReport",
+    "compile_report",
     "EnergyMeter",
     "LatencyTracker",
     "IdleTracker",

@@ -16,6 +16,8 @@ from abc import ABC, abstractmethod
 from dataclasses import dataclass
 from typing import Optional
 
+import numpy as np
+
 from ..device import PowerStateMachine
 
 #: Timeout value meaning "never go down during this idle period".
@@ -54,6 +56,49 @@ class IdleContext:
     next_arrival: Optional[float]  #: oracle peek; None for causal policies
 
 
+@dataclass(frozen=True)
+class BatchIdleContext:
+    """All idle periods of one run, handed to a policy at once.
+
+    The vectorized event kernel (:mod:`repro.runtime.eventsim`) extracts
+    every idle gap of a trace up front and asks the policy for all its
+    decisions in one call instead of one :meth:`EventPolicy.on_idle`
+    round-trip per gap.
+
+    Attributes
+    ----------
+    gap_starts:
+        Idle-start times, one per gap, in chronological order (the last
+        entry is the trailing gap after the final service completion).
+    next_arrivals:
+        Arrival time ending each gap; ``nan`` where the policy must stay
+        causal (simulator not in oracle mode) and for the trailing gap
+        (no further arrivals) — exactly the gaps whose scalar
+        :class:`IdleContext` would carry ``next_arrival=None``.
+    device, wait_state:
+        As in :class:`IdleContext`.
+    """
+
+    gap_starts: np.ndarray
+    next_arrivals: np.ndarray
+    device: PowerStateMachine
+    wait_state: str
+
+
+@dataclass(frozen=True)
+class BatchIdleDecision:
+    """Per-gap decisions answering a :class:`BatchIdleContext`.
+
+    ``target_idx[i]`` indexes ``device.state_names`` (-1 means "stay in
+    the wait state", i.e. a scalar ``target_state=None``); ``timeouts[i]``
+    mirrors :attr:`IdleDecision.timeout` (0 = move immediately,
+    :data:`NEVER` = never).
+    """
+
+    target_idx: np.ndarray
+    timeouts: np.ndarray
+
+
 class EventPolicy(ABC):
     """Idle-period power-management policy."""
 
@@ -69,3 +114,15 @@ class EventPolicy(ABC):
 
     def on_idle_end(self, idle_length: float) -> None:
         """Feedback: the idle period that just ended lasted ``idle_length``."""
+
+    def decide_batch(self, ctx: BatchIdleContext) -> Optional[BatchIdleDecision]:
+        """Vectorized decisions for every idle gap of a run, or None.
+
+        Opt-in fast-path hook: a policy may implement this only when it
+        is *stateless* — :meth:`on_idle` a pure function of the
+        :class:`IdleContext` and :meth:`on_idle_end` a no-op — and the
+        returned decisions must match what per-gap :meth:`on_idle` calls
+        would produce.  Returning None (the default) keeps the policy on
+        the scalar event loop.
+        """
+        return None

@@ -29,11 +29,27 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Deque, Optional, Tuple
 
+import numpy as np
+
 from ..device import PowerStateMachine
 from ..workload.trace import Trace
 from .events import ARRIVAL, SERVICE_DONE, TIMEOUT, TRANSITION_DONE, Event, EventQueue
 from .policy_api import NEVER, EventPolicy, IdleContext, IdleDecision
-from .stats import EnergyMeter, IdleTracker, LatencyTracker, SimReport
+from .stats import EnergyMeter, IdleTracker, LatencyTracker, SimReport, compile_report
+
+
+def resolve_demands(trace: Trace, service_time: float) -> np.ndarray:
+    """Per-request service demands with the simulator's default rule.
+
+    A trace without demands (or with non-positive entries) falls back to
+    ``service_time``.  Shared by the scalar event loop and the vectorized
+    kernel so both paths serve identical workloads.
+    """
+    demands = trace.service_demands
+    if demands is None:
+        return np.full(len(trace), float(service_time))
+    demands = demands.astype(float)
+    return np.where(demands > 0, demands, float(service_time))
 
 
 def default_wait_state(device: PowerStateMachine) -> str:
@@ -112,12 +128,9 @@ class DPMSimulator:
         idle_stats = IdleTracker()
 
         arrivals = trace.arrival_times
-        demands = trace.service_demands
+        demands = resolve_demands(trace, self.service_time)
         for i, t in enumerate(arrivals):
-            demand = float(demands[i]) if demands is not None else self.service_time
-            if demand <= 0:
-                demand = self.service_time
-            events.push(Event(float(t), ARRIVAL, _Request(float(t), demand)))
+            events.push(Event(float(t), ARRIVAL, _Request(float(t), float(demands[i]))))
 
         # --- device condition -------------------------------------------------
         state = self.home               # steady state name when not in flight
@@ -256,24 +269,15 @@ class DPMSimulator:
             self.policy.on_idle_end(end_time - idle_since)
         meter.finish(end_time)
 
-        duration = end_time if end_time > 0 else 1.0
-        mean_power = meter.total_energy / duration
-        baseline = self.device.state(self.home).power
-        saving = 1.0 - mean_power / baseline if baseline > 0 else 0.0
-        return SimReport(
-            duration=end_time,
+        return compile_report(
+            home_power=self.device.state(self.home).power,
+            end_time=end_time,
             total_energy=meter.total_energy,
-            mean_power=mean_power,
-            energy_saving_ratio=saving,
-            n_requests=latency.count,
-            mean_latency=latency.mean(),
-            p95_latency=latency.percentile(95),
-            max_latency=latency.maximum(),
+            latencies=latency.values,
+            idle_lengths=idle_stats.idle_lengths,
             n_shutdowns=idle_stats.n_shutdowns,
             n_wrong_shutdowns=idle_stats.n_wrong_shutdowns,
-            n_idle_periods=len(idle_stats.idle_lengths),
-            mean_idle_length=idle_stats.mean_idle(),
-            state_residency=dict(meter.residency),
+            state_residency=meter.residency,
         )
 
     # ------------------------------------------------------------------ #

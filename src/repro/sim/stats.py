@@ -1,10 +1,17 @@
-"""Accounting for the event-driven simulator: energy, latency, residency."""
+"""Accounting for the event-driven simulator: energy, latency, residency.
+
+:func:`compile_report` is the single report-assembly path: the scalar
+event loop (:class:`~repro.sim.simulator.DPMSimulator`) feeds it its
+trackers' raw sequences, the vectorized busy-period kernel
+(:mod:`repro.runtime.eventsim`) feeds it array aggregates — both produce
+a :class:`SimReport` through identical arithmetic.
+"""
 
 from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -78,6 +85,11 @@ class LatencyTracker:
     def count(self) -> int:
         return len(self._latencies)
 
+    @property
+    def values(self) -> List[float]:
+        """Recorded latencies in arrival order (for report assembly)."""
+        return list(self._latencies)
+
     def mean(self) -> float:
         return float(np.mean(self._latencies)) if self._latencies else 0.0
 
@@ -108,3 +120,40 @@ class IdleTracker:
 
     def mean_idle(self) -> float:
         return float(np.mean(self.idle_lengths)) if self.idle_lengths else 0.0
+
+
+def compile_report(
+    home_power: float,
+    end_time: float,
+    total_energy: float,
+    latencies: Sequence[float],
+    idle_lengths: Sequence[float],
+    n_shutdowns: int,
+    n_wrong_shutdowns: int,
+    state_residency: Dict[str, float],
+) -> SimReport:
+    """Assemble the final :class:`SimReport` from raw run aggregates.
+
+    Shared by the scalar event loop and the vectorized kernel so the two
+    paths cannot drift in how summary metrics are derived.
+    """
+    latencies = np.asarray(latencies, dtype=float)
+    idle_lengths = np.asarray(idle_lengths, dtype=float)
+    duration = end_time if end_time > 0 else 1.0
+    mean_power = total_energy / duration
+    saving = 1.0 - mean_power / home_power if home_power > 0 else 0.0
+    return SimReport(
+        duration=end_time,
+        total_energy=total_energy,
+        mean_power=mean_power,
+        energy_saving_ratio=saving,
+        n_requests=int(latencies.size),
+        mean_latency=float(np.mean(latencies)) if latencies.size else 0.0,
+        p95_latency=float(np.percentile(latencies, 95)) if latencies.size else 0.0,
+        max_latency=float(np.max(latencies)) if latencies.size else 0.0,
+        n_shutdowns=int(n_shutdowns),
+        n_wrong_shutdowns=int(n_wrong_shutdowns),
+        n_idle_periods=int(idle_lengths.size),
+        mean_idle_length=float(np.mean(idle_lengths)) if idle_lengths.size else 0.0,
+        state_residency=dict(state_residency),
+    )

@@ -63,6 +63,19 @@ class TestDispatch:
         with pytest.raises(SystemExit):
             cli.main(["overhead", "--jobs", "2"])
 
+    def test_sim_sweep_takes_seeds_and_jobs_but_not_batch(self, monkeypatch):
+        seen = {}
+
+        def fake(quick, n_seeds=None, batch=None, jobs=None):
+            seen.update(n_seeds=n_seeds, batch=batch, jobs=jobs)
+            return ""
+
+        monkeypatch.setitem(cli._COMMANDS, "sim-sweep", fake)
+        cli.main(["sim-sweep", "--seeds", "6", "--jobs", "2"])
+        assert seen == {"n_seeds": 6, "batch": None, "jobs": 2}
+        with pytest.raises(SystemExit):
+            cli.main(["sim-sweep", "--batch", "4"])
+
     def test_bad_jobs_value_rejected(self):
         with pytest.raises(SystemExit):
             cli.main(["fig1", "--jobs", "0"])

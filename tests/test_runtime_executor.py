@@ -91,13 +91,23 @@ class TestExecutorPrimitives:
         # parent-side work happens here, then collection
         assert pending.get() == [0, 1, 4, 9, 16]
 
-    def test_submit_all_single_task_still_uses_a_worker(self):
-        """One task must not run eagerly in the parent — a 2-chunk sweep
-        relies on its single tail chunk overlapping the lead chunk."""
+    def test_submit_all_single_task_short_circuits_in_process(self):
+        """A lone task runs eagerly in the parent: pool spin-up costs
+        more than the overlap one task could buy (the BENCH_engine
+        quick snapshot showed 2-job sweeps slower than serial)."""
         pending = MultiprocessExecutor(2).submit_all(_pid_square, [(3,)])
         ((pid, value),) = pending.get()
         assert value == 9
-        assert pid != os.getpid()
+        assert pid == os.getpid()
+
+    def test_submit_all_single_worker_short_circuits_in_process(self):
+        """One worker cannot overlap anything with itself."""
+        pending = MultiprocessExecutor(1).submit_all(
+            _pid_square, [(2,), (3,)]
+        )
+        results = pending.get()
+        assert [v for _, v in results] == [4, 9]
+        assert all(pid == os.getpid() for pid, _ in results)
 
     def test_submit_all_cancel_releases_pool(self):
         pending = MultiprocessExecutor(2).submit_all(_square, [(i,) for i in range(4)])

@@ -39,6 +39,53 @@ class TestDefaultWaitState:
     def test_home_when_no_free_state(self):
         assert default_wait_state(simple_device()) == "on"
 
+    def test_home_when_round_trip_only_half_free(self):
+        """A free descent is not enough: the return leg must also be
+        free and instant, else the device must wait at home."""
+        for leg_cost in (dict(energy=0.2, latency=0.0),
+                         dict(energy=0.0, latency=0.5)):
+            device = PowerStateMachine(
+                "halffree",
+                [PowerState("on", 1.0, can_service=True), PowerState("nap", 0.1)],
+                [
+                    Transition("on", "nap", energy=0.0, latency=0.0),
+                    Transition("nap", "on", **leg_cost),
+                ],
+                initial_state="on",
+            )
+            assert default_wait_state(device) == "on"
+
+    def test_home_when_free_state_saves_nothing(self):
+        """A free round trip to an equal-power state is not an
+        improvement (strict comparison) — stay home."""
+        device = PowerStateMachine(
+            "flat",
+            [PowerState("on", 1.0, can_service=True), PowerState("mirror", 1.0)],
+            [
+                Transition("on", "mirror", energy=0.0, latency=0.0),
+                Transition("mirror", "on", energy=0.0, latency=0.0),
+            ],
+            initial_state="on",
+        )
+        assert default_wait_state(device) == "on"
+
+    def test_tie_breaks_to_first_declared_state(self):
+        """Two equally cheap free-round-trip states: the pick is
+        deterministic — declaration order wins (strict < keeps the
+        incumbent), in either ordering."""
+        def tied(order):
+            states = [PowerState("on", 1.0, can_service=True)] + [
+                PowerState(name, 0.2) for name in order
+            ]
+            transitions = []
+            for name in order:
+                transitions.append(Transition("on", name, 0.0, 0.0))
+                transitions.append(Transition(name, "on", 0.0, 0.0))
+            return PowerStateMachine("tied", states, transitions, initial_state="on")
+
+        assert default_wait_state(tied(["nap_a", "nap_b"])) == "nap_a"
+        assert default_wait_state(tied(["nap_b", "nap_a"])) == "nap_b"
+
 
 class TestAlwaysOnScenario:
     def test_energy_is_power_times_duration(self):
