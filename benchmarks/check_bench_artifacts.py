@@ -20,6 +20,7 @@ from pathlib import Path
 EXPECTED_KEYS = {
     "BENCH_engine.json": ("cpu_count", "host", "quick_snapshot"),
     "BENCH_sim.json": ("cpu_count", "host", "event_sim_kernel", "sim_sweep"),
+    "BENCH_fleet.json": ("cpu_count", "host", "fleet_kernel", "fleet_sweep"),
 }
 
 

@@ -1,0 +1,142 @@
+"""Fleet throughput bench: vectorized fleet path vs. per-device scalar loop.
+
+The tentpole claim of the fleet subsystem, measured: routing one
+high-rate arrival stream across N=64 device replicas and evaluating
+every sub-trace on the vectorized busy-period kernel sustains >= 5x the
+request throughput of the scalar reference dispatcher (scalar routing
+loop + one :class:`~repro.sim.DPMSimulator` event loop per device).
+The bar is deliberately conservative — the per-device engines alone
+measure ~100-1000x, and the fleet path adds only the NumPy partition on
+top.  A second case times the (fleet size x router x policy) sweep at 1
+and 2 jobs (recorded, not asserted: speedup needs real cores).
+
+Numbers are recorded into ``BENCH_fleet.json`` at the repo root
+(sibling of ``BENCH_engine.json`` / ``BENCH_sim.json``), with host
+metadata so artifacts from different CI runners are comparable.  None
+of the cases is slow-marked: a ``-m "not slow"`` CI run still produces
+the full artifact.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+import numpy as np
+
+from _bench_util import REPO_ROOT, record_bench
+from repro.baselines import AlwaysOn, FixedTimeout, OracleShutdown
+from repro.device import get_preset
+from repro.fleet import FleetSweepRunner, FleetSweepSpec, make_router, run_fleet
+from repro.runtime import PolicySpec, TraceSpec
+from repro.workload import Exponential, renewal_trace
+
+BENCH_PATH = REPO_ROOT / "BENCH_fleet.json"
+
+DEVICE = "mobile_hdd"
+SERVICE_TIME = 0.4
+N_DEVICES = 64
+RATE = 2.0            #: fleet-wide requests/sec shared by the replicas
+DURATION = 8_000.0    #: ~16k expected requests, ~250 per device
+
+
+def _fleet_trace():
+    trace = renewal_trace(Exponential(RATE), DURATION, np.random.default_rng(13))
+    assert len(trace) >= 10_000, "bench trace must carry >= 10k requests"
+    return trace
+
+
+def _requests_per_sec(trace, engine: str, repeats: int = 1) -> float:
+    device = get_preset(DEVICE)
+    best = 0.0
+    for _ in range(repeats):
+        start = time.perf_counter()
+        report = run_fleet(
+            device, FixedTimeout(), trace, make_router("round_robin"),
+            N_DEVICES, service_time=SERVICE_TIME, route_seed=1, engine=engine,
+        )
+        elapsed = time.perf_counter() - start
+        assert report.n_requests == len(trace)
+        best = max(best, len(trace) / elapsed)
+    return best
+
+
+def test_fleet_vectorized_speedup():
+    """The acceptance bar: vectorized fleet >= 5x the scalar loop at
+    N=64 devices."""
+    trace = _fleet_trace()
+    scalar = _requests_per_sec(trace, "scalar")
+    vectorized = _requests_per_sec(trace, "auto", repeats=3)
+    speedup = vectorized / scalar
+    print()
+    print(f"scalar fleet (64 event loops): {scalar:12,.0f} requests/sec")
+    print(f"vectorized fleet path:         {vectorized:12,.0f} requests/sec "
+          f"({speedup:,.0f}x)")
+    record_bench(BENCH_PATH, "fleet_kernel", {
+        "device": DEVICE,
+        "n_devices": N_DEVICES,
+        "router": "round_robin",
+        "policy": "timeout_break_even",
+        "n_requests": len(trace),
+        "trace_duration": DURATION,
+        "scalar_requests_per_sec": scalar,
+        "vectorized_requests_per_sec": vectorized,
+        "speedup": speedup,
+    })
+    assert speedup >= 5.0, (
+        f"vectorized fleet only {speedup:.1f}x the scalar reference dispatcher"
+    )
+
+
+def _sweep_seconds(n_jobs: int, spec: FleetSweepSpec) -> float:
+    runner = FleetSweepRunner(chunk_size=2, n_jobs=n_jobs)
+    start = time.perf_counter()
+    runner.run(spec)
+    return time.perf_counter() - start
+
+
+def test_fleet_sweep_sharded_timings():
+    """Wall-clock of the (fleet x router x policy) sweep at 1 and 2 jobs.
+
+    Recorded, not asserted: speedup needs real cores, and the reference
+    container has one.  The artifact still tracks the trajectory.
+    """
+    spec = FleetSweepSpec(
+        device=DEVICE,
+        fleet_sizes=(4, 16),
+        routers=("round_robin", "power_aware"),
+        policies=(
+            PolicySpec("always_on", AlwaysOn()),
+            PolicySpec("timeout", FixedTimeout()),
+            PolicySpec("oracle", OracleShutdown(), oracle=True),
+        ),
+        trace=TraceSpec("exp", Exponential(1.0), 2_000.0),
+        n_traces=8,
+        seed=3,
+        service_time=SERVICE_TIME,
+    )
+    serial = _sweep_seconds(1, spec)
+    sharded = _sweep_seconds(2, spec)
+    n_cells = len(spec.fleet_sizes) * len(spec.routers) * len(spec.policies)
+    print()
+    print(f"fleet sweep ({n_cells} cells x {spec.n_traces} traces): "
+          f"serial {serial:.2f}s vs 2 jobs {sharded:.2f}s "
+          f"({serial / sharded:.2f}x)")
+    record_bench(BENCH_PATH, "fleet_sweep", {
+        "n_cells": n_cells,
+        "n_traces": spec.n_traces,
+        "trace_duration": 2_000.0,
+        "serial_seconds": serial,
+        "jobs2_seconds": sharded,
+        "speedup": serial / sharded,
+    })
+    assert serial > 0 and sharded > 0
+
+
+def test_bench_fleet_artifact_shape():
+    """The artifact the CI bench job gates on: expected top-level keys."""
+    assert BENCH_PATH.exists()
+    data = json.loads(BENCH_PATH.read_text())
+    for key in ("host", "fleet_kernel", "fleet_sweep"):
+        assert key in data, f"BENCH_fleet.json missing {key!r}"
+    assert data["fleet_kernel"]["speedup"] >= 5.0

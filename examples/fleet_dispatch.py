@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Fleet dispatch: a disk array serving one heavy request stream.
+
+The cluster-scale question the single-device experiments cannot ask:
+given N replicas of a power-managed disk behind a dispatcher, how much
+energy does the *routing policy* decide?  Round-robin spreads requests
+evenly and chops every device's idle periods to confetti; uniform-random
+is barely better; join-shortest-queue optimizes latency only; the
+power-aware router consolidates load onto awake devices so the rest can
+sleep through long idle periods.  Same devices, same DPM policy, same
+arrivals — the router alone moves fleet power by double digits, at a
+measurable tail-latency price visible in the merged p99.
+
+Run:  python examples/fleet_dispatch.py
+"""
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.baselines import FixedTimeout
+from repro.device import mobile_hard_disk
+from repro.fleet import make_router, run_fleet
+from repro.workload import Exponential, renewal_trace
+
+N_DEVICES = 16
+RATE = 2.0            # fleet-wide requests/sec (0.125/s per device)
+DURATION = 10_000.0
+SERVICE_TIME = 0.4
+
+
+def main() -> None:
+    disk = mobile_hard_disk()
+    trace = renewal_trace(Exponential(RATE), DURATION, np.random.default_rng(23))
+    print(f"fleet: {N_DEVICES} x {disk.name}, shared stream of "
+          f"{len(trace)} requests over {DURATION:.0f}s "
+          f"({RATE}/s fleet-wide)\n")
+
+    rows = []
+    for name in ("round_robin", "random", "jsq", "power_aware"):
+        # every device runs the classic break-even timeout; only the
+        # dispatcher's routing policy changes between rows
+        report = run_fleet(
+            disk, FixedTimeout(), trace, make_router(name), N_DEVICES,
+            service_time=SERVICE_TIME, route_seed=42,
+        )
+        rows.append([
+            name,
+            round(report.mean_power, 2),
+            round(report.energy_saving_ratio, 3),
+            round(report.p50_latency, 2),
+            round(report.p99_latency, 2),
+            report.n_shutdowns,
+            round(report.load_imbalance, 2),
+        ])
+    print(format_table(
+        ["router", "fleet power (W)", "saving", "p50 lat (s)",
+         "p99 lat (s)", "shutdowns", "imbalance"],
+        rows,
+        title=f"--- routing policy shootout (timeout policy on all "
+              f"{N_DEVICES} devices) ---",
+    ))
+    print()
+    print("reading: spreading (round_robin) keeps every disk half-awake; "
+          "consolidating (power_aware) parks most of the fleet in deep "
+          "sleep and pays for it in the p99 of the merged completion "
+          "stream — the energy/latency trade the dispatcher owns.")
+
+
+if __name__ == "__main__":
+    main()

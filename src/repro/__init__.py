@@ -28,6 +28,8 @@ Package map
 - :mod:`repro.sim` — event-driven continuous-time simulator.
 - :mod:`repro.runtime` — vectorized batched engine (lock-step
   multi-replica env + trainer) and the unified multi-seed sweep runner.
+- :mod:`repro.fleet` — multi-device simulation: request dispatch across
+  N device replicas with routing policies and fleet-level reports.
 - :mod:`repro.experiments` — harnesses for every figure/claim.
 - :mod:`repro.extensions` — QoS-constrained and fuzzy Q-DPM.
 """

@@ -11,8 +11,10 @@ from .competitive import (
 )
 from .bootstrap import CI, bootstrap_ci
 from .metrics import (
+    TAIL_QUANTILES,
     SwitchResponse,
     convergence_point,
+    latency_percentiles,
     regret_vs_reference,
     steady_state_mean,
     switch_responses,
@@ -34,4 +36,6 @@ __all__ = [
     "SwitchResponse",
     "steady_state_mean",
     "regret_vs_reference",
+    "latency_percentiles",
+    "TAIL_QUANTILES",
 ]

@@ -12,7 +12,7 @@ Quantifies the two figure claims:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -113,3 +113,29 @@ def regret_vs_reference(
     if series.size == 0:
         raise ValueError("series is empty")
     return float(np.mean(reference - series))
+
+
+#: tail-latency quantiles reported by simulator and fleet summaries
+TAIL_QUANTILES = (50.0, 95.0, 99.0)
+
+
+def latency_percentiles(
+    delays: Sequence[float],
+    qs: Sequence[float] = TAIL_QUANTILES,
+) -> Tuple[float, ...]:
+    """Percentiles of a completion-delay stream, aligned with ``qs``.
+
+    The tail-latency summary of the event simulator and the fleet
+    aggregation layer (p50/p95/p99 by default).  An empty stream yields
+    zeros, matching the simulator's empty-trace report convention.
+    """
+    qs = tuple(float(q) for q in qs)
+    if not qs:
+        raise ValueError("need at least one quantile")
+    for q in qs:
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"quantiles must be in [0, 100], got {q}")
+    delays = np.asarray(delays, dtype=float)
+    if delays.size == 0:
+        return tuple(0.0 for _ in qs)
+    return tuple(float(v) for v in np.percentile(delays, qs))

@@ -9,6 +9,7 @@ Usage::
     python -m repro policies        # EXT-POLICY event-driven table
     python -m repro grid            # GRID rate x device x controller table
     python -m repro sim-sweep       # SIM-SWEEP device x trace x policy CIs
+    python -m repro fleet-sweep     # FLEET-SWEEP fleet x router x policy CIs
     python -m repro all             # everything, in order
     python -m repro sweep --seeds 8 # multi-seed CI sweep of fig1/fig2/variation
 
@@ -18,7 +19,9 @@ EXPERIMENTS.md.  ``--quick`` shrinks horizons ~10x for smoke runs.
 (:mod:`repro.runtime`) and adds bootstrap CIs; ``--batch B`` caps the
 replicas per lock-step batch; ``--jobs J`` shards seed chunks (and grid
 cells / policy-table cells) across J worker processes — results are
-bit-identical at any job count.
+bit-identical at any job count.  ``fleet-sweep`` additionally takes
+``--devices N`` (fleet size) and ``--router NAME`` (single routing
+policy) to zoom the dispatch grid.
 """
 
 from __future__ import annotations
@@ -31,6 +34,7 @@ from typing import Callable, Dict, List, Optional
 from .experiments import (
     Fig1Config,
     Fig2Config,
+    FleetConfig,
     GridConfig,
     OverheadConfig,
     PolicyTableConfig,
@@ -38,12 +42,14 @@ from .experiments import (
     VariationConfig,
     run_fig1,
     run_fig2,
+    run_fleet_sweep,
     run_grid,
     run_overhead,
     run_policy_table,
     run_sim_sweep,
     run_variation,
 )
+from .fleet import ROUTERS
 
 
 def _sweep_settings(config, n_seeds: Optional[int], batch: Optional[int],
@@ -132,6 +138,24 @@ def _sim_sweep(quick: bool, n_seeds: Optional[int] = None,
     return run_sim_sweep(config).render()
 
 
+def _fleet_sweep(quick: bool, n_seeds: Optional[int] = None,
+                 batch: Optional[int] = None, jobs: Optional[int] = None,
+                 devices: Optional[int] = None,
+                 router: Optional[str] = None) -> str:
+    config = FleetConfig()
+    if quick:
+        config = dataclasses.replace(config, duration=500.0, n_traces=4)
+    if n_seeds is not None:
+        config = dataclasses.replace(config, n_traces=n_seeds)
+    if jobs is not None:
+        config = dataclasses.replace(config, n_jobs=jobs)
+    if devices is not None:
+        config = dataclasses.replace(config, fleet_sizes=(devices,))
+    if router is not None:
+        config = dataclasses.replace(config, routers=(router,))
+    return run_fleet_sweep(config).render()
+
+
 _COMMANDS: Dict[str, Callable[..., str]] = {
     "fig1": _fig1,
     "fig2": _fig2,
@@ -140,17 +164,20 @@ _COMMANDS: Dict[str, Callable[..., str]] = {
     "variation": _variation,
     "policies": _policies,
     "sim-sweep": _sim_sweep,
+    "fleet-sweep": _fleet_sweep,
 }
 
 #: experiments with a multi-seed (batched-engine) path
 _SWEEPABLE = ("fig1", "fig2", "grid", "variation")
 #: experiments that consume --seeds (batched-engine replicas, plus the
-#: event-sim sweep where N means trace replications per cell)
-_SEEDABLE = _SWEEPABLE + ("sim-sweep",)
+#: event-sim sweeps where N means trace replications per cell)
+_SEEDABLE = _SWEEPABLE + ("sim-sweep", "fleet-sweep")
 #: experiments that consume --batch (sweepable + the batched Q-op timing)
 _BATCHABLE = _SWEEPABLE + ("overhead",)
 #: experiments that consume --jobs (multiprocess-sharded work units)
-_JOBBABLE = _SWEEPABLE + ("policies", "sim-sweep")
+_JOBBABLE = _SWEEPABLE + ("policies", "sim-sweep", "fleet-sweep")
+#: experiments that consume --devices / --router (fleet dispatch grid)
+_FLEETABLE = ("fleet-sweep",)
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -191,6 +218,21 @@ def main(argv: Optional[List[str]] = None) -> int:
         metavar="J",
         help="shard work units across J worker processes (default 1)",
     )
+    parser.add_argument(
+        "--devices",
+        type=int,
+        default=None,
+        metavar="N",
+        help="fleet-sweep: replicate the device N times behind the "
+             "dispatcher (replaces the default fleet-size axis)",
+    )
+    parser.add_argument(
+        "--router",
+        choices=sorted(ROUTERS),
+        default=None,
+        help="fleet-sweep: run a single routing policy "
+             "(default: the full router axis)",
+    )
     args = parser.parse_args(argv)
     if args.seeds is not None and args.seeds < 1:
         parser.error("--seeds must be >= 1")
@@ -198,6 +240,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         parser.error("--batch must be >= 1")
     if args.jobs is not None and args.jobs < 1:
         parser.error("--jobs must be >= 1")
+    if args.devices is not None and args.devices < 1:
+        parser.error("--devices must be >= 1")
 
     if args.experiment == "sweep":
         n_seeds = args.seeds if args.seeds is not None else 8
@@ -226,6 +270,13 @@ def main(argv: Optional[List[str]] = None) -> int:
                 f"--jobs is not supported for {args.experiment!r} "
                 f"(sharded experiments: {', '.join(sorted(_JOBBABLE))})"
             )
+        for flag, value in (("--devices", args.devices),
+                            ("--router", args.router)):
+            if value is not None and args.experiment not in _FLEETABLE:
+                parser.error(
+                    f"{flag} is not supported for {args.experiment!r} "
+                    f"(fleet experiments: {', '.join(sorted(_FLEETABLE))})"
+                )
 
     names = sorted(_COMMANDS) if args.experiment == "all" else [args.experiment]
     for name in names:
@@ -236,6 +287,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"note: --batch has no effect on {name!r}")
         if name not in _JOBBABLE and args.jobs is not None:
             print(f"note: --jobs has no effect on {name!r}")
+        if name not in _FLEETABLE and (
+            args.devices is not None or args.router is not None
+        ):
+            print(f"note: --devices/--router have no effect on {name!r}")
         kwargs = {}
         if args.seeds is not None and name in _SEEDABLE:
             kwargs["n_seeds"] = args.seeds
@@ -243,6 +298,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             kwargs["batch"] = args.batch
         if args.jobs is not None and name in _JOBBABLE:
             kwargs["jobs"] = args.jobs
+        if args.devices is not None and name in _FLEETABLE:
+            kwargs["devices"] = args.devices
+        if args.router is not None and name in _FLEETABLE:
+            kwargs["router"] = args.router
         # no flags -> exactly one positional arg (the dispatch contract)
         out = _COMMANDS[name](args.quick, **kwargs) if kwargs else _COMMANDS[name](args.quick)
         print(out)

@@ -4,6 +4,7 @@ from .config import (
     EnvConfig,
     Fig1Config,
     Fig2Config,
+    FleetConfig,
     GridConfig,
     OverheadConfig,
     PolicyTableConfig,
@@ -13,6 +14,8 @@ from .config import (
 )
 from .fig1_convergence import Fig1Result, run_fig1
 from .fig2_nonstationary import Fig2Result, run_fig2
+from .fleet_sweep import build_spec as build_fleet_sweep_spec
+from .fleet_sweep import run_fleet_sweep
 from .grid_table import run_grid
 from .overhead import OverheadResult, OverheadRow, run_overhead
 from .policy_table import PolicyTableResult, PolicyTableRow, run_policy_table
@@ -46,4 +49,7 @@ __all__ = [
     "SimSweepConfig",
     "run_sim_sweep",
     "build_sim_sweep_spec",
+    "FleetConfig",
+    "run_fleet_sweep",
+    "build_fleet_sweep_spec",
 ]

@@ -180,6 +180,36 @@ class SimSweepConfig:
 
 
 @dataclass(frozen=True)
+class FleetConfig:
+    """FLEET-SWEEP — multi-device dispatch grid on the event simulator.
+
+    (fleet size x router x DPM policy) cells, each replicating ``device``
+    ``fleet_sizes[i]`` times behind a dispatcher that routes one shared
+    high-rate exponential arrival stream (``exp_rate`` is *fleet-wide*;
+    per-device load shrinks as the fleet grows).  ``n_traces`` seeded
+    stream replications per cell fan across ``n_jobs`` worker processes
+    in chunks of ``chunk_size`` and aggregate to mean +- bootstrap CI.
+    Stateless routers partition the stream with NumPy ops and every
+    sub-trace rides the vectorized busy-period kernel; queue-aware
+    routers (jsq, power_aware) use the scalar reference dispatcher path.
+    """
+
+    device: str = "mobile_hdd"
+    fleet_sizes: Tuple[int, ...] = (2, 8)
+    routers: Tuple[str, ...] = (
+        "round_robin", "random", "jsq", "power_aware"
+    )
+    duration: float = 2_000.0
+    service_time: float = 0.4
+    exp_rate: float = 1.0          #: fleet-wide arrival rate (requests/s)
+    n_traces: int = 8
+    seed: int = 17
+    seed_stride: int = 101
+    chunk_size: int = 4
+    n_jobs: int = 1
+
+
+@dataclass(frozen=True)
 class GridConfig:
     """GRID — scenario grid over rate x device x horizon x controller.
 

@@ -1,0 +1,57 @@
+"""FLEET-SWEEP: multi-device request dispatch on the event simulator.
+
+Every other experiment manages *one* device; this one is what the
+:mod:`repro.fleet` subsystem opens up: N replicas of a device sharing a
+single high-rate arrival stream behind a dispatcher, across fleet
+sizes, routing policies, and per-device DPM policies, with bootstrap
+CIs over seeded stream replications.  The table answers the
+cluster-scale questions the single-device reproduction cannot: how much
+energy does power-aware routing buy over round-robin, and what does it
+cost in tail latency on the merged completion stream.
+"""
+
+from __future__ import annotations
+
+from ..baselines import AlwaysOn, FixedTimeout, GreedySleep, OracleShutdown
+from ..device import get_preset
+from ..fleet import FleetSweepResult, FleetSweepRunner, FleetSweepSpec
+from ..runtime import PolicySpec, TraceSpec
+from ..workload import Exponential
+from .config import FleetConfig
+
+
+def _policy_roster() -> tuple:
+    """The per-device DPM arms; all stateless, so every sub-trace rides
+    the vectorized busy-period kernel."""
+    return (
+        PolicySpec("always_on", AlwaysOn()),
+        PolicySpec("greedy", GreedySleep()),
+        PolicySpec("timeout(Tbe)", FixedTimeout()),
+        PolicySpec("oracle", OracleShutdown(), oracle=True),
+    )
+
+
+def build_spec(config: FleetConfig = FleetConfig()) -> FleetSweepSpec:
+    """The :class:`~repro.fleet.FleetSweepSpec` this config realizes."""
+    get_preset(config.device)  # fail fast on unknown presets
+    return FleetSweepSpec(
+        device=config.device,
+        fleet_sizes=tuple(int(n) for n in config.fleet_sizes),
+        routers=tuple(config.routers),
+        policies=_policy_roster(),
+        trace=TraceSpec(
+            name=f"exp(rate={config.exp_rate})",
+            dist=Exponential(config.exp_rate),
+            duration=config.duration,
+        ),
+        n_traces=config.n_traces,
+        seed=config.seed,
+        seed_stride=config.seed_stride,
+        service_time=config.service_time,
+    )
+
+
+def run_fleet_sweep(config: FleetConfig = FleetConfig()) -> FleetSweepResult:
+    """Run the full grid; deterministic given the config (any job count)."""
+    runner = FleetSweepRunner(chunk_size=config.chunk_size, n_jobs=config.n_jobs)
+    return runner.run(build_spec(config))

@@ -39,7 +39,9 @@ class PolicyTableRow:
     mean_power: float
     saving_vs_always_on: float
     mean_latency: float
+    p50_latency: float
     p95_latency: float
+    p99_latency: float
     n_shutdowns: int
     n_wrong_shutdowns: int
 
@@ -54,13 +56,14 @@ class PolicyTableResult:
     def render(self) -> str:
         headers = [
             "trace", "policy", "power (W)", "saving", "latency (s)",
-            "p95 lat", "shutdowns", "wrong",
+            "p50 lat", "p95 lat", "p99 lat", "shutdowns", "wrong",
         ]
         rows = [
             [
                 r.trace, r.policy, round(r.mean_power, 4),
                 round(r.saving_vs_always_on, 4), round(r.mean_latency, 3),
-                round(r.p95_latency, 3), r.n_shutdowns, r.n_wrong_shutdowns,
+                round(r.p50_latency, 3), round(r.p95_latency, 3),
+                round(r.p99_latency, 3), r.n_shutdowns, r.n_wrong_shutdowns,
             ]
             for r in self.rows
         ]
@@ -163,7 +166,9 @@ def run_policy_table(
                 mean_power=report.mean_power,
                 saving_vs_always_on=saving,
                 mean_latency=report.mean_latency,
+                p50_latency=report.p50_latency,
                 p95_latency=report.p95_latency,
+                p99_latency=report.p99_latency,
                 n_shutdowns=report.n_shutdowns,
                 n_wrong_shutdowns=report.n_wrong_shutdowns,
             )

@@ -1,0 +1,63 @@
+"""Fleet-scale multi-device simulation with request dispatch.
+
+The single-device reproduction answers "how should one device sleep?";
+this subsystem answers it for a cluster: N replicas of one device model
+share a high-rate arrival stream behind a :class:`Dispatcher`, whose
+:class:`Router` decides which replica serves each request.  The
+resulting per-device sub-traces run on the existing single-device
+engines (the vectorized busy-period kernel of
+:mod:`repro.runtime.eventsim`, scalar event-loop fallback), and a
+:class:`FleetReport` folds the per-device results into fleet energy,
+per-device residency, and exact tail latency over the merged completion
+stream.  :class:`FleetSweepRunner` fans
+(fleet size x router x policy x trace seed) grids across the executor
+layer with bootstrap-CI aggregation — the `fleet-sweep` CLI entry.
+
+Layering mirrors the rest of the repo: stateless routers are vectorized
+and pinned bit-identical to their scalar reference loops; queue-aware
+routers run the scalar reference path only.
+"""
+
+from .dispatch import (
+    ROUTERS,
+    Dispatcher,
+    JoinShortestQueueRouter,
+    PowerAwareRouter,
+    RandomRouter,
+    RouteContext,
+    Router,
+    RoundRobinRouter,
+    make_router,
+)
+from .evaluate import ENGINES, run_fleet
+from .report import FleetReport, build_fleet_report
+from .sweep import (
+    ROUTE_SEED_OFFSET,
+    FleetCellResult,
+    FleetSweepResult,
+    FleetSweepRunner,
+    FleetSweepSpec,
+    run_fleet_chunk,
+)
+
+__all__ = [
+    "Router",
+    "RouteContext",
+    "RoundRobinRouter",
+    "RandomRouter",
+    "JoinShortestQueueRouter",
+    "PowerAwareRouter",
+    "ROUTERS",
+    "make_router",
+    "Dispatcher",
+    "ENGINES",
+    "run_fleet",
+    "FleetReport",
+    "build_fleet_report",
+    "FleetSweepSpec",
+    "FleetCellResult",
+    "FleetSweepResult",
+    "FleetSweepRunner",
+    "run_fleet_chunk",
+    "ROUTE_SEED_OFFSET",
+]

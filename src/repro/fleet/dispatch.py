@@ -1,0 +1,345 @@
+"""Request dispatch: route one arrival stream across N device replicas.
+
+The paper's DPM problem is posed per device; a fleet serves one
+high-rate arrival :class:`~repro.workload.Trace` with N replicas of the
+same power-managed device behind a dispatcher.  The dispatcher owns the
+(virtual) global clock: it walks the arrival stream once, assigns every
+request to a device, and hands each device its sub-trace — the devices
+then run the ordinary single-device simulation (scalar event loop or
+vectorized busy-period kernel) on their own streams.
+
+Routers mirror the repo's stateless/stateful split everywhere else:
+
+- **Stateless** routers (:class:`RoundRobinRouter`,
+  :class:`RandomRouter`) are pure functions of the request index (plus a
+  routing RNG stream), so :meth:`Router.route_batch` partitions the
+  whole trace with NumPy ops; the scalar :meth:`Router.route` loop is the
+  reference semantics and the two are pinned bit-identical in tests.
+- **Queue-aware** routers (:class:`JoinShortestQueueRouter`,
+  :class:`PowerAwareRouter`) depend on the evolving per-device backlog,
+  so they run the scalar reference path only (``route_batch`` returns
+  None), exactly like stateful policies fall back to the scalar event
+  loop in :mod:`repro.runtime.eventsim`.
+
+Queue-aware routing uses the *dispatcher-level* service model: FIFO
+per-device backlog from arrival times and service demands, ignoring DPM
+wake-up delays (the dispatcher does not know each device's power state
+ahead of simulation; a router that did would couple routing to policy
+internals).  :class:`PowerAwareRouter` approximates power state from the
+same backlog picture: a device that is busy, or idle for less than an
+awake window, is presumed still awake.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Type
+
+import numpy as np
+
+from ..device import PowerStateMachine
+from ..sim.simulator import resolve_demands
+from ..workload.trace import Trace
+
+
+@dataclass(frozen=True)
+class RouteContext:
+    """Everything a router may consult while assigning one trace.
+
+    Attributes
+    ----------
+    arrivals:
+        Absolute request arrival times (sorted, one per request).
+    demands:
+        Resolved per-request service demands (same length), via
+        :func:`~repro.sim.simulator.resolve_demands` — the service model
+        queue-aware routers plan against.
+    n_devices:
+        Fleet size; assignments must land in ``[0, n_devices)``.
+    device:
+        The replicated device model (for break-even style constants).
+    rng:
+        Routing randomness stream, freshly seeded per dispatch so a
+        dispatch is a pure function of ``(trace, seed)``.
+    """
+
+    arrivals: np.ndarray
+    demands: np.ndarray
+    n_devices: int
+    device: PowerStateMachine
+    rng: np.random.Generator
+
+
+class Router(ABC):
+    """Assignment policy of the dispatcher."""
+
+    #: short name used in report tables and the CLI registry
+    name: str = "router"
+
+    @abstractmethod
+    def route(self, ctx: RouteContext) -> np.ndarray:
+        """Reference semantics: one pass over the requests, one
+        assignment per request (int64 array in ``[0, n_devices)``)."""
+
+    def route_batch(self, ctx: RouteContext) -> Optional[np.ndarray]:
+        """Vectorized assignments, or None.
+
+        Opt-in fast path mirroring
+        :meth:`~repro.sim.policy_api.EventPolicy.decide_batch`: only a
+        router whose decisions are independent of the evolving queue
+        state may implement it, and it must reproduce :meth:`route`
+        bit-for-bit (pinned in tests/test_fleet_dispatch.py).
+        """
+        return None
+
+
+class RoundRobinRouter(Router):
+    """Cycle through the devices in request order (the classic default)."""
+
+    name = "round_robin"
+
+    def route(self, ctx: RouteContext) -> np.ndarray:
+        out = np.empty(ctx.arrivals.size, dtype=np.int64)
+        for i in range(ctx.arrivals.size):
+            out[i] = i % ctx.n_devices
+        return out
+
+    def route_batch(self, ctx: RouteContext) -> np.ndarray:
+        return np.arange(ctx.arrivals.size, dtype=np.int64) % ctx.n_devices
+
+
+class RandomRouter(Router):
+    """Uniform-random assignment from the routing stream.
+
+    Scalar and batch paths draw from the same generator state; NumPy's
+    bounded-integer sampling consumes the stream identically one-at-a-time
+    and batched, so the two are bit-identical (and pinned so).
+    """
+
+    name = "random"
+
+    def route(self, ctx: RouteContext) -> np.ndarray:
+        out = np.empty(ctx.arrivals.size, dtype=np.int64)
+        for i in range(ctx.arrivals.size):
+            out[i] = int(ctx.rng.integers(0, ctx.n_devices))
+        return out
+
+    def route_batch(self, ctx: RouteContext) -> np.ndarray:
+        return ctx.rng.integers(0, ctx.n_devices, size=ctx.arrivals.size,
+                                dtype=np.int64)
+
+
+class _BacklogTracker:
+    """Per-device FIFO backlog under the dispatcher-level service model."""
+
+    def __init__(self, n_devices: int) -> None:
+        # per device: completion times of assigned-but-possibly-pending
+        # requests (monotone per device, so popping the head suffices)
+        self._completions: List[List[float]] = [[] for _ in range(n_devices)]
+        self._head: List[int] = [0] * n_devices
+        self.last_completion = np.zeros(n_devices)
+
+    def settle(self, now: float) -> None:
+        """Drop requests already completed by ``now``."""
+        for d, comps in enumerate(self._completions):
+            head = self._head[d]
+            while head < len(comps) and comps[head] <= now:
+                head += 1
+            self._head[d] = head
+
+    def queue_len(self, d: int) -> int:
+        """Requests of device ``d`` still in queue/service (post-settle)."""
+        return len(self._completions[d]) - self._head[d]
+
+    def assign(self, d: int, now: float, demand: float) -> None:
+        """Book one request on device ``d`` arriving at ``now``."""
+        start = max(now, float(self.last_completion[d]))
+        done = start + demand
+        self._completions[d].append(done)
+        self.last_completion[d] = done
+
+
+class JoinShortestQueueRouter(Router):
+    """Send each request to the device with the fewest pending requests.
+
+    The classic latency-oriented router: queue length is measured at the
+    request's arrival instant under the dispatcher-level service model;
+    ties break to the lowest device index (deterministic).
+    """
+
+    name = "jsq"
+
+    def route(self, ctx: RouteContext) -> np.ndarray:
+        tracker = _BacklogTracker(ctx.n_devices)
+        out = np.empty(ctx.arrivals.size, dtype=np.int64)
+        for i in range(ctx.arrivals.size):
+            now = float(ctx.arrivals[i])
+            tracker.settle(now)
+            lengths = [tracker.queue_len(d) for d in range(ctx.n_devices)]
+            choice = int(np.argmin(lengths))
+            tracker.assign(choice, now, float(ctx.demands[i]))
+            out[i] = choice
+        return out
+
+
+class PowerAwareRouter(Router):
+    """Prefer devices that are presumably still awake.
+
+    A device counts as *awake* at an arrival when it is busy, or has
+    been idle for less than ``awake_window`` seconds (the linger of a
+    timeout policy; defaults to the break-even time of the device's
+    deepest state, the 2-competitive timeout).  Among awake devices with
+    queue room (fewer than ``max_queue`` pending requests) the shortest
+    queue wins; when every awake device is full, the most recently used
+    *sleeping* device is woken (bounding latency); when the whole fleet
+    is asleep, the most recently used device is re-woken — consolidation
+    that leaves the other devices' idle periods long enough to amortize
+    deep sleeps.  Ties break to the lowest device index.
+    """
+
+    name = "power_aware"
+
+    def __init__(
+        self,
+        awake_window: Optional[float] = None,
+        max_queue: int = 4,
+    ) -> None:
+        if awake_window is not None and awake_window < 0:
+            raise ValueError(f"awake_window must be >= 0, got {awake_window}")
+        if int(max_queue) < 1:
+            raise ValueError(f"max_queue must be >= 1, got {max_queue}")
+        self._awake_window = awake_window
+        self._max_queue = int(max_queue)
+
+    def resolve_window(self, device: PowerStateMachine) -> float:
+        """The configured awake window, or the device's default."""
+        if self._awake_window is not None:
+            return float(self._awake_window)
+        return device.break_even_time(
+            device.deepest_state(), device.initial_state
+        )
+
+    def route(self, ctx: RouteContext) -> np.ndarray:
+        window = self.resolve_window(ctx.device)
+        tracker = _BacklogTracker(ctx.n_devices)
+        out = np.empty(ctx.arrivals.size, dtype=np.int64)
+        for i in range(ctx.arrivals.size):
+            now = float(ctx.arrivals[i])
+            tracker.settle(now)
+            lengths = np.array(
+                [tracker.queue_len(d) for d in range(ctx.n_devices)]
+            )
+            awake = (lengths > 0) | (now - tracker.last_completion < window)
+            room = awake & (lengths < self._max_queue)
+            if room.any():
+                # shortest queue among awake devices with room, index ties
+                masked = np.where(room, lengths, np.iinfo(np.int64).max)
+                choice = int(np.argmin(masked))
+            elif not awake.all():
+                # awake devices are full (or none awake): wake the most
+                # recently used sleeping device
+                recency = np.where(~awake, tracker.last_completion, -np.inf)
+                choice = int(np.argmax(recency))
+            else:
+                # every device awake and full: plain shortest queue
+                choice = int(np.argmin(lengths))
+            tracker.assign(choice, now, float(ctx.demands[i]))
+            out[i] = choice
+        return out
+
+
+#: registry used by the sweep layer and the CLI ``--router`` flag
+ROUTERS: Dict[str, Type[Router]] = {
+    RoundRobinRouter.name: RoundRobinRouter,
+    RandomRouter.name: RandomRouter,
+    JoinShortestQueueRouter.name: JoinShortestQueueRouter,
+    PowerAwareRouter.name: PowerAwareRouter,
+}
+
+
+def make_router(name: str) -> Router:
+    """Instantiate a registered router by name (CLI / sweep entry)."""
+    try:
+        return ROUTERS[name]()
+    except KeyError:
+        raise ValueError(
+            f"unknown router {name!r}; choose from {sorted(ROUTERS)}"
+        ) from None
+
+
+class Dispatcher:
+    """Split one arrival trace into per-device sub-traces.
+
+    Parameters
+    ----------
+    router:
+        Assignment policy (a :class:`Router` instance or registry name).
+    n_devices:
+        Fleet size (>= 1).
+    device:
+        The replicated device model (routers may consult its constants).
+    service_time:
+        Default per-request demand for the dispatcher-level service
+        model, matching the simulator's default rule.
+    seed:
+        Routing-stream seed; a dispatch is a pure function of
+        ``(trace, seed)``, so repeated dispatches are identical.
+    """
+
+    def __init__(
+        self,
+        router,
+        n_devices: int,
+        device: PowerStateMachine,
+        service_time: float = 0.5,
+        seed: int = 0,
+    ) -> None:
+        if isinstance(router, str):
+            router = make_router(router)
+        if not isinstance(router, Router):
+            raise TypeError(f"router must be a Router or name, got {router!r}")
+        if int(n_devices) < 1:
+            raise ValueError(f"n_devices must be >= 1, got {n_devices}")
+        if service_time <= 0:
+            raise ValueError(f"service_time must be > 0, got {service_time}")
+        self.router = router
+        self.n_devices = int(n_devices)
+        self.device = device
+        self.service_time = float(service_time)
+        self.seed = int(seed)
+
+    def _context(self, trace: Trace) -> RouteContext:
+        return RouteContext(
+            arrivals=trace.arrival_times,
+            demands=resolve_demands(trace, self.service_time),
+            n_devices=self.n_devices,
+            device=self.device,
+            rng=np.random.default_rng(self.seed),
+        )
+
+    def assignments(self, trace: Trace, vectorized: bool = True) -> np.ndarray:
+        """Per-request device assignments.
+
+        ``vectorized=True`` uses :meth:`Router.route_batch` when the
+        router offers it (bit-identical to the scalar path for stateless
+        routers); ``vectorized=False`` forces the scalar reference loop.
+        """
+        ctx = self._context(trace)
+        if vectorized:
+            batch = self.router.route_batch(ctx)
+            if batch is not None:
+                return np.asarray(batch, dtype=np.int64)
+            # fresh rng for the scalar pass; arrays are reused as-is
+            ctx = dataclasses.replace(
+                ctx, rng=np.random.default_rng(self.seed)
+            )
+        return np.asarray(self.router.route(ctx), dtype=np.int64)
+
+    def dispatch(self, trace: Trace, vectorized: bool = True) -> List[Trace]:
+        """Route and split: one sub-trace per device, full shared window."""
+        return trace.split(
+            self.assignments(trace, vectorized=vectorized),
+            n_parts=self.n_devices,
+        )

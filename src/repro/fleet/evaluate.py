@@ -1,0 +1,77 @@
+"""One fleet cell end to end: dispatch, simulate each device, aggregate.
+
+:func:`run_fleet` is the fleet counterpart of
+:func:`~repro.runtime.eventsim.simulate_trace`: route the shared arrival
+stream across N device replicas, evaluate every sub-trace on the
+single-device engine, and fold the per-device reports into a
+:class:`~repro.fleet.report.FleetReport`.
+
+Two engines, mirroring the repo's batched/scalar split:
+
+- ``engine="auto"`` — the production path.  Stateless routers partition
+  the trace with NumPy ops; every sub-trace then rides
+  :func:`~repro.runtime.eventsim.simulate_trace`, i.e. the vectorized
+  busy-period kernel for stateless policies with automatic scalar
+  fallback.
+- ``engine="scalar"`` — the reference dispatcher: the router's scalar
+  assignment loop plus the scalar :class:`~repro.sim.DPMSimulator` event
+  loop per device.  tests/test_fleet_sweep.py pins the two engines
+  field-for-field (rel tol <= 1e-9) on the fleet aggregate.
+"""
+
+from __future__ import annotations
+
+from ..device import PowerStateMachine
+from ..runtime.eventsim import simulate_trace
+from ..sim.policy_api import EventPolicy
+from ..sim.simulator import DPMSimulator
+from ..workload.trace import Trace
+from .dispatch import Dispatcher, Router
+from .report import FleetReport, build_fleet_report
+
+#: engines accepted by :func:`run_fleet`
+ENGINES = ("auto", "scalar")
+
+
+def run_fleet(
+    device: PowerStateMachine,
+    policy: EventPolicy,
+    trace: Trace,
+    router: Router,
+    n_devices: int,
+    service_time: float = 0.5,
+    oracle: bool = False,
+    route_seed: int = 0,
+    engine: str = "auto",
+) -> FleetReport:
+    """Simulate ``n_devices`` replicas of ``device`` sharing ``trace``.
+
+    Each replica runs ``policy`` independently (the policy object is
+    reused sequentially; every engine resets it per run, identical to
+    how sweep cells share policy instances).  Deterministic given
+    ``(trace, route_seed)`` for either engine.
+    """
+    if engine not in ENGINES:
+        raise ValueError(f"engine must be one of {ENGINES}, got {engine!r}")
+    dispatcher = Dispatcher(
+        router, n_devices, device, service_time=service_time, seed=route_seed,
+    )
+    sub_traces = dispatcher.dispatch(trace, vectorized=engine == "auto")
+    if engine == "auto":
+        reports = [
+            simulate_trace(device, policy, sub,
+                           service_time=service_time, oracle=oracle)
+            for sub in sub_traces
+        ]
+    else:
+        reports = [
+            DPMSimulator(device, policy,
+                         service_time=service_time, oracle=oracle).run(sub)
+            for sub in sub_traces
+        ]
+    return build_fleet_report(
+        router=dispatcher.router.name,
+        policy=policy.name,
+        home_power=device.state(device.initial_state).power,
+        reports=reports,
+    )

@@ -1,0 +1,227 @@
+"""Fleet scenario sweeps: (fleet size x router x policy) cell grids.
+
+:class:`FleetSweepRunner` is the fleet counterpart of
+:class:`~repro.runtime.SimSweepRunner`: it fans the full
+(fleet size x router x DPM policy) grid, with ``n_traces`` seeded
+replications of the shared arrival stream per cell, across the executor
+layer (:mod:`repro.runtime.executor`) and aggregates each cell into
+mean +- bootstrap CI.  Work units are ``(cell, seed-chunk)`` pairs built
+from picklable values only — traces regenerate inside the worker from
+:class:`~repro.runtime.simsweep.TraceSpec` recipes and routers
+reinstantiate from registry names — so per-seed fleet reports are
+identical for every ``(chunk_size, n_jobs)`` combination.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from ..analysis.ascii_plot import format_table
+from ..analysis.bootstrap import CI, bootstrap_ci
+from ..device import get_preset
+from ..runtime.executor import get_executor
+from ..runtime.simsweep import PolicySpec, TraceSpec
+from .dispatch import ROUTERS, make_router
+from .evaluate import run_fleet
+from .report import FleetReport
+
+#: offset decorrelating the routing stream from the trace-generation
+#: stream (both are realized from the replication seed)
+ROUTE_SEED_OFFSET = 1_000_003
+
+
+@dataclass(frozen=True)
+class FleetSweepSpec:
+    """The full (fleet size x router x policy) grid of one fleet sweep.
+
+    One device preset is replicated at every fleet size; one
+    :class:`~repro.runtime.simsweep.TraceSpec` describes the shared
+    arrival stream (its rate is *fleet-wide* — per-device load shrinks
+    as the fleet grows, which is exactly the axis the sweep explores).
+    """
+
+    device: str
+    fleet_sizes: Tuple[int, ...]
+    routers: Tuple[str, ...]
+    policies: Tuple[PolicySpec, ...]
+    trace: TraceSpec
+    n_traces: int = 8
+    seed: int = 0
+    seed_stride: int = 101
+    service_time: float = 0.5
+
+    def __post_init__(self) -> None:
+        if not (self.fleet_sizes and self.routers and self.policies):
+            raise ValueError("need at least one fleet size, router, and policy")
+        if any(int(n) < 1 for n in self.fleet_sizes):
+            raise ValueError(f"fleet sizes must be >= 1, got {self.fleet_sizes}")
+        for name in self.routers:
+            if name not in ROUTERS:
+                raise ValueError(
+                    f"unknown router {name!r}; choose from {sorted(ROUTERS)}"
+                )
+        if self.n_traces < 1:
+            raise ValueError(f"n_traces must be >= 1, got {self.n_traces}")
+        if self.seed_stride < 1:
+            raise ValueError(f"seed_stride must be >= 1, got {self.seed_stride}")
+        if self.service_time <= 0:
+            raise ValueError(f"service_time must be > 0, got {self.service_time}")
+
+    def seeds(self) -> List[int]:
+        """Replication seeds, shared across cells so comparisons pair."""
+        return [self.seed + k * self.seed_stride for k in range(self.n_traces)]
+
+
+@dataclass
+class FleetCellResult:
+    """One (fleet size, router, policy) cell over its trace replications."""
+
+    n_devices: int
+    router: str
+    policy: str
+    reports: List[FleetReport]
+
+    def _ci(self, attr: str, confidence: float = 0.95) -> CI:
+        values = np.array([getattr(r, attr) for r in self.reports])
+        return bootstrap_ci(values, confidence=confidence)
+
+    def power_ci(self, confidence: float = 0.95) -> CI:
+        """Across-replication fleet mean power."""
+        return self._ci("mean_power", confidence)
+
+    def saving_ci(self, confidence: float = 0.95) -> CI:
+        """Across-replication saving vs. an all-always-on fleet."""
+        return self._ci("energy_saving_ratio", confidence)
+
+    def p99_ci(self, confidence: float = 0.95) -> CI:
+        """Across-replication p99 latency of the merged stream."""
+        return self._ci("p99_latency", confidence)
+
+    @property
+    def mean_shutdowns(self) -> float:
+        return float(np.mean([r.n_shutdowns for r in self.reports]))
+
+    @property
+    def mean_imbalance(self) -> float:
+        """Across-replication mean of the max/mean request imbalance."""
+        return float(np.mean([r.load_imbalance for r in self.reports]))
+
+
+@dataclass
+class FleetSweepResult:
+    """All cells of one sweep, in (fleet size, router, policy) grid order."""
+
+    spec: FleetSweepSpec
+    cells: List[FleetCellResult] = field(default_factory=list)
+
+    def cell(self, n_devices: int, router: str, policy: str) -> FleetCellResult:
+        """Look up one cell by its coordinates."""
+        for c in self.cells:
+            if (c.n_devices, c.router, c.policy) == (n_devices, router, policy):
+                return c
+        raise KeyError(f"no cell ({n_devices!r}, {router!r}, {policy!r})")
+
+    def render(self) -> str:
+        headers = [
+            "fleet", "router", "policy", "power (W)", "+-", "saving",
+            "p50 lat", "p99 lat", "shutdowns", "imbalance",
+        ]
+        rows = []
+        for c in self.cells:
+            power = c.power_ci()
+            p50 = float(np.mean([r.p50_latency for r in c.reports]))
+            p99 = c.p99_ci()
+            rows.append([
+                c.n_devices, c.router, c.policy,
+                round(power.estimate, 4), round(power.half_width, 4),
+                round(c.saving_ci().estimate, 4),
+                round(p50, 3), round(p99.estimate, 3),
+                round(c.mean_shutdowns, 1), round(c.mean_imbalance, 2),
+            ])
+        return format_table(
+            headers, rows,
+            title=f"FLEET-SWEEP: {self.spec.device} fleet scenario grid "
+                  f"({self.spec.n_traces} traces/cell, "
+                  f"trace={self.spec.trace.name})",
+        )
+
+
+def run_fleet_chunk(
+    device_name: str,
+    n_devices: int,
+    router_name: str,
+    policy_spec: PolicySpec,
+    trace_spec: TraceSpec,
+    service_time: float,
+    seeds: Sequence[int],
+) -> List[FleetReport]:
+    """One (cell, seed-chunk) work unit — module-level and built from
+    picklable values only, so the executor can ship it to a worker.
+    Each seed's fleet report is a pure function of the arguments."""
+    device = get_preset(device_name)
+    return [
+        run_fleet(
+            device, policy_spec.policy, trace_spec.realize(seed),
+            make_router(router_name), n_devices,
+            service_time=service_time, oracle=policy_spec.oracle,
+            route_seed=seed + ROUTE_SEED_OFFSET,
+        )
+        for seed in seeds
+    ]
+
+
+class FleetSweepRunner:
+    """Chunked executor fan-out over the fleet cell grid.
+
+    Parameters
+    ----------
+    chunk_size:
+        Trace replications per work unit.
+    n_jobs:
+        Worker processes to shard (cell, chunk) units across (1 = serial).
+    """
+
+    def __init__(self, chunk_size: int = 4, n_jobs: int = 1) -> None:
+        if chunk_size < 1:
+            raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+        self.chunk_size = int(chunk_size)
+        self.n_jobs = int(n_jobs)
+
+    def run(self, spec: FleetSweepSpec) -> FleetSweepResult:
+        """Run the full grid; deterministic for any (chunk_size, n_jobs)."""
+        seeds = spec.seeds()
+        chunks = [
+            seeds[i:i + self.chunk_size]
+            for i in range(0, len(seeds), self.chunk_size)
+        ]
+        cell_keys: List[Tuple[int, str, str]] = []
+        tasks = []
+        for n_devices in spec.fleet_sizes:
+            for router_name in spec.routers:
+                for policy_spec in spec.policies:
+                    cell_keys.append(
+                        (int(n_devices), router_name, policy_spec.label)
+                    )
+                    for chunk in chunks:
+                        tasks.append(
+                            (spec.device, int(n_devices), router_name,
+                             policy_spec, spec.trace, spec.service_time, chunk)
+                        )
+        chunk_reports = get_executor(self.n_jobs).map(run_fleet_chunk, tasks)
+
+        result = FleetSweepResult(spec=spec)
+        per_cell = len(chunks)
+        for c, (n_devices, router_name, policy_label) in enumerate(cell_keys):
+            reports: List[FleetReport] = []
+            for chunk_out in chunk_reports[c * per_cell:(c + 1) * per_cell]:
+                reports.extend(chunk_out)
+            result.cells.append(
+                FleetCellResult(
+                    n_devices=n_devices, router=router_name,
+                    policy=policy_label, reports=reports,
+                )
+            )
+        return result

@@ -11,9 +11,11 @@ from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
+
+from ..analysis.metrics import latency_percentiles
 
 
 @dataclass
@@ -26,13 +28,19 @@ class SimReport:
     energy_saving_ratio: float      #: vs. always-on at home-state power
     n_requests: int
     mean_latency: float             #: seconds per request (arrival->done)
+    p50_latency: float
     p95_latency: float
+    p99_latency: float
     max_latency: float
     n_shutdowns: int                #: down-transitions taken
     n_wrong_shutdowns: int          #: idle period shorter than break-even
     n_idle_periods: int
     mean_idle_length: float
     state_residency: Dict[str, float]  #: seconds per power condition
+    #: per-request completion delays in arrival order; kept so aggregation
+    #: layers (the fleet report) can merge completion streams exactly
+    #: instead of approximating tail quantiles from per-run summaries
+    latencies: Tuple[float, ...] = field(default=(), repr=False)
 
 
 class EnergyMeter:
@@ -142,6 +150,7 @@ def compile_report(
     duration = end_time if end_time > 0 else 1.0
     mean_power = total_energy / duration
     saving = 1.0 - mean_power / home_power if home_power > 0 else 0.0
+    p50, p95, p99 = latency_percentiles(latencies)
     return SimReport(
         duration=end_time,
         total_energy=total_energy,
@@ -149,11 +158,14 @@ def compile_report(
         energy_saving_ratio=saving,
         n_requests=int(latencies.size),
         mean_latency=float(np.mean(latencies)) if latencies.size else 0.0,
-        p95_latency=float(np.percentile(latencies, 95)) if latencies.size else 0.0,
+        p50_latency=p50,
+        p95_latency=p95,
+        p99_latency=p99,
         max_latency=float(np.max(latencies)) if latencies.size else 0.0,
         n_shutdowns=int(n_shutdowns),
         n_wrong_shutdowns=int(n_wrong_shutdowns),
         n_idle_periods=int(idle_lengths.size),
         mean_idle_length=float(np.mean(idle_lengths)) if idle_lengths.size else 0.0,
         state_residency=dict(state_residency),
+        latencies=tuple(latencies.tolist()),
     )

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import io
 from dataclasses import dataclass, field
-from typing import Iterable, Iterator, Optional
+from typing import Iterable, Iterator, List, Optional
 
 import numpy as np
 
@@ -49,7 +49,10 @@ class Trace:
         duration: Optional[float] = None,
         service_demands: Optional[Iterable[float]] = None,
     ) -> None:
-        times = np.asarray(list(arrival_times), dtype=float)
+        if isinstance(arrival_times, np.ndarray):
+            times = np.array(arrival_times, dtype=float)
+        else:
+            times = np.asarray(list(arrival_times), dtype=float)
         if times.size and np.any(np.diff(times) < 0):
             raise ValueError("arrival_times must be non-decreasing")
         if times.size and times[0] < 0:
@@ -63,7 +66,10 @@ class Trace:
         self._times = times
         self._duration = float(duration)
         if service_demands is not None:
-            demands = np.asarray(list(service_demands), dtype=float)
+            if isinstance(service_demands, np.ndarray):
+                demands = np.array(service_demands, dtype=float)
+            else:
+                demands = np.asarray(list(service_demands), dtype=float)
             if demands.shape != times.shape:
                 raise ValueError("service_demands must match arrival_times length")
             if demands.size and np.any(demands < 0):
@@ -174,11 +180,87 @@ class Trace:
         return Trace(times, duration=self._duration + other._duration,
                      service_demands=demands)
 
-    def merge(self, other: "Trace") -> "Trace":
-        """Superpose two traces observed over the same window."""
-        duration = max(self._duration, other._duration)
-        times = np.sort(np.concatenate((self._times, other._times)))
-        return Trace(times, duration=duration)
+    def split(
+        self,
+        assignments: Iterable[int],
+        n_parts: Optional[int] = None,
+    ) -> List["Trace"]:
+        """Partition into per-assignee sub-traces (the dispatcher primitive).
+
+        ``assignments[i]`` names the part request ``i`` belongs to.  Every
+        sub-trace keeps the *full* observation window, so trailing idle
+        time is preserved on each part; per-request demands are carried
+        with their requests.  Sub-traces stay sorted because each is an
+        order-preserving subsequence of a sorted sequence.
+
+        Parameters
+        ----------
+        assignments:
+            Integer array aligned with the arrivals, values in
+            ``[0, n_parts)``.
+        n_parts:
+            Number of parts to produce (parts may be empty); defaults to
+            ``max(assignments) + 1``.
+        """
+        assignments = np.asarray(assignments)
+        if assignments.shape != self._times.shape:
+            raise ValueError(
+                f"assignments must match the {len(self)} arrivals, "
+                f"got shape {assignments.shape}"
+            )
+        if assignments.size and not np.issubdtype(assignments.dtype, np.integer):
+            raise ValueError("assignments must be integers")
+        if n_parts is None:
+            n_parts = int(assignments.max()) + 1 if assignments.size else 1
+        if n_parts < 1:
+            raise ValueError(f"n_parts must be >= 1, got {n_parts}")
+        if assignments.size and not (
+            0 <= int(assignments.min()) and int(assignments.max()) < n_parts
+        ):
+            raise ValueError(
+                f"assignments must lie in [0, {n_parts}), got "
+                f"[{int(assignments.min())}, {int(assignments.max())}]"
+            )
+        parts: List[Trace] = []
+        for k in range(int(n_parts)):
+            mask = assignments == k
+            demands = self._demands[mask] if self._demands is not None else None
+            parts.append(
+                Trace(
+                    self._times[mask],
+                    duration=self._duration,
+                    service_demands=demands,
+                )
+            )
+        return parts
+
+    @classmethod
+    def merge(cls, traces: Iterable["Trace"]) -> "Trace":
+        """Superpose traces observed over a shared window (inverse of
+        :meth:`split` up to the ordering of simultaneous arrivals).
+
+        The merged window is the longest of the inputs; demands are
+        carried with their requests (traces without demands contribute
+        zeros when any input has them).  The time sort is stable, so ties
+        resolve in input-trace order — deterministic for any input.
+        """
+        traces = list(traces)
+        if not traces:
+            raise ValueError("need at least one trace to merge")
+        for t in traces:
+            if not isinstance(t, Trace):
+                raise TypeError(f"can only merge Trace objects, got {type(t)!r}")
+        duration = max(t._duration for t in traces)
+        times = np.concatenate([t._times for t in traces])
+        order = np.argsort(times, kind="stable")
+        if any(t._demands is not None for t in traces):
+            demands = np.concatenate([
+                t._demands if t._demands is not None else np.zeros(len(t))
+                for t in traces
+            ])[order]
+        else:
+            demands = None
+        return cls(times[order], duration=duration, service_demands=demands)
 
     # ------------------------------------------------------------------ #
     # serialization

@@ -102,3 +102,32 @@ class TestRegret:
     def test_empty_rejected(self):
         with pytest.raises(ValueError):
             regret_vs_reference(np.array([]), 1.0)
+
+
+class TestLatencyPercentiles:
+    def test_default_tail_quantiles(self):
+        from repro.analysis import TAIL_QUANTILES, latency_percentiles
+
+        delays = np.arange(1, 101, dtype=float)  # 1..100
+        p50, p95, p99 = latency_percentiles(delays)
+        assert TAIL_QUANTILES == (50.0, 95.0, 99.0)
+        assert p50 == pytest.approx(np.percentile(delays, 50))
+        assert p95 == pytest.approx(np.percentile(delays, 95))
+        assert p99 == pytest.approx(np.percentile(delays, 99))
+        assert p50 <= p95 <= p99
+
+    def test_empty_stream_yields_zeros(self):
+        from repro.analysis import latency_percentiles
+
+        assert latency_percentiles([]) == (0.0, 0.0, 0.0)
+
+    def test_custom_quantiles_and_validation(self):
+        from repro.analysis import latency_percentiles
+
+        assert latency_percentiles([5.0, 5.0], qs=(0, 100)) == (5.0, 5.0)
+        with pytest.raises(ValueError):
+            latency_percentiles([1.0], qs=())
+        with pytest.raises(ValueError):
+            latency_percentiles([1.0], qs=(101.0,))
+        with pytest.raises(ValueError):
+            latency_percentiles([1.0], qs=(-1.0,))

@@ -80,6 +80,40 @@ class TestDispatch:
         with pytest.raises(SystemExit):
             cli.main(["fig1", "--jobs", "0"])
 
+    def test_fleet_sweep_dispatches_like_any_command(self, monkeypatch, capsys):
+        monkeypatch.setitem(cli._COMMANDS, "fleet-sweep", lambda quick: "FAKE-FLEET")
+        assert cli.main(["fleet-sweep"]) == 0
+        out = capsys.readouterr().out
+        assert "=== fleet-sweep ===" in out
+        assert "FAKE-FLEET" in out
+
+    def test_fleet_sweep_takes_all_its_flags(self, monkeypatch):
+        seen = {}
+
+        def fake(quick, n_seeds=None, batch=None, jobs=None,
+                 devices=None, router=None):
+            seen.update(n_seeds=n_seeds, batch=batch, jobs=jobs,
+                        devices=devices, router=router)
+            return ""
+
+        monkeypatch.setitem(cli._COMMANDS, "fleet-sweep", fake)
+        cli.main(["fleet-sweep", "--seeds", "6", "--jobs", "2",
+                  "--devices", "16", "--router", "power_aware"])
+        assert seen == {"n_seeds": 6, "batch": None, "jobs": 2,
+                        "devices": 16, "router": "power_aware"}
+        with pytest.raises(SystemExit):
+            cli.main(["fleet-sweep", "--batch", "4"])
+
+    def test_fleet_flags_rejected_elsewhere(self):
+        with pytest.raises(SystemExit):
+            cli.main(["fig1", "--devices", "4"])
+        with pytest.raises(SystemExit):
+            cli.main(["sim-sweep", "--router", "jsq"])
+        with pytest.raises(SystemExit):
+            cli.main(["fleet-sweep", "--devices", "0"])
+        with pytest.raises(SystemExit):
+            cli.main(["fleet-sweep", "--router", "warp"])
+
 
 class TestRealQuickRun:
     def test_overhead_quick_end_to_end(self, capsys):

@@ -1,0 +1,253 @@
+"""Dispatcher and router semantics of :mod:`repro.fleet.dispatch`.
+
+The fleet mirrors the repo's stateless/stateful split: stateless routers
+must be bit-identical between their scalar reference loop and the
+vectorized batch path, queue-aware routers must be deterministic scalar
+references, and the dispatcher must partition traces without losing
+requests, demands, or window duration.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.device import get_preset
+from repro.fleet import (
+    ROUTERS,
+    Dispatcher,
+    JoinShortestQueueRouter,
+    PowerAwareRouter,
+    RandomRouter,
+    RouteContext,
+    RoundRobinRouter,
+    make_router,
+)
+from repro.workload import Exponential, Trace, renewal_trace
+
+STATELESS = ("round_robin", "random")
+QUEUE_AWARE = ("jsq", "power_aware")
+
+
+def make_context(trace, n_devices, device_name="mobile_hdd", seed=0,
+                 service_time=0.4):
+    demands = trace.service_demands
+    if demands is None:
+        demands = np.full(len(trace), service_time)
+    return RouteContext(
+        arrivals=trace.arrival_times,
+        demands=demands,
+        n_devices=n_devices,
+        device=get_preset(device_name),
+        rng=np.random.default_rng(seed),
+    )
+
+
+class TestRegistry:
+    def test_all_four_routers_registered(self):
+        assert set(ROUTERS) == {"round_robin", "random", "jsq", "power_aware"}
+
+    def test_make_router_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown router"):
+            make_router("teleport")
+
+    def test_names_match_registry_keys(self):
+        for name in ROUTERS:
+            assert make_router(name).name == name
+
+
+class TestStatelessBitExactness:
+    """route() and route_batch() must agree bit-for-bit (the fleet's
+    analogue of the decide_batch contract)."""
+
+    @pytest.mark.parametrize("name", STATELESS)
+    @pytest.mark.parametrize("n_devices", (1, 3, 16))
+    def test_scalar_equals_batch(self, name, n_devices, rng):
+        trace = renewal_trace(Exponential(0.8), 500.0, rng)
+        router = make_router(name)
+        scalar = router.route(make_context(trace, n_devices, seed=9))
+        batch = router.route_batch(make_context(trace, n_devices, seed=9))
+        assert scalar.dtype == batch.dtype == np.int64
+        assert np.array_equal(scalar, batch)
+
+    @pytest.mark.parametrize("name", QUEUE_AWARE)
+    def test_queue_aware_has_no_batch_path(self, name, rng):
+        trace = renewal_trace(Exponential(0.8), 100.0, rng)
+        assert make_router(name).route_batch(make_context(trace, 4)) is None
+
+
+class TestRoundRobin:
+    def test_cycles_in_request_order(self, rng):
+        trace = renewal_trace(Exponential(1.0), 50.0, rng)
+        out = RoundRobinRouter().route(make_context(trace, 3))
+        assert out.tolist() == [i % 3 for i in range(len(trace))]
+
+
+class TestRandom:
+    def test_within_bounds_and_seed_deterministic(self, rng):
+        trace = renewal_trace(Exponential(1.0), 300.0, rng)
+        a = RandomRouter().route(make_context(trace, 5, seed=3))
+        b = RandomRouter().route(make_context(trace, 5, seed=3))
+        c = RandomRouter().route(make_context(trace, 5, seed=4))
+        assert np.array_equal(a, b)
+        assert not np.array_equal(a, c)  # overwhelmingly likely
+        assert a.min() >= 0 and a.max() < 5
+
+
+class TestJoinShortestQueue:
+    def test_spreads_simultaneous_burst(self):
+        # four arrivals inside one service time: each must land on a
+        # different (empty-queue) device, lowest index first
+        trace = Trace([0.0, 0.1, 0.2, 0.3], duration=10.0)
+        out = JoinShortestQueueRouter().route(make_context(trace, 4))
+        assert out.tolist() == [0, 1, 2, 3]
+
+    def test_reuses_drained_device(self):
+        # second arrival comes after the first completes: queue empty
+        # everywhere again, so the tie falls back to device 0
+        trace = Trace([0.0, 5.0], duration=10.0)
+        out = JoinShortestQueueRouter().route(make_context(trace, 2))
+        assert out.tolist() == [0, 0]
+
+
+class TestPowerAware:
+    def test_consolidates_when_fleet_sleeps(self):
+        # gaps longer than the awake window: every arrival re-wakes the
+        # same most-recently-used device instead of spreading
+        device = get_preset("mobile_hdd")
+        window = PowerAwareRouter().resolve_window(device)
+        gap = window + 5.0
+        times = [i * gap for i in range(5)]
+        trace = Trace(times, duration=times[-1] + 1.0)
+        out = PowerAwareRouter().route(make_context(trace, 4))
+        assert out.tolist() == [0] * 5
+
+    def test_wakes_sleeping_device_when_awake_queue_full(self):
+        # max_queue=1: t=0 lands on device 0; at t=0.1 device 0 is awake
+        # but full, so the burst wakes device 1; by t=0.2 both are busy
+        # and full, so plain shortest-queue takes over
+        trace = Trace([0.0, 0.1, 0.2, 0.3], duration=10.0)
+        out = PowerAwareRouter(awake_window=0.05, max_queue=1).route(
+            make_context(trace, 2)
+        )
+        assert out.tolist() == [0, 1, 0, 1]
+
+    def test_bounded_queue_prefers_awake_until_full(self):
+        # after t=0 only device 0 is awake (busy); it keeps the burst
+        # until its queue hits max_queue=2, then device 1 is woken
+        trace = Trace([0.0, 0.1, 0.2], duration=10.0)
+        out = PowerAwareRouter(awake_window=0.05, max_queue=2).route(
+            make_context(trace, 3)
+        )
+        assert out.tolist() == [0, 0, 1]
+
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            PowerAwareRouter(awake_window=-1.0)
+        with pytest.raises(ValueError):
+            PowerAwareRouter(max_queue=0)
+
+
+class TestDispatcher:
+    def test_validation(self):
+        device = get_preset("mobile_hdd")
+        with pytest.raises(ValueError):
+            Dispatcher("round_robin", 0, device)
+        with pytest.raises(ValueError):
+            Dispatcher("round_robin", 2, device, service_time=0.0)
+        with pytest.raises(TypeError):
+            Dispatcher(object(), 2, device)
+        with pytest.raises(ValueError, match="unknown router"):
+            Dispatcher("warp", 2, device)
+
+    @pytest.mark.parametrize("name", sorted(ROUTERS))
+    def test_partition_conserves_requests_and_window(self, name, rng):
+        trace = renewal_trace(Exponential(0.6), 400.0, rng)
+        subs = Dispatcher(name, 4, get_preset("mobile_hdd"),
+                          service_time=0.4, seed=7).dispatch(trace)
+        assert len(subs) == 4
+        assert sum(len(s) for s in subs) == len(trace)
+        assert all(s.duration == trace.duration for s in subs)
+        merged = Trace.merge(subs)
+        assert np.array_equal(merged.arrival_times, trace.arrival_times)
+
+    def test_demands_travel_with_their_requests(self, rng):
+        base = renewal_trace(Exponential(0.5), 200.0, rng)
+        demands = rng.uniform(0.1, 1.0, size=len(base))
+        trace = Trace(base.arrival_times, duration=200.0,
+                      service_demands=demands)
+        dispatcher = Dispatcher("round_robin", 3, get_preset("mobile_hdd"))
+        assignments = dispatcher.assignments(trace)
+        subs = dispatcher.dispatch(trace)
+        for d, sub in enumerate(subs):
+            assert np.array_equal(sub.service_demands,
+                                  demands[assignments == d])
+
+    def test_dispatch_is_pure(self, rng):
+        trace = renewal_trace(Exponential(0.8), 300.0, rng)
+        dispatcher = Dispatcher("random", 5, get_preset("mobile_hdd"), seed=11)
+        a = dispatcher.assignments(trace)
+        b = dispatcher.assignments(trace)
+        assert np.array_equal(a, b)
+
+    def test_scalar_flag_forces_reference_loop(self, rng):
+        trace = renewal_trace(Exponential(0.8), 300.0, rng)
+        dispatcher = Dispatcher("random", 5, get_preset("mobile_hdd"), seed=11)
+        assert np.array_equal(
+            dispatcher.assignments(trace, vectorized=True),
+            dispatcher.assignments(trace, vectorized=False),
+        )
+
+
+class TestTraceSplit:
+    """The workload-layer primitive the dispatcher rides on."""
+
+    def test_split_validation(self):
+        trace = Trace([1.0, 2.0], duration=5.0)
+        with pytest.raises(ValueError, match="match"):
+            trace.split([0])
+        with pytest.raises(ValueError, match="integers"):
+            trace.split([0.5, 1.5])
+        with pytest.raises(ValueError, match="n_parts"):
+            trace.split([0, 0], n_parts=0)
+        with pytest.raises(ValueError, match="lie in"):
+            trace.split([0, 3], n_parts=2)
+        with pytest.raises(ValueError, match="lie in"):
+            trace.split([-1, 0], n_parts=2)
+
+    def test_split_empty_parts_allowed(self):
+        parts = Trace([1.0], duration=4.0).split([2], n_parts=4)
+        assert [len(p) for p in parts] == [0, 0, 1, 0]
+        assert all(p.duration == 4.0 for p in parts)
+
+    def test_split_empty_trace(self):
+        parts = Trace([], duration=3.0).split([], n_parts=2)
+        assert [len(p) for p in parts] == [0, 0]
+        assert all(p.duration == 3.0 for p in parts)
+
+    def test_merge_validation(self):
+        with pytest.raises(ValueError, match="at least one"):
+            Trace.merge([])
+        with pytest.raises(TypeError, match="Trace"):
+            Trace.merge([Trace([1.0], duration=2.0), [2.0]])
+
+    def test_merge_carries_demands_and_window(self):
+        a = Trace([1.0, 3.0], duration=6.0, service_demands=[0.2, 0.4])
+        b = Trace([2.0], duration=4.0)
+        merged = Trace.merge([a, b])
+        assert merged.arrival_times.tolist() == [1.0, 2.0, 3.0]
+        assert merged.service_demands.tolist() == [0.2, 0.0, 0.4]
+        assert merged.duration == 6.0
+
+    def test_split_merge_roundtrip(self, rng):
+        base = renewal_trace(Exponential(0.7), 300.0, rng)
+        demands = rng.uniform(0.1, 0.9, size=len(base))
+        trace = Trace(base.arrival_times, duration=300.0,
+                      service_demands=demands)
+        assignments = rng.integers(0, 4, size=len(trace))
+        merged = Trace.merge(trace.split(assignments, n_parts=4))
+        assert np.array_equal(merged.arrival_times, trace.arrival_times)
+        assert merged.duration == trace.duration
+        # demand multiset survives; order of simultaneous arrivals may not
+        assert np.allclose(np.sort(merged.service_demands),
+                           np.sort(demands))

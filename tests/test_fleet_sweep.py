@@ -1,0 +1,289 @@
+"""Fleet evaluation and sweeps: engine equivalence, determinism, CIs.
+
+The contract mirrors the event-sim kernel's: the vectorized fleet path
+(NumPy trace partition + busy-period kernel per device) must be
+indistinguishable from the scalar reference dispatcher (scalar routing
+loop + scalar event loop per device) on every :class:`FleetReport`
+field (rel tol <= 1e-9), and sweep results must be bit-identical for
+every ``(chunk_size, n_jobs)`` combination.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    AdaptiveTimeout,
+    AlwaysOn,
+    FixedTimeout,
+    GreedySleep,
+    OracleShutdown,
+)
+from repro.device import get_preset
+from repro.experiments import (
+    FleetConfig,
+    build_fleet_sweep_spec,
+    run_fleet_sweep,
+)
+from repro.fleet import (
+    ROUTERS,
+    FleetSweepRunner,
+    FleetSweepSpec,
+    build_fleet_report,
+    make_router,
+    run_fleet,
+    run_fleet_chunk,
+)
+from repro.runtime import PolicySpec, TraceSpec
+from repro.workload import Exponential, renewal_trace
+
+FLEET_FIELDS = (
+    "n_devices", "duration", "total_energy", "mean_power",
+    "energy_saving_ratio", "n_requests", "mean_latency", "p50_latency",
+    "p95_latency", "p99_latency", "max_latency", "n_shutdowns",
+    "n_wrong_shutdowns", "requests_per_device",
+)
+
+
+def assert_fleet_reports_match(ref, fast, rel=1e-9):
+    """Field-for-field FleetReport comparison (ints exact, floats tight)."""
+    for name in FLEET_FIELDS:
+        a, b = getattr(ref, name), getattr(fast, name)
+        if isinstance(a, (int, tuple)):
+            assert a == b, f"{name}: {a} != {b}"
+        else:
+            assert b == pytest.approx(a, rel=rel, abs=1e-12), name
+    assert set(ref.state_residency) == set(fast.state_residency)
+    for key, a in ref.state_residency.items():
+        assert fast.state_residency[key] == pytest.approx(
+            a, rel=rel, abs=1e-12
+        ), key
+
+
+POLICIES = [
+    ("always_on", AlwaysOn, False),
+    ("greedy", GreedySleep, False),
+    ("timeout_break_even", FixedTimeout, False),
+    ("oracle", OracleShutdown, True),
+]
+
+
+class TestEngineEquivalence:
+    @pytest.mark.parametrize("router_name", sorted(ROUTERS))
+    @pytest.mark.parametrize(
+        "policy_factory,oracle", [(f, o) for _, f, o in POLICIES],
+        ids=[name for name, _, _ in POLICIES],
+    )
+    def test_vectorized_matches_scalar_reference(
+        self, router_name, policy_factory, oracle, rng
+    ):
+        trace = renewal_trace(Exponential(0.8), 800.0, rng)
+        device = get_preset("mobile_hdd")
+        kwargs = dict(service_time=0.4, oracle=oracle, route_seed=21)
+        ref = run_fleet(device, policy_factory(), trace,
+                        make_router(router_name), 5, engine="scalar", **kwargs)
+        fast = run_fleet(device, policy_factory(), trace,
+                         make_router(router_name), 5, engine="auto", **kwargs)
+        assert_fleet_reports_match(ref, fast)
+
+    def test_stateful_policy_rides_the_fleet_too(self, rng):
+        """Stateful per-device policies fall back to the scalar event
+        loop inside the auto engine — same aggregate either way."""
+        trace = renewal_trace(Exponential(0.8), 400.0, rng)
+        device = get_preset("mobile_hdd")
+        ref = run_fleet(device, AdaptiveTimeout(initial_timeout=1.0), trace,
+                        make_router("round_robin"), 3, engine="scalar",
+                        service_time=0.4)
+        fast = run_fleet(device, AdaptiveTimeout(initial_timeout=1.0), trace,
+                         make_router("round_robin"), 3, engine="auto",
+                         service_time=0.4)
+        assert_fleet_reports_match(ref, fast)
+
+    def test_unknown_engine_rejected(self, rng):
+        trace = renewal_trace(Exponential(0.8), 100.0, rng)
+        with pytest.raises(ValueError, match="engine"):
+            run_fleet(get_preset("mobile_hdd"), AlwaysOn(), trace,
+                      make_router("round_robin"), 2, engine="warp")
+
+
+class TestFleetReport:
+    def test_aggregates_fold_per_device_reports(self, rng):
+        trace = renewal_trace(Exponential(1.0), 500.0, rng)
+        device = get_preset("mobile_hdd")
+        report = run_fleet(device, FixedTimeout(), trace,
+                           make_router("round_robin"), 4, service_time=0.4)
+        assert len(report.device_reports) == 4
+        assert report.n_requests == len(trace)
+        assert sum(report.requests_per_device) == len(trace)
+        assert report.total_energy == pytest.approx(
+            sum(r.total_energy for r in report.device_reports)
+        )
+        assert report.n_shutdowns == sum(
+            r.n_shutdowns for r in report.device_reports
+        )
+        merged = np.sort(np.concatenate(
+            [r.latencies for r in report.device_reports]
+        ))
+        assert report.p99_latency == pytest.approx(
+            float(np.percentile(merged, 99))
+        )
+        assert report.max_latency == pytest.approx(float(merged.max()))
+        # residency folds per key
+        for key, span in report.state_residency.items():
+            assert span == pytest.approx(sum(
+                r.state_residency.get(key, 0.0)
+                for r in report.device_reports
+            ))
+
+    def test_saving_is_vs_all_always_on_fleet(self, rng):
+        trace = renewal_trace(Exponential(1.0), 500.0, rng)
+        device = get_preset("mobile_hdd")
+        report = run_fleet(device, FixedTimeout(), trace,
+                           make_router("round_robin"), 4, service_time=0.4)
+        home_power = device.state(device.initial_state).power
+        expected = 1.0 - report.total_energy / (
+            4 * home_power * report.duration
+        )
+        assert report.energy_saving_ratio == pytest.approx(expected)
+
+    def test_empty_reports_rejected(self):
+        with pytest.raises(ValueError):
+            build_fleet_report("round_robin", "always_on", 2.0, [])
+
+    def test_load_imbalance(self, rng):
+        trace = renewal_trace(Exponential(1.0), 400.0, rng)
+        device = get_preset("mobile_hdd")
+        rr = run_fleet(device, AlwaysOn(), trace,
+                       make_router("round_robin"), 4, service_time=0.4)
+        assert rr.load_imbalance == pytest.approx(1.0, abs=0.05)
+        pa = run_fleet(device, AlwaysOn(), trace,
+                       make_router("power_aware"), 4, service_time=0.4)
+        assert pa.load_imbalance > rr.load_imbalance
+
+
+def small_spec(**overrides) -> FleetSweepSpec:
+    base = dict(
+        device="mobile_hdd",
+        fleet_sizes=(2, 4),
+        routers=("round_robin", "random", "jsq", "power_aware"),
+        policies=(
+            PolicySpec("always_on", AlwaysOn()),
+            PolicySpec("timeout", FixedTimeout()),
+            PolicySpec("oracle", OracleShutdown(), oracle=True),
+        ),
+        trace=TraceSpec("exp", Exponential(0.6), 300.0),
+        n_traces=4,
+        seed=5,
+        seed_stride=11,
+        service_time=0.4,
+    )
+    base.update(overrides)
+    return FleetSweepSpec(**base)
+
+
+class TestSpecValidation:
+    def test_empty_axes_rejected(self):
+        with pytest.raises(ValueError):
+            small_spec(fleet_sizes=())
+        with pytest.raises(ValueError):
+            small_spec(routers=())
+        with pytest.raises(ValueError):
+            small_spec(policies=())
+
+    def test_bad_values_rejected(self):
+        with pytest.raises(ValueError):
+            small_spec(fleet_sizes=(0,))
+        with pytest.raises(ValueError):
+            small_spec(routers=("warp",))
+        with pytest.raises(ValueError):
+            small_spec(n_traces=0)
+        with pytest.raises(ValueError):
+            small_spec(seed_stride=0)
+        with pytest.raises(ValueError):
+            small_spec(service_time=0.0)
+        with pytest.raises(ValueError):
+            FleetSweepRunner(chunk_size=0)
+
+    def test_seeds_are_strided(self):
+        assert small_spec().seeds() == [5, 16, 27, 38]
+
+
+class TestSweepExecution:
+    def test_full_grid_shape_and_order(self):
+        spec = small_spec()
+        result = FleetSweepRunner(chunk_size=2).run(spec)
+        assert len(result.cells) == 2 * 4 * 3
+        assert [c.n_devices for c in result.cells[:12]] == [2] * 12
+        for cell in result.cells:
+            assert len(cell.reports) == spec.n_traces
+
+    def test_results_identical_across_chunking_and_jobs(self):
+        """The acceptance pin: bit-identical FleetReports for every
+        (chunk_size, n_jobs) combination, stateless and queue-aware
+        routers alike."""
+        spec = small_spec()
+        reference = FleetSweepRunner(chunk_size=spec.n_traces).run(spec)
+        for chunk_size, n_jobs in ((1, 1), (3, 1), (2, 2)):
+            other = FleetSweepRunner(chunk_size=chunk_size,
+                                     n_jobs=n_jobs).run(spec)
+            for a, b in zip(reference.cells, other.cells):
+                assert (a.n_devices, a.router, a.policy) == \
+                    (b.n_devices, b.router, b.policy)
+                assert a.reports == b.reports  # dataclass equality, exact
+
+    def test_chunk_worker_is_pure(self):
+        spec = small_spec()
+        args = ("mobile_hdd", 2, "random", spec.policies[1], spec.trace,
+                spec.service_time, [5, 16])
+        assert run_fleet_chunk(*args) == run_fleet_chunk(*args)
+
+    def test_cell_lookup_and_aggregates(self):
+        result = FleetSweepRunner(chunk_size=2).run(small_spec())
+        cell = result.cell(2, "round_robin", "timeout")
+        ci = cell.power_ci()
+        assert ci.low <= ci.estimate <= ci.high
+        always_on = result.cell(2, "round_robin", "always_on")
+        assert always_on.mean_shutdowns == 0
+        # paired traces: the clairvoyant lower bound beats the timeout
+        oracle = result.cell(2, "round_robin", "oracle")
+        assert oracle.power_ci().estimate <= cell.power_ci().estimate
+        # power-aware consolidation beats round-robin spreading on energy
+        pa = result.cell(2, "power_aware", "timeout")
+        assert pa.power_ci().estimate < cell.power_ci().estimate
+        assert pa.mean_imbalance > cell.mean_imbalance
+        with pytest.raises(KeyError):
+            result.cell(2, "round_robin", "nope")
+
+    def test_render_lists_every_cell(self):
+        result = FleetSweepRunner(chunk_size=4).run(
+            small_spec(fleet_sizes=(2,))
+        )
+        table = result.render()
+        assert "FLEET-SWEEP" in table
+        for cell in result.cells:
+            assert cell.router in table
+            assert cell.policy in table
+
+
+class TestExperimentHarness:
+    def test_config_roundtrip_and_determinism(self):
+        config = dataclasses.replace(
+            FleetConfig(), fleet_sizes=(2,), routers=("round_robin",),
+            duration=300.0, n_traces=3,
+        )
+        spec = build_fleet_sweep_spec(config)
+        assert spec.device == config.device
+        assert spec.fleet_sizes == (2,)
+        a = run_fleet_sweep(config)
+        b = run_fleet_sweep(dataclasses.replace(config, n_jobs=2))
+        for ca, cb in zip(a.cells, b.cells):
+            assert ca.reports == cb.reports
+
+    def test_unknown_device_fails_fast(self):
+        with pytest.raises(KeyError):
+            build_fleet_sweep_spec(
+                dataclasses.replace(FleetConfig(), device="warp_core")
+            )

@@ -303,3 +303,52 @@ class TestKernelInternals:
         ref, fast = run_both("two_state", factory, trace, service_time=1.0)
         assert fast is not None
         assert_reports_match(ref, fast)
+
+
+class TestDispatcherDegenerates:
+    """Shapes the fleet dispatcher routinely produces: empty sub-traces
+    (a device that got no requests but still owns the whole window),
+    single-request sub-traces, and the all-requests-to-one-device skew
+    of a consolidating router.  Field-for-field vs the scalar loop."""
+
+    DEGENERATE_POLICIES = (
+        (AlwaysOn, False), (GreedySleep, False), (FixedTimeout, False),
+        (OracleShutdown, True),
+    )
+
+    @pytest.mark.parametrize("device_name", PRESETS)
+    def test_empty_subtrace_long_window(self, device_name):
+        """A starved device: zero requests over a long window (greedy
+        parks it immediately; the report is one trailing idle period)."""
+        trace = Trace([], duration=5_000.0)
+        for factory, oracle in self.DEGENERATE_POLICIES:
+            ref, fast = run_both(device_name, factory, trace, oracle)
+            assert fast is not None
+            assert fast.n_requests == 0
+            assert fast.n_idle_periods == 1
+            assert_reports_match(ref, fast)
+
+    @pytest.mark.parametrize("device_name", PRESETS)
+    def test_single_request_subtrace(self, device_name):
+        """One request mid-window: a leading gap, one service, and a
+        trailing gap."""
+        trace = Trace([100.0], duration=2_000.0)
+        for factory, oracle in self.DEGENERATE_POLICIES:
+            ref, fast = run_both(device_name, factory, trace, oracle)
+            assert fast is not None
+            assert fast.n_requests == 1
+            assert_reports_match(ref, fast)
+
+    def test_all_requests_to_one_device_skew(self, rng):
+        """A consolidating router's worst case: one device gets the whole
+        stream, its siblings get nothing — both extremes must match the
+        scalar loop on the same shared window."""
+        trace = renewal_trace(Exponential(0.8), 1_500.0, rng)
+        assignments = np.zeros(len(trace), dtype=np.int64)
+        subs = trace.split(assignments, n_parts=4)
+        assert [len(s) for s in subs] == [len(trace), 0, 0, 0]
+        for sub in (subs[0], subs[1]):
+            for factory, oracle in self.DEGENERATE_POLICIES:
+                ref, fast = run_both("mobile_hdd", factory, sub, oracle)
+                assert fast is not None
+                assert_reports_match(ref, fast)

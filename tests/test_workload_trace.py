@@ -110,7 +110,9 @@ class TestManipulation:
         assert joined.service_demands.tolist() == [0.3, 0.0]
 
     def test_merge_sorts(self):
-        merged = Trace([1.0, 4.0], duration=5.0).merge(Trace([2.0], duration=3.0))
+        merged = Trace.merge(
+            [Trace([1.0, 4.0], duration=5.0), Trace([2.0], duration=3.0)]
+        )
         assert merged.arrival_times.tolist() == [1.0, 2.0, 4.0]
         assert merged.duration == 5.0
 
