@@ -43,3 +43,15 @@ def record_bench(path: Path, section: str, payload: dict) -> None:
     data["host"] = host_metadata()
     data[section] = payload
     path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+
+
+#: asserted speedup bars per artifact section — the single source for
+#: both the bench modules' assertions and the CI artifact checker
+#: (check_bench_artifacts.py), so the gate can never drift from the
+#: bars the benches actually enforce.  Sections whose recorded speedup
+#: is informational only (e.g. sweep serial/2-jobs ratios, which need
+#: real cores) are deliberately absent.
+SPEEDUP_BARS = {
+    "BENCH_sim.json": {"event_sim_kernel": 5.0, "stateful_batch": 5.0},
+    "BENCH_fleet.json": {"fleet_kernel": 5.0},
+}

@@ -1,10 +1,13 @@
 #!/usr/bin/env python
-"""Gate the CI bench job on complete perf artifacts.
+"""Gate the CI bench job on complete, non-regressed perf artifacts.
 
 A silently-skipped benchmark used to produce an empty (or partial)
 ``BENCH_*.json`` that still uploaded fine — the artifact looked alive
 while carrying no numbers.  This checker fails loudly instead: each
-artifact must exist and contain every expected top-level section.
+artifact must exist and contain every expected top-level section, and
+every section whose bench *asserts* a speedup bar must have recorded a
+``speedup`` at or above that bar — so the artifacts double as a
+perf-regression guard even on runs that deselect the assertion itself.
 
 Run:  python benchmarks/check_bench_artifacts.py [repo_root]
 Exit: 0 when every artifact is complete, 1 otherwise.
@@ -16,10 +19,15 @@ import json
 import sys
 from pathlib import Path
 
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+from _bench_util import SPEEDUP_BARS  # noqa: E402  (sibling module)
+
 #: artifact -> top-level keys the bench suite must have recorded
 EXPECTED_KEYS = {
     "BENCH_engine.json": ("cpu_count", "host", "quick_snapshot"),
-    "BENCH_sim.json": ("cpu_count", "host", "event_sim_kernel", "sim_sweep"),
+    "BENCH_sim.json": (
+        "cpu_count", "host", "event_sim_kernel", "stateful_batch", "sim_sweep",
+    ),
     "BENCH_fleet.json": ("cpu_count", "host", "fleet_kernel", "fleet_sweep"),
 }
 
@@ -40,6 +48,19 @@ def check_artifacts(root: Path) -> list:
         for key in keys:
             if key not in data:
                 problems.append(f"{name}: missing top-level key {key!r}")
+        for section, bar in SPEEDUP_BARS.get(name, {}).items():
+            if section not in data:
+                continue  # already reported above if expected
+            speedup = data[section].get("speedup")
+            if not isinstance(speedup, (int, float)):
+                problems.append(
+                    f"{name}: section {section!r} recorded no 'speedup'"
+                )
+            elif speedup < bar:
+                problems.append(
+                    f"{name}: {section} speedup {speedup:.2f}x regressed "
+                    f"below its asserted {bar:.0f}x bar"
+                )
     return problems
 
 

@@ -24,7 +24,7 @@ import time
 
 import numpy as np
 
-from _bench_util import REPO_ROOT, record_bench
+from _bench_util import REPO_ROOT, SPEEDUP_BARS, record_bench
 from repro.baselines import AlwaysOn, FixedTimeout, OracleShutdown
 from repro.device import get_preset
 from repro.fleet import FleetSweepRunner, FleetSweepSpec, make_router, run_fleet
@@ -32,6 +32,7 @@ from repro.runtime import PolicySpec, TraceSpec
 from repro.workload import Exponential, renewal_trace
 
 BENCH_PATH = REPO_ROOT / "BENCH_fleet.json"
+BARS = SPEEDUP_BARS["BENCH_fleet.json"]
 
 DEVICE = "mobile_hdd"
 SERVICE_TIME = 0.4
@@ -83,23 +84,26 @@ def test_fleet_vectorized_speedup():
         "vectorized_requests_per_sec": vectorized,
         "speedup": speedup,
     })
-    assert speedup >= 5.0, (
+    assert speedup >= BARS["fleet_kernel"], (
         f"vectorized fleet only {speedup:.1f}x the scalar reference dispatcher"
     )
 
 
-def _sweep_seconds(n_jobs: int, spec: FleetSweepSpec) -> float:
+def _sweep_seconds(n_jobs: int, spec: FleetSweepSpec):
     runner = FleetSweepRunner(chunk_size=2, n_jobs=n_jobs)
     start = time.perf_counter()
-    runner.run(spec)
-    return time.perf_counter() - start
+    result = runner.run(spec)
+    return time.perf_counter() - start, result.execution
 
 
 def test_fleet_sweep_sharded_timings():
     """Wall-clock of the (fleet x router x policy) sweep at 1 and 2 jobs.
 
     Recorded, not asserted: speedup needs real cores, and the reference
-    container has one.  The artifact still tracks the trajectory.
+    container has one.  The artifact still tracks the trajectory — and
+    since PR 5 the runner may *degrade* the 2-job request to in-process
+    execution (single-core host / tiny chunks); the recorded decision
+    says which configuration actually ran.
     """
     spec = FleetSweepSpec(
         device=DEVICE,
@@ -115,13 +119,13 @@ def test_fleet_sweep_sharded_timings():
         seed=3,
         service_time=SERVICE_TIME,
     )
-    serial = _sweep_seconds(1, spec)
-    sharded = _sweep_seconds(2, spec)
+    serial, _ = _sweep_seconds(1, spec)
+    sharded, execution = _sweep_seconds(2, spec)
     n_cells = len(spec.fleet_sizes) * len(spec.routers) * len(spec.policies)
     print()
     print(f"fleet sweep ({n_cells} cells x {spec.n_traces} traces): "
           f"serial {serial:.2f}s vs 2 jobs {sharded:.2f}s "
-          f"({serial / sharded:.2f}x)")
+          f"({serial / sharded:.2f}x, decision={execution['decision']})")
     record_bench(BENCH_PATH, "fleet_sweep", {
         "n_cells": n_cells,
         "n_traces": spec.n_traces,
@@ -129,6 +133,8 @@ def test_fleet_sweep_sharded_timings():
         "serial_seconds": serial,
         "jobs2_seconds": sharded,
         "speedup": serial / sharded,
+        "jobs2_decision": execution["decision"],
+        "jobs2_effective": execution["n_jobs_effective"],
     })
     assert serial > 0 and sharded > 0
 
@@ -139,4 +145,4 @@ def test_bench_fleet_artifact_shape():
     data = json.loads(BENCH_PATH.read_text())
     for key in ("host", "fleet_kernel", "fleet_sweep"):
         assert key in data, f"BENCH_fleet.json missing {key!r}"
-    assert data["fleet_kernel"]["speedup"] >= 5.0
+    assert data["fleet_kernel"]["speedup"] >= BARS["fleet_kernel"]

@@ -26,6 +26,8 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from dataclasses import dataclass
+
 from ..device import PowerStateMachine
 from ..sim.policy_api import (
     NEVER,
@@ -34,6 +36,7 @@ from ..sim.policy_api import (
     EventPolicy,
     IdleContext,
     IdleDecision,
+    StepBatchContext,
 )
 
 
@@ -127,6 +130,24 @@ class FixedTimeout(EventPolicy):
         return _constant_batch(ctx, target, timeout)
 
 
+@dataclass
+class _AdaptiveStepStates:
+    """Dense per-replica state of R lock-step :class:`AdaptiveTimeout` runs."""
+
+    timeouts: np.ndarray     #: (R,) current timeout per replica
+    target_idx: int          #: shared shutdown target (device is shared)
+    break_even: float        #: shared break-even time of that target
+
+
+@dataclass
+class _PredictiveStepStates:
+    """Dense per-replica state of R lock-step :class:`PredictiveShutdown` runs."""
+
+    predictions: np.ndarray  #: (R,) current idle-length prediction
+    target_idx: int
+    break_even: float
+
+
 class AdaptiveTimeout(EventPolicy):
     """Timeout that adapts to the observed idle-length process.
 
@@ -186,6 +207,42 @@ class AdaptiveTimeout(EventPolicy):
         """The timeout the next idle period will use."""
         return self._timeout
 
+    # -- lock-step cross-replication hooks ----------------------------- #
+
+    def make_step_state(
+        self, n: int, device: PowerStateMachine, wait_state: str
+    ) -> _AdaptiveStepStates:
+        """R fresh timeout estimators as one dense array (external to
+        ``self``, so a batched run never touches the instance state)."""
+        target = self._target or _deepest_profitable_state(device)
+        return _AdaptiveStepStates(
+            timeouts=np.full(n, self._initial),
+            target_idx=device.state_names.index(target),
+            break_even=device.break_even_time(target, device.initial_state),
+        )
+
+    def decide_step_batch(
+        self, states: _AdaptiveStepStates, ctx: StepBatchContext
+    ) -> BatchIdleDecision:
+        n = states.timeouts.size
+        return BatchIdleDecision(
+            target_idx=np.full(n, states.target_idx, dtype=np.int64),
+            timeouts=states.timeouts.copy(),
+        )
+
+    def end_step_batch(
+        self,
+        states: _AdaptiveStepStates,
+        idle_lengths: np.ndarray,
+        active: np.ndarray,
+    ) -> None:
+        idle = np.where(active, idle_lengths, 0.0)
+        timeouts = states.timeouts
+        shrink = active & (idle > states.break_even + timeouts)
+        grow = active & ~shrink & (idle < states.break_even)
+        timeouts[shrink] = np.maximum(self._min, timeouts[shrink] * self._shrink)
+        timeouts[grow] = np.minimum(self._max, timeouts[grow] * self._grow)
+
 
 class PredictiveShutdown(EventPolicy):
     """Hwang & Wu exponential-average idle-length predictor.
@@ -230,6 +287,41 @@ class PredictiveShutdown(EventPolicy):
     def prediction(self) -> float:
         """Current idle-length prediction."""
         return self._prediction
+
+    # -- lock-step cross-replication hooks ----------------------------- #
+
+    def make_step_state(
+        self, n: int, device: PowerStateMachine, wait_state: str
+    ) -> _PredictiveStepStates:
+        """R fresh predictors as one dense array (external to ``self``)."""
+        target = self._target or _deepest_profitable_state(device)
+        return _PredictiveStepStates(
+            predictions=np.full(n, self._initial_prediction),
+            target_idx=device.state_names.index(target),
+            break_even=device.break_even_time(target, device.initial_state),
+        )
+
+    def decide_step_batch(
+        self, states: _PredictiveStepStates, ctx: StepBatchContext
+    ) -> BatchIdleDecision:
+        sleep = states.predictions > states.break_even
+        return BatchIdleDecision(
+            target_idx=np.where(sleep, states.target_idx, -1).astype(np.int64),
+            timeouts=np.where(sleep, 0.0, NEVER),
+        )
+
+    def end_step_batch(
+        self,
+        states: _PredictiveStepStates,
+        idle_lengths: np.ndarray,
+        active: np.ndarray,
+    ) -> None:
+        idle = np.where(active, idle_lengths, 0.0)
+        states.predictions[:] = np.where(
+            active,
+            self._alpha * idle + (1.0 - self._alpha) * states.predictions,
+            states.predictions,
+        )
 
 
 class MultiLevelTimeout(EventPolicy):

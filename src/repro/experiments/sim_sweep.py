@@ -7,8 +7,8 @@ vectorized event-sim runtime opens up: the full
 replications per cell, so every comparison carries a bootstrap CI
 instead of a single-draw point estimate.  Cells fan across worker
 processes via :class:`~repro.runtime.SimSweepRunner`; stateless policies
-run on the busy-period kernel, the stateful adaptive/predictive arms
-fall back to the scalar event loop inside the same grid.
+run on the busy-period kernel and the stateful adaptive/predictive arms
+ride the lock-step cross-replication engine over each seed chunk.
 """
 
 from __future__ import annotations

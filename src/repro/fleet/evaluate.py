@@ -9,10 +9,12 @@ single-device engine, and fold the per-device reports into a
 Two engines, mirroring the repo's batched/scalar split:
 
 - ``engine="auto"`` — the production path.  Stateless routers partition
-  the trace with NumPy ops; every sub-trace then rides
-  :func:`~repro.runtime.eventsim.simulate_trace`, i.e. the vectorized
-  busy-period kernel for stateless policies with automatic scalar
-  fallback.
+  the trace with NumPy ops; the per-device sub-traces then ride
+  :func:`~repro.runtime.eventsim.simulate_traces_batch` — the
+  vectorized busy-period kernel per sub-trace for stateless policies,
+  the lock-step cross-replication engine over all N devices at once for
+  stateful batchable policies (adaptive, predictive), and the scalar
+  loop for everything else.
 - ``engine="scalar"`` — the reference dispatcher: the router's scalar
   assignment loop plus the scalar :class:`~repro.sim.DPMSimulator` event
   loop per device.  tests/test_fleet_sweep.py pins the two engines
@@ -22,7 +24,7 @@ Two engines, mirroring the repo's batched/scalar split:
 from __future__ import annotations
 
 from ..device import PowerStateMachine
-from ..runtime.eventsim import simulate_trace
+from ..runtime.eventsim import simulate_traces_batch
 from ..sim.policy_api import EventPolicy
 from ..sim.simulator import DPMSimulator
 from ..workload.trace import Trace
@@ -43,6 +45,7 @@ def run_fleet(
     oracle: bool = False,
     route_seed: int = 0,
     engine: str = "auto",
+    keep_latencies: bool = True,
 ) -> FleetReport:
     """Simulate ``n_devices`` replicas of ``device`` sharing ``trace``.
 
@@ -50,6 +53,11 @@ def run_fleet(
     reused sequentially; every engine resets it per run, identical to
     how sweep cells share policy instances).  Deterministic given
     ``(trace, route_seed)`` for either engine.
+
+    The fleet quantiles always merge the exact per-device completion
+    streams; ``keep_latencies=False`` drops the raw arrays from the
+    retained per-device reports *after* that merge (the fleet sweep
+    uses it so worker results pickle small).
     """
     if engine not in ENGINES:
         raise ValueError(f"engine must be one of {ENGINES}, got {engine!r}")
@@ -58,11 +66,10 @@ def run_fleet(
     )
     sub_traces = dispatcher.dispatch(trace, vectorized=engine == "auto")
     if engine == "auto":
-        reports = [
-            simulate_trace(device, policy, sub,
-                           service_time=service_time, oracle=oracle)
-            for sub in sub_traces
-        ]
+        reports = simulate_traces_batch(
+            device, policy, sub_traces,
+            service_time=service_time, oracle=oracle,
+        )
     else:
         reports = [
             DPMSimulator(device, policy,
@@ -74,4 +81,5 @@ def run_fleet(
         policy=policy.name,
         home_power=device.state(device.initial_state).power,
         reports=reports,
+        keep_latencies=keep_latencies,
     )

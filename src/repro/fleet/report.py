@@ -12,6 +12,7 @@ order statistics, not approximations from per-device summaries.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from typing import Dict, Sequence, Tuple
 
@@ -58,11 +59,16 @@ def build_fleet_report(
     policy: str,
     home_power: float,
     reports: Sequence[SimReport],
+    keep_latencies: bool = True,
 ) -> FleetReport:
     """Fold per-device reports into the fleet aggregate.
 
     ``home_power`` is the replicated device's serving-state power, the
     per-device always-on reference the fleet saving is measured against.
+    ``keep_latencies=False`` strips the raw per-request arrays from the
+    retained ``device_reports`` once the exact merged-stream quantiles
+    are computed — the fold is the last consumer, so sweep workers can
+    ship the aggregate back without R x n_requests floats in the pickle.
     """
     if not reports:
         raise ValueError("need at least one device report")
@@ -81,6 +87,8 @@ def build_fleet_report(
     for r in reports:
         for key, span in r.state_residency.items():
             residency[key] = residency.get(key, 0.0) + span
+    if not keep_latencies:
+        reports = [dataclasses.replace(r, latencies=()) for r in reports]
 
     return FleetReport(
         n_devices=n_devices,

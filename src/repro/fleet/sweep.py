@@ -15,18 +15,23 @@ identical for every ``(chunk_size, n_jobs)`` combination.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Sequence, Tuple
+from typing import Any, Dict, List, Sequence, Tuple
 
 import numpy as np
 
 from ..analysis.ascii_plot import format_table
 from ..analysis.bootstrap import CI, bootstrap_ci
 from ..device import get_preset
-from ..runtime.executor import get_executor
-from ..runtime.simsweep import PolicySpec, TraceSpec
-from .dispatch import ROUTERS, make_router
+from ..runtime.executor import get_executor, resolve_n_jobs
+from ..runtime.simsweep import PolicySpec, TraceSpec, estimate_request_seconds
+from .dispatch import ROUTERS, Router, make_router
 from .evaluate import run_fleet
 from .report import FleetReport
+
+#: rough wall seconds to route one request through a queue-aware router
+#: (jsq / power_aware run a per-request Python loop even on the auto
+#: engine; stateless routers partition in NumPy and cost ~nothing)
+SCALAR_ROUTE_SECONDS_PER_REQUEST = 2e-5
 
 #: offset decorrelating the routing stream from the trace-generation
 #: stream (both are realized from the replication seed)
@@ -116,6 +121,9 @@ class FleetSweepResult:
 
     spec: FleetSweepSpec
     cells: List[FleetCellResult] = field(default_factory=list)
+    #: how the runner executed the grid: requested vs effective job
+    #: count, the degrade decision, and the per-chunk work estimate
+    execution: Dict[str, Any] = field(default_factory=dict)
 
     def cell(self, n_devices: int, router: str, policy: str) -> FleetCellResult:
         """Look up one cell by its coordinates."""
@@ -160,7 +168,10 @@ def run_fleet_chunk(
 ) -> List[FleetReport]:
     """One (cell, seed-chunk) work unit — module-level and built from
     picklable values only, so the executor can ship it to a worker.
-    Each seed's fleet report is a pure function of the arguments."""
+    Each seed's fleet report is a pure function of the arguments; the
+    retained per-device reports are stripped of their raw latency
+    arrays (the merged-stream quantiles are already folded) so the
+    pickled results stay small."""
     device = get_preset(device_name)
     return [
         run_fleet(
@@ -168,6 +179,7 @@ def run_fleet_chunk(
             make_router(router_name), n_devices,
             service_time=service_time, oracle=policy_spec.oracle,
             route_seed=seed + ROUTE_SEED_OFFSET,
+            keep_latencies=False,
         )
         for seed in seeds
     ]
@@ -190,6 +202,30 @@ class FleetSweepRunner:
         self.chunk_size = int(chunk_size)
         self.n_jobs = int(n_jobs)
 
+    def estimate_chunk_seconds(self, spec: FleetSweepSpec) -> float:
+        """Mean estimated wall seconds of one (cell, seed-chunk) unit.
+
+        Same request-count x engine-cost heuristic as
+        :meth:`~repro.runtime.SimSweepRunner.estimate_chunk_seconds`,
+        plus the routing cost: queue-aware routers (no ``route_batch``
+        override) walk every request in Python, which dominates the
+        batched simulation engines.  The shared arrival stream's
+        request count is fleet-wide, so the per-chunk work does not
+        grow with the fleet-size axis.
+        """
+        chunk = min(self.chunk_size, spec.n_traces)
+        requests = spec.trace.dist.rate() * spec.trace.duration
+        per_route = [
+            chunk * requests * SCALAR_ROUTE_SECONDS_PER_REQUEST
+            if ROUTERS[name].route_batch is Router.route_batch else 0.0
+            for name in spec.routers
+        ]
+        per_policy = [
+            estimate_request_seconds(p.policy, chunk * requests)
+            for p in spec.policies
+        ]
+        return float(np.mean(per_route) + np.mean(per_policy))
+
     def run(self, spec: FleetSweepSpec) -> FleetSweepResult:
         """Run the full grid; deterministic for any (chunk_size, n_jobs)."""
         seeds = spec.seeds()
@@ -210,9 +246,16 @@ class FleetSweepRunner:
                             (spec.device, int(n_devices), router_name,
                              policy_spec, spec.trace, spec.service_time, chunk)
                         )
-        chunk_reports = get_executor(self.n_jobs).map(run_fleet_chunk, tasks)
+        est = self.estimate_chunk_seconds(spec)
+        n_jobs, decision = resolve_n_jobs(self.n_jobs, est, len(tasks))
+        chunk_reports = get_executor(n_jobs).map(run_fleet_chunk, tasks)
 
-        result = FleetSweepResult(spec=spec)
+        result = FleetSweepResult(spec=spec, execution={
+            "n_jobs_requested": self.n_jobs,
+            "n_jobs_effective": n_jobs,
+            "decision": decision,
+            "estimated_chunk_seconds": est,
+        })
         per_cell = len(chunks)
         for c, (n_devices, router_name, policy_label) in enumerate(cell_keys):
             reports: List[FleetReport] = []

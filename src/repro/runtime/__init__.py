@@ -21,14 +21,25 @@ array ops and shards the resulting work units across processes:
 - :mod:`~repro.runtime.eventsim` — vectorized busy-period kernel for
   the continuous-time event simulator (:func:`simulate_trace` runs
   stateless policies as NumPy array ops over all idle gaps at once,
-  scalar fallback otherwise);
+  scalar fallback otherwise), plus the lock-step cross-replication
+  engine for stateful policies (:func:`simulate_traces_batch` advances
+  R replication runs one idle gap per step with dense per-replica
+  policy state);
 - :class:`SimSweepRunner` — (device x trace x policy) event-sim cell
-  grids fanned across the executor with bootstrap-CI aggregation.
+  grids fanned across the executor with bootstrap-CI aggregation,
+  degrading to in-process execution when pool dispatch cannot pay for
+  itself (:func:`resolve_n_jobs`).
 """
 
 from .batched_env import BatchedEnvTotals, BatchedSlottedEnv, BatchStepInfo
 from .batched_qdpm import BatchedQDPM, BatchRunHistory
-from .eventsim import run_vectorized, simulate_trace
+from .eventsim import (
+    policy_batch_mode,
+    run_step_batched,
+    run_vectorized,
+    simulate_trace,
+    simulate_traces_batch,
+)
 from .executor import (
     AsyncTasks,
     Executor,
@@ -36,6 +47,7 @@ from .executor import (
     SerialExecutor,
     get_executor,
     is_picklable,
+    resolve_n_jobs,
 )
 from .grid import GridCell, GridCellResult, GridResult, GridRunner, GridSpec
 from .simsweep import (
@@ -73,6 +85,10 @@ __all__ = [
     "GridRunner",
     "run_vectorized",
     "simulate_trace",
+    "simulate_traces_batch",
+    "run_step_batched",
+    "policy_batch_mode",
+    "resolve_n_jobs",
     "TraceSpec",
     "PolicySpec",
     "SimSweepSpec",

@@ -34,17 +34,33 @@ when the policy and device qualify and falls back to the scalar
 :class:`~repro.sim.DPMSimulator` automatically (stateful policies such as
 the adaptive and predictive baselines, non-free wait-state parking,
 or exotic decision targets).
+
+Stateful policies cannot use the all-gaps-at-once kernel — each gap's
+decision depends on the realized idle history — but sweep cells always
+run R seeded *replications* of the same (device, policy) pair, and the
+replication axis is embarrassingly parallel.  :func:`run_step_batched`
+therefore batches *across replications*: R traces are padded into
+``(R, n)`` arrays, every replica advances one idle gap per lock-step
+round, and per-replica policy state lives in dense arrays via the
+:meth:`~repro.sim.policy_api.EventPolicy.decide_step_batch` /
+``end_step_batch`` hooks.  Completions still resolve with busy-period
+array ops: the zero-wake (pure) busy-period structure is precomputed
+once, each realized busy period is the pure one shifted by the opener's
+wake delay (``completion = max(pure, shift + cum_demand)``), and a gap
+swallowed by a wake delay merges its pure period into the running one.
+:func:`simulate_traces_batch` is the many-trace entry point that picks
+this engine, the per-trace kernel, or the scalar loop automatically.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..device import PowerStateMachine
-from ..sim.policy_api import BatchIdleContext, EventPolicy
+from ..sim.policy_api import BatchIdleContext, EventPolicy, StepBatchContext
 from ..sim.simulator import DPMSimulator, default_wait_state, resolve_demands
 from ..sim.stats import SimReport, compile_report
 from ..workload.trace import Trace
@@ -119,6 +135,42 @@ def _target_costs(
     )
 
 
+def _fold_target_costs(
+    residency: Dict[str, float],
+    total_energy: float,
+    tc: _TargetCosts,
+    n_down: int,
+    n_up: int,
+    span: float,
+    home: str,
+    wait: str,
+) -> float:
+    """Fold one shutdown target's residency span and transition costs
+    into a run's accounting; returns the updated energy total.
+
+    Shared by the all-gaps kernel and the lock-step engine so the two
+    cannot drift in how transition labels and energies are derived
+    (mirroring what :func:`~repro.sim.stats.compile_report` does for the
+    summary metrics).
+    """
+    residency[tc.name] = residency.get(tc.name, 0.0) + span
+    total_energy += tc.power * span
+    if tc.down_latency > 0:
+        label = f"{wait}->{tc.name}"
+        residency[label] = residency.get(label, 0.0) + n_down * tc.down_latency
+        total_energy += tc.down_mean_power * tc.down_latency * n_down
+    else:
+        total_energy += tc.down_energy * n_down
+    if n_up:
+        if tc.up_latency > 0:
+            label = f"{tc.name}->{home}"
+            residency[label] = residency.get(label, 0.0) + n_up * tc.up_latency
+            total_energy += tc.up_mean_power * tc.up_latency * n_up
+        else:
+            total_energy += tc.up_energy * n_up
+    return total_energy
+
+
 def run_vectorized(
     device: PowerStateMachine,
     policy: EventPolicy,
@@ -126,6 +178,7 @@ def run_vectorized(
     service_time: float = 0.5,
     wait_state: Optional[str] = None,
     oracle: bool = False,
+    keep_latencies: bool = True,
 ) -> Optional[SimReport]:
     """Run the busy-period kernel; None when the run does not qualify.
 
@@ -289,21 +342,9 @@ def run_vectorized(
             continue
         n_up = n_down - (1 if (final_shutdown and final_target == idx) else 0)
         span = float(target_spans[sel_shut].sum())
-        residency[tc.name] = residency.get(tc.name, 0.0) + span
-        total_energy += tc.power * span
-        if tc.down_latency > 0:
-            label = f"{wait}->{tc.name}"
-            residency[label] = residency.get(label, 0.0) + n_down * tc.down_latency
-            total_energy += tc.down_mean_power * tc.down_latency * n_down
-        else:
-            total_energy += tc.down_energy * n_down
-        if n_up:
-            if tc.up_latency > 0:
-                label = f"{tc.name}->{home}"
-                residency[label] = residency.get(label, 0.0) + n_up * tc.up_latency
-                total_energy += tc.up_mean_power * tc.up_latency * n_up
-            else:
-                total_energy += tc.up_energy * n_up
+        total_energy = _fold_target_costs(
+            residency, total_energy, tc, n_down, n_up, span, home, wait
+        )
 
     return compile_report(
         home_power=home_power,
@@ -314,6 +355,7 @@ def run_vectorized(
         n_shutdowns=n_shutdowns,
         n_wrong_shutdowns=n_wrong,
         state_residency=residency,
+        keep_latencies=keep_latencies,
     )
 
 
@@ -324,6 +366,7 @@ def simulate_trace(
     service_time: float = 0.5,
     wait_state: Optional[str] = None,
     oracle: bool = False,
+    keep_latencies: bool = True,
 ) -> SimReport:
     """One device + one trace + one policy, on the fastest valid engine.
 
@@ -336,10 +379,381 @@ def simulate_trace(
     report = run_vectorized(
         device, policy, trace,
         service_time=service_time, wait_state=wait_state, oracle=oracle,
+        keep_latencies=keep_latencies,
     )
     if report is not None:
         return report
     return DPMSimulator(
         device, policy,
         service_time=service_time, wait_state=wait_state, oracle=oracle,
+        keep_latencies=keep_latencies,
     ).run(trace)
+
+
+def policy_batch_mode(policy: EventPolicy) -> str:
+    """Which fast path a policy family can ride, by hook introspection.
+
+    - ``"gap"`` — overrides :meth:`~repro.sim.policy_api.EventPolicy.
+      decide_batch`: stateless, all gaps of one trace at once.
+    - ``"step"`` — overrides ``make_step_state``: stateful but
+      batchable across replications in lock-step.
+    - ``"scalar"`` — neither hook: only the scalar event loop.
+
+    Advisory (the engines still verify at run time and fall back); used
+    by the sweep runners to estimate per-chunk work.
+    """
+    cls = type(policy)
+    if cls.decide_batch is not EventPolicy.decide_batch:
+        return "gap"
+    if cls.make_step_state is not EventPolicy.make_step_state:
+        return "step"
+    return "scalar"
+
+
+def run_step_batched(
+    device: PowerStateMachine,
+    policy: EventPolicy,
+    traces: Sequence[Trace],
+    service_time: float = 0.5,
+    wait_state: Optional[str] = None,
+    oracle: bool = False,
+    keep_latencies: bool = True,
+) -> Optional[List[SimReport]]:
+    """Lock-step engine for R replications of one stateful policy.
+
+    None when the run does not qualify (policy without step hooks, a
+    costly wait-state park, or decisions outside the modeled shapes) —
+    the caller then uses per-trace :func:`simulate_trace`.  Each
+    replica's report is a pure function of its own trace, so results
+    are independent of which traces share the batch (the chunking-
+    invariance guarantee the sweep runners rely on, mirroring
+    ``BatchedQDPM``).
+
+    The busy-period trick per lock-step round: with zero wake delays a
+    trace's busy periods are fixed ("pure" structure, one prefix-max
+    pass up front).  A realized busy period opening at request ``p``
+    with service start ``s`` has completions
+    ``max(pure_completion, s - cum_demand[p-1] + cum_demand)``; only the
+    opener's shift can differ from the pure one (wake delays apply to
+    gap openers alone), and a delayed completion that swallows the next
+    pure gap simply merges that pure period under a new shift.  Realized
+    gap openers are always pure openers (delays only push completions
+    later), so per-replica state is just (next pure period, previous
+    completion, policy state) and every round is O(R) array work.
+    """
+    if service_time <= 0:
+        raise ValueError(f"service_time must be > 0, got {service_time}")
+    home = device.initial_state
+    wait = wait_state if wait_state is not None else default_wait_state(device)
+    device.state(wait)  # existence check
+    traces = list(traces)
+    n_reps = len(traces)
+    if n_reps == 0:
+        return []
+    if not _wait_parking_is_free(device, home, wait):
+        return None
+    states = policy.make_step_state(n_reps, device, wait)
+    if states is None:
+        return None
+
+    # ---- padded per-replica trace arrays ------------------------------ #
+    n_arr = np.array([len(t) for t in traces], dtype=np.int64)
+    n_max = max(int(n_arr.max()), 1)
+    durations = np.array([float(t.duration) for t in traces])
+    arrivals = np.full((n_reps, n_max), np.inf)
+    demands = np.zeros((n_reps, n_max))
+    for r, t in enumerate(traces):
+        if len(t):
+            arrivals[r, : len(t)] = t.arrival_times
+            demands[r, : len(t)] = resolve_demands(t, service_time)
+    cum = np.cumsum(demands, axis=1)          # demand through request j
+    cum_before = cum - demands                # demand before request j
+    cols = np.arange(n_max)
+    valid = cols[None, :] < n_arr[:, None]
+    # one sentinel column so "position n_arr" gathers are always in
+    # bounds without per-round index clamping
+    arrivals_s = np.concatenate(
+        (arrivals, np.full((n_reps, 1), np.inf)), axis=1
+    )
+    cum_before_s = np.concatenate(
+        (cum_before, np.zeros((n_reps, 1))), axis=1
+    )
+
+    # ---- pure (zero-wake) busy-period structure ----------------------- #
+    terms = np.where(valid, arrivals - cum_before, -np.inf)
+    floor0 = np.maximum.accumulate(terms, axis=1)
+    pure = floor0 + cum                       # pure completions
+    opens0 = np.zeros((n_reps, n_max), dtype=bool)
+    opens0[:, 0] = valid[:, 0]
+    if n_max > 1:
+        opens0[:, 1:] = valid[:, 1:] & (arrivals[:, 1:] > pure[:, :-1])
+    open_rows, open_cols = np.nonzero(opens0)
+    n_periods = np.bincount(open_rows, minlength=n_reps)
+    k_max = int(n_periods.max()) if n_reps else 0
+    # starts[r, k] = opening request of pure period k; the sentinel at
+    # starts[r, n_periods[r]] makes "end of period k" = starts[r, k+1]-1
+    # uniform for the last period too
+    starts = np.zeros((n_reps, k_max + 1), dtype=np.int64)
+    first_of_row = np.concatenate(([0], np.cumsum(n_periods)[:-1]))
+    within = np.arange(open_rows.size) - np.repeat(first_of_row, n_periods)
+    starts[open_rows, within] = open_cols
+    starts[np.arange(n_reps), n_periods] = n_arr
+
+    # ---- per-replica run state + accumulators ------------------------- #
+    rows = np.arange(n_reps)
+    k = np.zeros(n_reps, dtype=np.int64)      # next pure period to realize
+    prev_done = np.zeros(n_reps)              # completion of previous period
+    done = np.zeros(n_reps, dtype=bool)
+    shift_at = np.full((n_reps, n_max), np.nan)
+
+    wait_total = np.zeros(n_reps)
+    n_shutdowns = np.zeros(n_reps, dtype=np.int64)
+    n_wrong = np.zeros(n_reps, dtype=np.int64)
+    end_times = np.zeros(n_reps)
+    final_target = np.full(n_reps, -1, dtype=np.int64)
+    final_shutdown = np.zeros(n_reps, dtype=bool)
+    span_by_target: Dict[int, np.ndarray] = {}
+    ndown_by_target: Dict[int, np.ndarray] = {}
+    idle_rounds: List[Tuple[np.ndarray, np.ndarray]] = []
+    costs: Dict[int, _TargetCosts] = {}
+    # dense per-target-state transition constants (gathered per round;
+    # filled lazily as decisions reveal which targets the policy uses)
+    n_states = len(device.state_names)
+    tbl_down_lat = np.zeros(n_states)
+    tbl_up_lat = np.zeros(n_states)
+    tbl_break_even = np.zeros(n_states)
+    known_target = np.zeros(n_states, dtype=bool)
+
+    # ---- lock-step rounds: one idle gap per replica ------------------- #
+    # invariant: k <= n_periods, and starts[r, k] <= n_arr[r] (sentinel),
+    # so every gather below is in bounds without clamping
+    while True:
+        mid = ~done & (k < n_periods)         # a mid-trace gap opens now
+        trail = ~done & ~mid                  # the trailing gap opens now
+        active = mid | trail
+        if not active.any():
+            break
+        pos = starts[rows, k]
+        gap_start = prev_done
+        gap_end = np.where(mid, arrivals_s[rows, pos], np.nan)
+        if oracle:
+            next_arrivals = np.where(mid, gap_end, np.nan)
+        else:
+            next_arrivals = np.full(n_reps, np.nan)
+        decision = policy.decide_step_batch(
+            states,
+            StepBatchContext(
+                gap_starts=gap_start,
+                next_arrivals=next_arrivals,
+                active=active,
+                device=device,
+                wait_state=wait,
+            ),
+        )
+        if decision is None:
+            return None
+        timeouts = np.asarray(decision.timeouts, dtype=float)
+        target_idx = np.asarray(decision.target_idx, dtype=np.int64)
+        if timeouts.shape != (n_reps,) or target_idx.shape != (n_reps,):
+            return None
+        if (timeouts[active] < 0).any():
+            return None
+        targeted = target_idx[active & (target_idx >= 0)]
+        if targeted.size and (targeted >= n_states).any():
+            return None
+        if targeted.size and not known_target[targeted].all():
+            for idx in np.unique(targeted):
+                idx = int(idx)
+                if idx not in costs:
+                    tc = _target_costs(device, home, wait, idx)
+                    if tc is None:
+                        return None
+                    costs[idx] = tc
+                    span_by_target[idx] = np.zeros(n_reps)
+                    ndown_by_target[idx] = np.zeros(n_reps, dtype=np.int64)
+                    tbl_down_lat[idx] = tc.down_latency
+                    tbl_up_lat[idx] = tc.up_latency
+                    tbl_break_even[idx] = tc.break_even
+                    known_target[idx] = True
+
+        # target -1 wraps to the last state's constants: harmless, every
+        # consumer below is masked on target_idx >= 0
+        safe_target = target_idx % n_states
+        down_lat = tbl_down_lat[safe_target]
+        up_lat = tbl_up_lat[safe_target]
+        break_even = tbl_break_even[safe_target]
+
+        # shutdown rule, identical to the all-gaps kernel: zero timeouts
+        # execute inline (no horizon check); positive ones fire strictly
+        # before the gap-ending arrival (mid) / the window end (trailing)
+        rule_end = np.where(mid, gap_end, durations)
+        with np.errstate(invalid="ignore"):
+            fires = np.isfinite(timeouts) & (gap_start + timeouts < rule_end)
+        shutdown = active & (target_idx >= 0) & ((timeouts == 0.0) | fires)
+        shutdown_time = gap_start + timeouts
+        down_done = shutdown_time + down_lat
+        n_shutdowns += shutdown
+        with np.errstate(invalid="ignore"):
+            wrong = shutdown & mid & (gap_end - shutdown_time < break_even)
+        n_wrong += wrong
+
+        # trailing-gap end time: the window, stretched by a final service
+        # completion past it and by a trailing down transition in flight
+        trail_end = np.maximum(durations, prev_done)
+        stretch = shutdown & (down_lat > 0)
+        trail_end = np.where(stretch, np.maximum(trail_end, down_done), trail_end)
+
+        with np.errstate(invalid="ignore"):
+            idle_len = np.where(mid, gap_end - gap_start, trail_end - gap_start)
+            wait_span = np.where(
+                shutdown, timeouts,
+                np.where(mid, gap_end, trail_end) - gap_start,
+            )
+            span_mid = np.maximum(0.0, gap_end - down_done)
+        span = np.where(mid, span_mid, trail_end - down_done)
+        wait_total += np.where(active, wait_span, 0.0)
+        for idx in costs:
+            sel = shutdown & (target_idx == idx)
+            span_by_target[idx] += np.where(sel, span, 0.0)
+            ndown_by_target[idx] += sel
+        idle_rounds.append((idle_len, active))
+        policy.end_step_batch(states, idle_len, active)
+
+        # trailing replicas are finished after their gap resolves
+        final_target[trail] = target_idx[trail]
+        final_shutdown[trail] = shutdown[trail]
+        end_times[trail] = trail_end[trail]
+        done |= trail
+
+        if not mid.any():
+            continue
+
+        # ---- advance mid replicas one realized busy period ------------ #
+        # the opener starts service after any in-flight down transition
+        # completes and the device wakes
+        service_start = np.where(
+            shutdown, np.maximum(gap_end, down_done) + up_lat, gap_end
+        )
+        shift = service_start - cum_before_s[rows, pos]
+        shift_at[rows[mid], pos[mid]] = shift[mid]
+        k_next = np.where(mid, k + 1, k)
+        # end of the running period; -1 for non-mid rows wraps to the
+        # last column — garbage that every consumer masks out
+        end_idx = starts[rows, k_next] - 1
+        completion = np.maximum(pure[rows, end_idx], shift + cum[rows, end_idx])
+        # wake delays can swallow the next pure gap: merge its period
+        # under the running completion's shift (rare — delays seldom
+        # reach the next arrival)
+        next_pos = starts[rows, k_next]
+        next_arr = np.where(
+            mid & (k_next < n_periods), arrivals_s[rows, next_pos], np.inf
+        )
+        merge = next_arr <= completion
+        while merge.any():
+            shift = np.where(
+                merge, completion - cum_before_s[rows, next_pos], shift
+            )
+            shift_at[rows[merge], next_pos[merge]] = shift[merge]
+            k_next = np.where(merge, k_next + 1, k_next)
+            end_idx = starts[rows, k_next] - 1
+            merged_done = np.maximum(
+                pure[rows, end_idx], shift + cum[rows, end_idx]
+            )
+            completion = np.where(merge, merged_done, completion)
+            next_pos = starts[rows, k_next]
+            next_arr = np.where(
+                merge & (k_next < n_periods), arrivals_s[rows, next_pos], np.inf
+            )
+            merge = merge & (next_arr <= completion)
+        prev_done = np.where(mid, completion, prev_done)
+        k = k_next
+
+    # ---- realized completions and latencies --------------------------- #
+    # every consumed pure-period start recorded its shift; forward-fill
+    # gives each request the shift of the realized busy period covering it
+    recorded = ~np.isnan(shift_at)
+    ffill_idx = np.maximum.accumulate(np.where(recorded, cols[None, :], 0), axis=1)
+    shift_full = shift_at[rows[:, None], ffill_idx]
+    with np.errstate(invalid="ignore"):
+        completions = np.maximum(pure, shift_full + cum)
+        latencies = completions - arrivals
+
+    # (round, replica) idle-length matrix -> per-replica chronological runs
+    idle_mat = np.array([lengths for lengths, _ in idle_rounds])
+    idle_mask = np.array([mask for _, mask in idle_rounds])
+
+    # ---- per-replica accounting (mirrors run_vectorized) -------------- #
+    home_power = device.state(home).power
+    wait_power = device.state(wait).power
+    reports: List[SimReport] = []
+    for r in range(n_reps):
+        n_r = int(n_arr[r])
+        busy_time = float(demands[r, :n_r].sum())
+        residency: Dict[str, float] = {home: busy_time}
+        if wait != home:
+            residency[wait] = float(wait_total[r])
+        else:
+            residency[home] += float(wait_total[r])
+        total_energy = home_power * busy_time + wait_power * float(wait_total[r])
+        for idx, tc in costs.items():
+            n_down = int(ndown_by_target[idx][r])
+            if n_down == 0:
+                continue
+            is_final = bool(final_shutdown[r]) and int(final_target[r]) == idx
+            n_up = n_down - (1 if is_final else 0)
+            span = float(span_by_target[idx][r])
+            total_energy = _fold_target_costs(
+                residency, total_energy, tc, n_down, n_up, span, home, wait
+            )
+        reports.append(
+            compile_report(
+                home_power=home_power,
+                end_time=float(end_times[r]),
+                total_energy=total_energy,
+                latencies=latencies[r, :n_r],
+                idle_lengths=idle_mat[idle_mask[:, r], r],
+                n_shutdowns=int(n_shutdowns[r]),
+                n_wrong_shutdowns=int(n_wrong[r]),
+                state_residency=residency,
+                keep_latencies=keep_latencies,
+            )
+        )
+    return reports
+
+
+def simulate_traces_batch(
+    device: PowerStateMachine,
+    policy: EventPolicy,
+    traces: Sequence[Trace],
+    service_time: float = 0.5,
+    wait_state: Optional[str] = None,
+    oracle: bool = False,
+    keep_latencies: bool = True,
+) -> List[SimReport]:
+    """R replications of one (device, policy) cell, fastest valid engine.
+
+    Stateful-batchable policies (step hooks) ride the lock-step engine
+    across the replication axis; everything else degrades to per-trace
+    :func:`simulate_trace` — the busy-period kernel for stateless
+    policies, the scalar event loop for policies with neither batch
+    hook.  Reports are returned in trace order and each is a pure
+    function of its own trace (batch composition never matters).
+    """
+    traces = list(traces)
+    if not traces:
+        return []
+    reports = run_step_batched(
+        device, policy, traces,
+        service_time=service_time, wait_state=wait_state, oracle=oracle,
+        keep_latencies=keep_latencies,
+    )
+    if reports is not None:
+        return reports
+    return [
+        simulate_trace(
+            device, policy, trace,
+            service_time=service_time, wait_state=wait_state, oracle=oracle,
+            keep_latencies=keep_latencies,
+        )
+        for trace in traces
+    ]

@@ -23,6 +23,7 @@ instead of crashing the pool.
 
 from __future__ import annotations
 
+import os
 import pickle
 from multiprocessing import get_context
 from typing import Any, Callable, List, Optional, Sequence, Tuple, Union
@@ -170,6 +171,60 @@ class MultiprocessExecutor:
 
 #: Executors accepted wherever an ``n_jobs`` knob is exposed.
 Executor = Union[SerialExecutor, MultiprocessExecutor]
+
+#: estimated per-chunk wall seconds below which shipping a work unit to a
+#: process pool costs more than it buys (pool spin-up alone is ~0.1-0.3s;
+#: BENCH_{sim,fleet}.json showed 2-job sweeps of tiny chunks *slower*
+#: than serial, 0.62-0.99x)
+MIN_CHUNK_SECONDS = 0.05
+
+#: wall seconds a pool must save over serial execution to justify its
+#: spin-up — many small chunks may still clear this bar together
+MIN_POOL_SAVING_SECONDS = 0.3
+
+
+def _host_cpu_count() -> int:
+    """CPU count of this host (monkeypatchable seam for tests)."""
+    return os.cpu_count() or 1
+
+
+def resolve_n_jobs(
+    n_jobs: int,
+    est_chunk_seconds: Optional[float] = None,
+    n_tasks: Optional[int] = None,
+    min_chunk_seconds: float = MIN_CHUNK_SECONDS,
+) -> Tuple[int, str]:
+    """Degrade a requested ``n_jobs`` when a pool cannot pay for itself.
+
+    Extends the ``submit_all`` short-circuit (fewer than two tasks / one
+    worker) to whole sweeps: multiprocess dispatch is kept only when the
+    host actually has more than one core *and* the estimated work is
+    large enough to amortize pool spin-up and result pickling.  With
+    ``n_tasks`` given, the test is the aggregate saving at ``n_jobs``
+    workers clearing the spin-up cost (so a sweep of many small chunks
+    still parallelizes, while a handful of medium ones does not);
+    without it, the per-chunk estimate against ``min_chunk_seconds``.
+
+    Returns ``(effective_n_jobs, decision)`` where ``decision`` is one
+    of ``"serial_requested"``, ``"single_core_host"``,
+    ``"small_chunks"``, or ``"parallel"`` — the sweep runners record it
+    in their result metadata so a degraded run is visible, not silent.
+    """
+    if n_jobs <= 1:
+        return 1, "serial_requested"
+    if _host_cpu_count() <= 1:
+        return 1, "single_core_host"
+    if est_chunk_seconds is not None:
+        if n_tasks is not None:
+            # n_tasks chunks across min(n_jobs, n_tasks) workers still
+            # take ceil(n_tasks / n_jobs) rounds on the critical path
+            rounds = -(-n_tasks // n_jobs)
+            saving = est_chunk_seconds * (n_tasks - rounds)
+            if saving < MIN_POOL_SAVING_SECONDS:
+                return 1, "small_chunks"
+        elif est_chunk_seconds < min_chunk_seconds:
+            return 1, "small_chunks"
+    return int(n_jobs), "parallel"
 
 
 def get_executor(n_jobs: int = 1) -> Executor:

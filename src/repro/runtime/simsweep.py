@@ -11,15 +11,23 @@ the worker* from ``(distribution, duration, seed)`` recipes rather than
 shipped as arrays — so per-seed reports are identical for every
 ``(chunk_size, n_jobs)`` combination.
 
-Cells route through :func:`~repro.runtime.eventsim.simulate_trace`, so
-stateless policies ride the vectorized busy-period kernel and stateful
-ones (adaptive, predictive) transparently use the scalar event loop.
+Cells route through
+:func:`~repro.runtime.eventsim.simulate_traces_batch`, so stateless
+policies ride the vectorized busy-period kernel per trace, stateful
+batchable ones (adaptive, predictive) ride the lock-step
+cross-replication engine over the whole seed chunk, and policies with
+neither batch hook transparently use the scalar event loop.
+
+Chunks are shipped to worker processes only when that pays: on a
+single-core host, or when the estimated per-chunk work is too small to
+amortize pool spin-up, the runner degrades to in-process execution and
+records the decision in :attr:`SimSweepResult.execution`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from typing import Any, Dict, List, Sequence, Tuple
 
 import numpy as np
 
@@ -30,8 +38,23 @@ from ..sim.policy_api import EventPolicy
 from ..sim.stats import SimReport
 from ..workload.arrivals import InterArrival
 from ..workload.generator import renewal_trace
-from .eventsim import simulate_trace
-from .executor import get_executor
+from .eventsim import policy_batch_mode, simulate_traces_batch
+from .executor import get_executor, resolve_n_jobs
+
+#: rough wall seconds to simulate one request, by engine family
+#: (reference-container numbers from BENCH_sim.json: the busy-period /
+#: lock-step kernels sustain >= 1M requests/sec, the scalar event loop
+#: ~2.3k) — deliberately coarse, only used to decide whether a chunk is
+#: worth shipping to a worker process
+FAST_SECONDS_PER_REQUEST = 2e-6
+SCALAR_SECONDS_PER_REQUEST = 5e-4
+
+
+def estimate_request_seconds(policy: EventPolicy, n_requests: float) -> float:
+    """Estimated wall seconds to simulate ``n_requests`` under ``policy``."""
+    if policy_batch_mode(policy) == "scalar":
+        return n_requests * SCALAR_SECONDS_PER_REQUEST
+    return n_requests * FAST_SECONDS_PER_REQUEST
 
 
 @dataclass(frozen=True)
@@ -128,6 +151,9 @@ class SimSweepResult:
 
     spec: SimSweepSpec
     cells: List[SimCellResult] = field(default_factory=list)
+    #: how the runner executed the grid: requested vs effective job
+    #: count, the degrade decision, and the per-chunk work estimate
+    execution: Dict[str, Any] = field(default_factory=dict)
 
     def cell(self, device: str, trace: str, policy: str) -> SimCellResult:
         """Look up one cell by its labels."""
@@ -167,15 +193,17 @@ def run_sim_chunk(
 ) -> List[SimReport]:
     """One (cell, seed-chunk) work unit — module-level and built from
     picklable values only, so the executor can ship it to a worker.
-    Each seed's report is a pure function of the arguments."""
+    Each seed's report is a pure function of the arguments (the batched
+    engines are chunking-invariant), and per-request latency arrays are
+    dropped before pickling back — the sweep aggregates summary fields
+    only."""
     device = get_preset(device_name)
-    return [
-        simulate_trace(
-            device, policy_spec.policy, trace_spec.realize(seed),
-            service_time=service_time, oracle=policy_spec.oracle,
-        )
-        for seed in seeds
-    ]
+    return simulate_traces_batch(
+        device, policy_spec.policy,
+        [trace_spec.realize(seed) for seed in seeds],
+        service_time=service_time, oracle=policy_spec.oracle,
+        keep_latencies=False,
+    )
 
 
 class SimSweepRunner:
@@ -196,6 +224,24 @@ class SimSweepRunner:
         self.chunk_size = int(chunk_size)
         self.n_jobs = int(n_jobs)
 
+    def estimate_chunk_seconds(self, spec: SimSweepSpec) -> float:
+        """Mean estimated wall seconds of one (cell, seed-chunk) unit.
+
+        Expected request count per replication comes from each trace
+        family's rate x duration (0 for infinite-mean heavy tails —
+        treated as too small to ship, which errs toward serial); the
+        per-request cost depends on which engine the policy rides.
+        """
+        chunk = min(self.chunk_size, spec.n_traces)
+        requests = float(
+            np.mean([t.dist.rate() * t.duration for t in spec.traces])
+        )
+        per_policy = [
+            estimate_request_seconds(p.policy, chunk * requests)
+            for p in spec.policies
+        ]
+        return float(np.mean(per_policy))
+
     def run(self, spec: SimSweepSpec) -> SimSweepResult:
         """Run the full grid; deterministic for any (chunk_size, n_jobs)."""
         seeds = spec.seeds()
@@ -214,9 +260,16 @@ class SimSweepRunner:
                             (device, policy_spec, trace_spec,
                              spec.service_time, chunk)
                         )
-        chunk_reports = get_executor(self.n_jobs).map(run_sim_chunk, tasks)
+        est = self.estimate_chunk_seconds(spec)
+        n_jobs, decision = resolve_n_jobs(self.n_jobs, est, len(tasks))
+        chunk_reports = get_executor(n_jobs).map(run_sim_chunk, tasks)
 
-        result = SimSweepResult(spec=spec)
+        result = SimSweepResult(spec=spec, execution={
+            "n_jobs_requested": self.n_jobs,
+            "n_jobs_effective": n_jobs,
+            "decision": decision,
+            "estimated_chunk_seconds": est,
+        })
         per_cell = len(chunks)
         for c, (device, trace_name, policy_label) in enumerate(cell_keys):
             reports: List[SimReport] = []

@@ -8,6 +8,7 @@ from .policy_api import (
     EventPolicy,
     IdleContext,
     IdleDecision,
+    StepBatchContext,
 )
 from .simulator import DPMSimulator, default_wait_state, resolve_demands
 from .stats import EnergyMeter, IdleTracker, LatencyTracker, SimReport, compile_report
@@ -24,6 +25,7 @@ __all__ = [
     "IdleDecision",
     "BatchIdleContext",
     "BatchIdleDecision",
+    "StepBatchContext",
     "NEVER",
     "DPMSimulator",
     "default_wait_state",

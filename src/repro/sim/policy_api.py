@@ -99,6 +99,40 @@ class BatchIdleDecision:
     timeouts: np.ndarray
 
 
+@dataclass(frozen=True)
+class StepBatchContext:
+    """One idle gap *per replica*, handed to a stateful policy in lock-step.
+
+    The lock-step batched engine (:func:`~repro.runtime.eventsim.
+    run_step_batched`) advances R independent replication runs one idle
+    gap per step.  Where :class:`BatchIdleContext` lays out all gaps of
+    *one* run, this context lays out the *current* gap of R runs — the
+    axis along which stateful policies (whose decisions depend on the
+    realized idle history) can still vectorize, because the replicas
+    never interact.
+
+    Attributes
+    ----------
+    gap_starts:
+        Idle-start time of the gap opening now, one entry per replica.
+    next_arrivals:
+        Arrival time ending each replica's gap; ``nan`` where the policy
+        must stay causal (non-oracle runs) and for trailing gaps.
+    active:
+        Boolean mask of replicas that actually have a gap this step;
+        entries where it is False carry stale values and the returned
+        decisions for them are ignored.
+    device, wait_state:
+        As in :class:`IdleContext` (replicas share one device model).
+    """
+
+    gap_starts: np.ndarray
+    next_arrivals: np.ndarray
+    active: np.ndarray
+    device: PowerStateMachine
+    wait_state: str
+
+
 class EventPolicy(ABC):
     """Idle-period power-management policy."""
 
@@ -126,3 +160,47 @@ class EventPolicy(ABC):
         the scalar event loop.
         """
         return None
+
+    # -- lock-step cross-replication hooks (stateful-batchable policies) --- #
+
+    def make_step_state(
+        self, n: int, device: PowerStateMachine, wait_state: str
+    ) -> Optional[object]:
+        """Fresh dense per-replica state for ``n`` lock-step replicas.
+
+        Opt-in hook for *stateful* policies whose decision and feedback
+        rules vectorize across independent replications: return an
+        object holding the policy's learned state as ``(n,)`` arrays —
+        the batched equivalent of ``n`` :meth:`reset` instances.  The
+        engine threads it through :meth:`decide_step_batch` and
+        :meth:`end_step_batch`; it must be fully external to ``self``
+        so an abandoned batched run never contaminates the instance the
+        scalar fallback then uses.  Returning None (the default) means
+        the policy does not support lock-step batching.
+        """
+        return None
+
+    def decide_step_batch(
+        self, states: object, ctx: StepBatchContext
+    ) -> Optional[BatchIdleDecision]:
+        """Decisions for the idle gap opening now in every replica.
+
+        Called once per lock-step round with the state object from
+        :meth:`make_step_state`; entry ``i`` of the returned arrays must
+        equal what :meth:`on_idle` would decide for replica ``i`` given
+        its realized idle history.  Only consulted when
+        :meth:`make_step_state` returned non-None.
+        """
+        raise NotImplementedError
+
+    def end_step_batch(
+        self, states: object, idle_lengths: np.ndarray, active: np.ndarray
+    ) -> None:
+        """Batched :meth:`on_idle_end`: the gaps that just closed.
+
+        Must update ``states`` exactly as ``n`` scalar
+        :meth:`on_idle_end` calls would, for replicas where ``active``
+        is True; entries where it is False carry stale values and must
+        be left untouched.
+        """
+        raise NotImplementedError

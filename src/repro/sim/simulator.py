@@ -96,6 +96,10 @@ class DPMSimulator:
     oracle:
         If True the policy is shown the true next arrival time in its
         :class:`~repro.sim.policy_api.IdleContext` (for oracle baselines).
+    keep_latencies:
+        If False the report drops the raw per-request latency array
+        after the summary percentiles are computed (sweep workers use
+        this to keep pickled results small).
     """
 
     def __init__(
@@ -105,6 +109,7 @@ class DPMSimulator:
         service_time: float = 0.5,
         wait_state: Optional[str] = None,
         oracle: bool = False,
+        keep_latencies: bool = True,
     ) -> None:
         if service_time <= 0:
             raise ValueError(f"service_time must be > 0, got {service_time}")
@@ -115,6 +120,7 @@ class DPMSimulator:
         self.wait_state = wait_state if wait_state is not None else default_wait_state(device)
         device.state(self.wait_state)  # existence check
         self.oracle = oracle
+        self.keep_latencies = keep_latencies
 
     # ------------------------------------------------------------------ #
 
@@ -278,6 +284,7 @@ class DPMSimulator:
             n_shutdowns=idle_stats.n_shutdowns,
             n_wrong_shutdowns=idle_stats.n_wrong_shutdowns,
             state_residency=meter.residency,
+            keep_latencies=self.keep_latencies,
         )
 
     # ------------------------------------------------------------------ #

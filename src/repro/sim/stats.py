@@ -139,11 +139,18 @@ def compile_report(
     n_shutdowns: int,
     n_wrong_shutdowns: int,
     state_residency: Dict[str, float],
+    keep_latencies: bool = True,
 ) -> SimReport:
     """Assemble the final :class:`SimReport` from raw run aggregates.
 
     Shared by the scalar event loop and the vectorized kernel so the two
     paths cannot drift in how summary metrics are derived.
+
+    ``keep_latencies=False`` drops the raw per-request array once the
+    summary percentiles are computed — the opt-out for callers (the
+    sweep runners) that never merge completion streams downstream, so
+    per-replication reports shipped back from worker processes stay
+    small.
     """
     latencies = np.asarray(latencies, dtype=float)
     idle_lengths = np.asarray(idle_lengths, dtype=float)
@@ -167,5 +174,5 @@ def compile_report(
         n_idle_periods=int(idle_lengths.size),
         mean_idle_length=float(np.mean(idle_lengths)) if idle_lengths.size else 0.0,
         state_residency=dict(state_residency),
-        latencies=tuple(latencies.tolist()),
+        latencies=tuple(latencies.tolist()) if keep_latencies else (),
     )

@@ -21,6 +21,7 @@ from repro.baselines import (
     FixedTimeout,
     GreedySleep,
     OracleShutdown,
+    PredictiveShutdown,
 )
 from repro.device import get_preset
 from repro.experiments import (
@@ -90,8 +91,9 @@ class TestEngineEquivalence:
         assert_fleet_reports_match(ref, fast)
 
     def test_stateful_policy_rides_the_fleet_too(self, rng):
-        """Stateful per-device policies fall back to the scalar event
-        loop inside the auto engine — same aggregate either way."""
+        """Stateful per-device policies ride the lock-step engine across
+        the device axis inside the auto engine — same aggregate as the
+        scalar reference dispatcher either way."""
         trace = renewal_trace(Exponential(0.8), 400.0, rng)
         device = get_preset("mobile_hdd")
         ref = run_fleet(device, AdaptiveTimeout(initial_timeout=1.0), trace,
@@ -101,6 +103,26 @@ class TestEngineEquivalence:
                          make_router("round_robin"), 3, engine="auto",
                          service_time=0.4)
         assert_fleet_reports_match(ref, fast)
+
+    @pytest.mark.parametrize("router_name", ("round_robin", "power_aware"))
+    def test_stateful_policies_match_at_larger_fleets(self, router_name, rng):
+        """The per-device sub-traces a router produces (including the
+        skewed ones of a consolidating router) run through the lock-step
+        engine as one batch — pinned against the scalar dispatcher."""
+        trace = renewal_trace(Exponential(1.5), 500.0, rng)
+        device = get_preset("mobile_hdd")
+        for policy_factory in (
+            lambda: AdaptiveTimeout(initial_timeout=1.0),
+            lambda: PredictiveShutdown(smoothing=0.5),
+        ):
+            kwargs = dict(service_time=0.4, route_seed=9)
+            ref = run_fleet(device, policy_factory(), trace,
+                            make_router(router_name), 8, engine="scalar",
+                            **kwargs)
+            fast = run_fleet(device, policy_factory(), trace,
+                             make_router(router_name), 8, engine="auto",
+                             **kwargs)
+            assert_fleet_reports_match(ref, fast)
 
     def test_unknown_engine_rejected(self, rng):
         trace = renewal_trace(Exponential(0.8), 100.0, rng)
@@ -239,6 +261,38 @@ class TestSweepExecution:
         args = ("mobile_hdd", 2, "random", spec.policies[1], spec.trace,
                 spec.service_time, [5, 16])
         assert run_fleet_chunk(*args) == run_fleet_chunk(*args)
+
+    def test_chunk_reports_strip_device_latency_arrays(self):
+        """The merged-stream quantiles are folded inside the worker, so
+        the per-device raw arrays never ride the result pickle — while a
+        direct run_fleet call still keeps them for downstream merging."""
+        spec = small_spec()
+        chunk = run_fleet_chunk(
+            "mobile_hdd", 2, "round_robin", spec.policies[1], spec.trace,
+            spec.service_time, [5],
+        )
+        for fleet_report in chunk:
+            assert fleet_report.p99_latency >= 0.0
+            for device_report in fleet_report.device_reports:
+                assert device_report.latencies == ()
+        direct = run_fleet(
+            get_preset("mobile_hdd"), FixedTimeout(), spec.trace.realize(5),
+            make_router("round_robin"), 2, service_time=spec.service_time,
+        )
+        assert any(len(r.latencies) for r in direct.device_reports)
+
+    def test_execution_metadata_recorded(self):
+        spec = small_spec(fleet_sizes=(2,), routers=("round_robin",))
+        result = FleetSweepRunner(chunk_size=2, n_jobs=2).run(spec)
+        meta = result.execution
+        assert meta["n_jobs_requested"] == 2
+        assert meta["n_jobs_effective"] in (1, 2)
+        assert meta["decision"] in (
+            "serial_requested", "single_core_host", "small_chunks", "parallel"
+        )
+        assert meta["estimated_chunk_seconds"] >= 0.0
+        serial = FleetSweepRunner(chunk_size=2, n_jobs=1).run(spec)
+        assert serial.execution["decision"] == "serial_requested"
 
     def test_cell_lookup_and_aggregates(self):
         result = FleetSweepRunner(chunk_size=2).run(small_spec())

@@ -13,8 +13,10 @@ from repro.runtime import (
     SimSweepRunner,
     SimSweepSpec,
     TraceSpec,
+    resolve_n_jobs,
     run_sim_chunk,
 )
+from repro.runtime import executor as executor_mod
 from repro.workload import Exponential
 
 
@@ -92,6 +94,16 @@ class TestGridExecution:
         for ca, cb in zip(a.cells, b.cells):
             assert ca.reports == cb.reports
 
+    def test_sweep_reports_drop_raw_latency_arrays(self):
+        """Sweep cells aggregate summary fields only, so the per-request
+        arrays are dropped before reports leave the worker."""
+        result = SimSweepRunner(chunk_size=2).run(small_spec())
+        for cell in result.cells:
+            for report in cell.reports:
+                assert report.latencies == ()
+                assert report.n_requests > 0
+                assert report.mean_latency >= 0.0
+
     def test_cell_lookup_and_aggregates(self):
         result = SimSweepRunner(chunk_size=2).run(small_spec())
         cell = result.cell("mobile_hdd", "exp", "timeout")
@@ -112,6 +124,89 @@ class TestGridExecution:
         assert "SIM-SWEEP" in table
         for cell in result.cells:
             assert cell.policy in table
+
+
+class TestSerialDegrade:
+    """The pool-degrade heuristic: tiny chunks and one-core hosts run
+    in-process, and the decision is recorded in the result metadata."""
+
+    def test_resolve_n_jobs_decisions(self, monkeypatch):
+        assert resolve_n_jobs(1) == (1, "serial_requested")
+        monkeypatch.setattr(executor_mod, "_host_cpu_count", lambda: 1)
+        assert resolve_n_jobs(4, est_chunk_seconds=100.0) == (
+            1, "single_core_host"
+        )
+        monkeypatch.setattr(executor_mod, "_host_cpu_count", lambda: 8)
+        assert resolve_n_jobs(4, est_chunk_seconds=1e-4) == (1, "small_chunks")
+        assert resolve_n_jobs(4, est_chunk_seconds=100.0) == (4, "parallel")
+        assert resolve_n_jobs(4) == (4, "parallel")  # no estimate: trust caller
+        assert resolve_n_jobs(
+            4, est_chunk_seconds=0.02, min_chunk_seconds=0.01
+        ) == (4, "parallel")
+        # many small chunks together still amortize the pool spin-up...
+        assert resolve_n_jobs(
+            4, est_chunk_seconds=0.04, n_tasks=200
+        ) == (4, "parallel")
+        # ...but a handful of them do not, even just above the
+        # per-chunk floor (the aggregate test governs when n_tasks is
+        # known)
+        assert resolve_n_jobs(
+            4, est_chunk_seconds=0.01, n_tasks=8
+        ) == (1, "small_chunks")
+        assert resolve_n_jobs(
+            4, est_chunk_seconds=0.06, n_tasks=3
+        ) == (1, "small_chunks")
+        assert resolve_n_jobs(
+            4, est_chunk_seconds=0.06, n_tasks=100
+        ) == (4, "parallel")
+
+    def test_execution_metadata_recorded(self):
+        spec = small_spec()
+        runner = SimSweepRunner(chunk_size=2, n_jobs=2)
+        result = runner.run(spec)
+        meta = result.execution
+        assert meta["n_jobs_requested"] == 2
+        assert meta["n_jobs_effective"] in (1, 2)
+        assert meta["decision"] in (
+            "serial_requested", "single_core_host", "small_chunks", "parallel"
+        )
+        assert meta["estimated_chunk_seconds"] >= 0.0
+        serial = SimSweepRunner(chunk_size=2, n_jobs=1).run(spec)
+        assert serial.execution["decision"] == "serial_requested"
+        assert serial.execution["n_jobs_effective"] == 1
+
+    def test_small_chunks_degrade_but_results_identical(self):
+        """small_spec's ~40-request replications are far below the ship
+        threshold: a 2-job run degrades to in-process execution with
+        bit-identical results."""
+        spec = small_spec()
+        est = SimSweepRunner(chunk_size=2).estimate_chunk_seconds(spec)
+        assert est < executor_mod.MIN_CHUNK_SECONDS
+        a = SimSweepRunner(chunk_size=2, n_jobs=1).run(spec)
+        b = SimSweepRunner(chunk_size=2, n_jobs=2).run(spec)
+        assert b.execution["n_jobs_effective"] == 1
+        assert b.execution["decision"] in ("single_core_host", "small_chunks")
+        for ca, cb in zip(a.cells, b.cells):
+            assert ca.reports == cb.reports
+
+    def test_estimate_tracks_engine_family(self):
+        """Policies with no batch hook cost ~1000x more per request than
+        the batched engines, and the estimate must reflect that — the
+        lock-step engine moved adaptive/predictive into the fast bucket."""
+        from repro.runtime.simsweep import (
+            FAST_SECONDS_PER_REQUEST,
+            SCALAR_SECONDS_PER_REQUEST,
+            estimate_request_seconds,
+        )
+        from test_runtime_eventsim_batch import _StatefulScalarOnly
+
+        for policy in (FixedTimeout(), AdaptiveTimeout(initial_timeout=1.0)):
+            assert estimate_request_seconds(policy, 1000.0) == pytest.approx(
+                1000.0 * FAST_SECONDS_PER_REQUEST
+            )
+        assert estimate_request_seconds(
+            _StatefulScalarOnly(), 1000.0
+        ) == pytest.approx(1000.0 * SCALAR_SECONDS_PER_REQUEST)
 
 
 class TestExperimentHarness:
