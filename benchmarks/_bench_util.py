@@ -53,5 +53,9 @@ def record_bench(path: Path, section: str, payload: dict) -> None:
 #: real cores) are deliberately absent.
 SPEEDUP_BARS = {
     "BENCH_sim.json": {"event_sim_kernel": 5.0, "stateful_batch": 5.0},
-    "BENCH_fleet.json": {"fleet_kernel": 5.0},
+    "BENCH_fleet.json": {
+        "fleet_kernel": 5.0,
+        "queue_aware_routing": 5.0,
+        "flattened_cell": 1.5,
+    },
 }

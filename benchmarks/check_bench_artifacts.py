@@ -28,7 +28,10 @@ EXPECTED_KEYS = {
     "BENCH_sim.json": (
         "cpu_count", "host", "event_sim_kernel", "stateful_batch", "sim_sweep",
     ),
-    "BENCH_fleet.json": ("cpu_count", "host", "fleet_kernel", "fleet_sweep"),
+    "BENCH_fleet.json": (
+        "cpu_count", "host", "fleet_kernel", "queue_aware_routing",
+        "flattened_cell", "fleet_sweep",
+    ),
 }
 
 

@@ -11,6 +11,13 @@ sleep through long idle periods.  Same devices, same DPM policy, same
 arrivals — the router alone moves fleet power by double digits, at a
 measurable tail-latency price visible in the merged p99.
 
+Every row here runs fully vectorized: the stateless routers partition
+the trace with closed-form NumPy (`route_batch`), the queue-aware pair
+(`jsq`, `power_aware`) rides the epoch-advance `route_step_batch` path
+— dense backlog arrays plus a shared completion heap, bit-identical to
+the scalar reference loop — and the N sub-traces evaluate as one
+flattened kernel call (`engine="auto"`).
+
 Run:  python examples/fleet_dispatch.py
 """
 

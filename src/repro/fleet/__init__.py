@@ -13,9 +13,13 @@ stream.  :class:`FleetSweepRunner` fans
 (fleet size x router x policy x trace seed) grids across the executor
 layer with bootstrap-CI aggregation — the `fleet-sweep` CLI entry.
 
-Layering mirrors the rest of the repo: stateless routers are vectorized
-and pinned bit-identical to their scalar reference loops; queue-aware
-routers run the scalar reference path only.
+Layering mirrors the rest of the repo: every router is vectorized and
+pinned bit-identical to its scalar reference loop — stateless routers
+via closed-form ``route_batch``, queue-aware routers via the epoch-
+advance ``route_step_batch`` (dense per-device backlog arrays advanced
+one arrival per round) — and the sweep flattens each cell's
+(seed x device) sub-traces into a single lock-step kernel call
+(:func:`run_fleet_batch`).
 """
 
 from .dispatch import (
@@ -29,7 +33,7 @@ from .dispatch import (
     RoundRobinRouter,
     make_router,
 )
-from .evaluate import ENGINES, run_fleet
+from .evaluate import ENGINES, run_fleet, run_fleet_batch
 from .report import FleetReport, build_fleet_report
 from .sweep import (
     ROUTE_SEED_OFFSET,
@@ -52,6 +56,7 @@ __all__ = [
     "Dispatcher",
     "ENGINES",
     "run_fleet",
+    "run_fleet_batch",
     "FleetReport",
     "build_fleet_report",
     "FleetSweepSpec",

@@ -17,9 +17,17 @@ Routers mirror the repo's stateless/stateful split everywhere else:
   reference semantics and the two are pinned bit-identical in tests.
 - **Queue-aware** routers (:class:`JoinShortestQueueRouter`,
   :class:`PowerAwareRouter`) depend on the evolving per-device backlog,
-  so they run the scalar reference path only (``route_batch`` returns
-  None), exactly like stateful policies fall back to the scalar event
-  loop in :mod:`repro.runtime.eventsim`.
+  so they cannot decide all requests at once — but they *can* advance
+  the whole fleet one routing epoch (one arrival) per round over dense
+  per-device arrays.  :meth:`Router.route_step_batch` is that path,
+  the routing analogue of the lock-step
+  :func:`~repro.runtime.eventsim.run_step_batched` engine: queue
+  lengths and last-completion times live in ``(N,)`` arrays, settling
+  pops a single completion heap (amortized one pop per request instead
+  of an O(N) per-device walk), and each epoch's choice is a handful of
+  whole-fleet array ops.  It is pinned bit-identical to the scalar
+  :meth:`Router.route` reference, which remains the semantics of
+  record.
 
 Queue-aware routing uses the *dispatcher-level* service model: FIFO
 per-device backlog from arrival times and service demands, ignoring DPM
@@ -33,9 +41,10 @@ awake window, is presumed still awake.
 from __future__ import annotations
 
 import dataclasses
+import heapq
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Type
+from typing import Dict, List, Optional, Tuple, Type
 
 import numpy as np
 
@@ -94,6 +103,20 @@ class Router(ABC):
         """
         return None
 
+    def route_step_batch(self, ctx: RouteContext) -> Optional[np.ndarray]:
+        """Epoch-advance vectorized assignments, or None.
+
+        Second opt-in fast path, mirroring
+        :meth:`~repro.sim.policy_api.EventPolicy.decide_step_batch`: a
+        queue-aware router advances dense per-device backlog arrays one
+        routing epoch (one arrival) per round, so each request costs a
+        few whole-fleet array ops instead of an O(N) Python walk over
+        the devices.  It must reproduce :meth:`route` bit-for-bit
+        (pinned in tests/test_fleet_dispatch.py).  Consulted by the
+        dispatcher only after :meth:`route_batch` declined.
+        """
+        return None
+
 
 class RoundRobinRouter(Router):
     """Cycle through the devices in request order (the classic default)."""
@@ -131,6 +154,12 @@ class RandomRouter(Router):
                                 dtype=np.int64)
 
 
+#: settled-prefix length past which :class:`_BacklogTracker` compacts a
+#: device's completion list (once the prefix also spans at least half
+#: the list, so each compaction frees >= half and stays amortized O(1))
+_COMPACT_MIN_SETTLED = 64
+
+
 class _BacklogTracker:
     """Per-device FIFO backlog under the dispatcher-level service model."""
 
@@ -142,11 +171,20 @@ class _BacklogTracker:
         self.last_completion = np.zeros(n_devices)
 
     def settle(self, now: float) -> None:
-        """Drop requests already completed by ``now``."""
+        """Drop requests already completed by ``now``.
+
+        Settled completions are compacted away once a device's settled
+        prefix is both long and at least half its list — without the
+        compaction the lists grow O(n_requests) over a long trace even
+        though only the unsettled tail ever matters again.
+        """
         for d, comps in enumerate(self._completions):
             head = self._head[d]
             while head < len(comps) and comps[head] <= now:
                 head += 1
+            if head >= _COMPACT_MIN_SETTLED and head * 2 >= len(comps):
+                del comps[:head]
+                head = 0
             self._head[d] = head
 
     def queue_len(self, d: int) -> int:
@@ -159,6 +197,40 @@ class _BacklogTracker:
         done = start + demand
         self._completions[d].append(done)
         self.last_completion[d] = done
+
+
+class _DenseBacklog:
+    """Dense-array twin of :class:`_BacklogTracker` for the epoch path.
+
+    Same service model, different data layout: queue lengths and last
+    completion times live in ``(N,)`` arrays, and settling pops one
+    completion min-heap shared by all devices instead of walking every
+    device's list per request — amortized one heap pop per request over
+    a whole trace.  Arithmetic is kept operation-for-operation identical
+    to the scalar tracker (``max`` then ``+`` on Python floats), so the
+    booked completion times — and therefore every downstream comparison
+    — are bit-identical.
+    """
+
+    def __init__(self, n_devices: int) -> None:
+        self.last_completion = np.zeros(n_devices)
+        self.queue_len = np.zeros(n_devices, dtype=np.int64)
+        self._heap: List[Tuple[float, int]] = []
+
+    def settle(self, now: float) -> None:
+        """Drop requests already completed by ``now`` (all devices)."""
+        heap = self._heap
+        queue_len = self.queue_len
+        while heap and heap[0][0] <= now:
+            queue_len[heapq.heappop(heap)[1]] -= 1
+
+    def assign(self, d: int, now: float, demand: float) -> None:
+        """Book one request on device ``d`` arriving at ``now``."""
+        start = max(now, float(self.last_completion[d]))
+        done = start + demand
+        self.last_completion[d] = done
+        self.queue_len[d] += 1
+        heapq.heappush(self._heap, (done, d))
 
 
 class JoinShortestQueueRouter(Router):
@@ -182,6 +254,36 @@ class JoinShortestQueueRouter(Router):
             tracker.assign(choice, now, float(ctx.demands[i]))
             out[i] = choice
         return out
+
+    def route_step_batch(self, ctx: RouteContext) -> np.ndarray:
+        # inlined _DenseBacklog: jsq only ever reads the argmin of the
+        # queue lengths, so last-completion times can stay Python floats
+        # (same IEEE doubles, so booked completions stay bit-identical)
+        n = int(ctx.arrivals.size)
+        heap: List[Tuple[float, int]] = []
+        heappush = heapq.heappush
+        heappop = heapq.heappop
+        queue_len = np.zeros(ctx.n_devices, dtype=np.int64)
+        # bound-method argmin: same values, same lowest-index
+        # tie-breaking as the scalar list scan
+        qargmin = queue_len.argmin
+        last = [0.0] * ctx.n_devices
+        out = [0] * n
+        arrivals = ctx.arrivals.tolist()
+        demands = ctx.demands.tolist()
+        for i in range(n):
+            now = arrivals[i]
+            while heap and heap[0][0] <= now:
+                queue_len[heappop(heap)[1]] -= 1
+            choice = int(qargmin())
+            lc = last[choice]
+            start = lc if lc > now else now  # == max(now, lc)
+            done = start + demands[i]
+            last[choice] = done
+            queue_len[choice] += 1
+            heappush(heap, (done, choice))
+            out[i] = choice
+        return np.asarray(out, dtype=np.int64)
 
 
 class PowerAwareRouter(Router):
@@ -246,6 +348,40 @@ class PowerAwareRouter(Router):
                 # every device awake and full: plain shortest queue
                 choice = int(np.argmin(lengths))
             tracker.assign(choice, now, float(ctx.demands[i]))
+            out[i] = choice
+        return out
+
+    def route_step_batch(self, ctx: RouteContext) -> np.ndarray:
+        window = self.resolve_window(ctx.device)
+        max_queue = self._max_queue
+        n = int(ctx.arrivals.size)
+        out = np.empty(n, dtype=np.int64)
+        backlog = _DenseBacklog(ctx.n_devices)
+        queue_len = backlog.queue_len
+        last_completion = backlog.last_completion
+        settle = backlog.settle
+        assign = backlog.assign
+        full = np.iinfo(np.int64).max
+        arrivals = ctx.arrivals.tolist()
+        demands = ctx.demands.tolist()
+        for i in range(n):
+            now = arrivals[i]
+            settle(now)
+            # provably equal to the scalar reference's
+            # ``(queue_len > 0) | (now - last_completion < window)``:
+            # queue_len > 0 implies an unsettled completion strictly past
+            # ``now``, hence last_completion > now, hence (IEEE: x - y == 0
+            # iff x == y) now - last_completion < 0 <= window already
+            awake = now - last_completion < window
+            room = awake & (queue_len < max_queue)
+            if room.any():
+                choice = int(np.argmin(np.where(room, queue_len, full)))
+            elif not awake.all():
+                recency = np.where(~awake, last_completion, -np.inf)
+                choice = int(np.argmax(recency))
+            else:
+                choice = int(np.argmin(queue_len))
+            assign(choice, now, demands[i])
             out[i] = choice
         return out
 
@@ -331,7 +467,14 @@ class Dispatcher:
             batch = self.router.route_batch(ctx)
             if batch is not None:
                 return np.asarray(batch, dtype=np.int64)
-            # fresh rng for the scalar pass; arrays are reused as-is
+            # fresh rng per stage keeps each path a pure function of
+            # (trace, seed); arrays are reused as-is
+            ctx = dataclasses.replace(
+                ctx, rng=np.random.default_rng(self.seed)
+            )
+            stepped = self.router.route_step_batch(ctx)
+            if stepped is not None:
+                return np.asarray(stepped, dtype=np.int64)
             ctx = dataclasses.replace(
                 ctx, rng=np.random.default_rng(self.seed)
             )

@@ -6,25 +6,34 @@ stream across N device replicas, evaluate every sub-trace on the
 single-device engine, and fold the per-device reports into a
 :class:`~repro.fleet.report.FleetReport`.
 
-Two engines, mirroring the repo's batched/scalar split:
+Three engines, mirroring the repo's batched/scalar split:
 
-- ``engine="auto"`` — the production path.  Stateless routers partition
-  the trace with NumPy ops; the per-device sub-traces then ride
+- ``engine="auto"`` — the per-trace fast path.  Routers assign with
+  their vectorized paths (``route_batch`` for stateless routers,
+  ``route_step_batch`` for the queue-aware ones); the per-device
+  sub-traces then ride
   :func:`~repro.runtime.eventsim.simulate_traces_batch` — the
   vectorized busy-period kernel per sub-trace for stateless policies,
   the lock-step cross-replication engine over all N devices at once for
   stateful batchable policies (adaptive, predictive), and the scalar
   loop for everything else.
+- ``engine="flat"`` — the production sweep path: all sub-traces of the
+  fleet run (and, via :func:`run_fleet_batch`, of *every seed of a
+  sweep cell*) are flattened into one padded
+  :func:`~repro.runtime.eventsim.run_step_batched` invocation, so a
+  whole cell costs one kernel call instead of N x R per-trace runs.
 - ``engine="scalar"`` — the reference dispatcher: the router's scalar
   assignment loop plus the scalar :class:`~repro.sim.DPMSimulator` event
-  loop per device.  tests/test_fleet_sweep.py pins the two engines
-  field-for-field (rel tol <= 1e-9) on the fleet aggregate.
+  loop per device.  tests/test_fleet_sweep.py pins the fast engines
+  against it field-for-field (rel tol <= 1e-9) on the fleet aggregate.
 """
 
 from __future__ import annotations
 
+from typing import List, Optional, Sequence
+
 from ..device import PowerStateMachine
-from ..runtime.eventsim import simulate_traces_batch
+from ..runtime.eventsim import run_step_batched, simulate_traces_batch
 from ..sim.policy_api import EventPolicy
 from ..sim.simulator import DPMSimulator
 from ..workload.trace import Trace
@@ -32,7 +41,7 @@ from .dispatch import Dispatcher, Router
 from .report import FleetReport, build_fleet_report
 
 #: engines accepted by :func:`run_fleet`
-ENGINES = ("auto", "scalar")
+ENGINES = ("auto", "flat", "scalar")
 
 
 def run_fleet(
@@ -61,6 +70,12 @@ def run_fleet(
     """
     if engine not in ENGINES:
         raise ValueError(f"engine must be one of {ENGINES}, got {engine!r}")
+    if engine == "flat":
+        return run_fleet_batch(
+            device, policy, [trace], router, n_devices,
+            service_time=service_time, oracle=oracle,
+            route_seeds=[route_seed], keep_latencies=keep_latencies,
+        )[0]
     dispatcher = Dispatcher(
         router, n_devices, device, service_time=service_time, seed=route_seed,
     )
@@ -83,3 +98,77 @@ def run_fleet(
         reports=reports,
         keep_latencies=keep_latencies,
     )
+
+
+def run_fleet_batch(
+    device: PowerStateMachine,
+    policy: EventPolicy,
+    traces: Sequence[Trace],
+    router: Router,
+    n_devices: int,
+    service_time: float = 0.5,
+    oracle: bool = False,
+    route_seeds: Optional[Sequence[int]] = None,
+    keep_latencies: bool = True,
+) -> List[FleetReport]:
+    """R seeded fleet runs of one cell as a single flattened kernel call.
+
+    The whole-cell engine behind ``engine="flat"`` and the fleet sweep:
+    every trace is dispatched with the router's vectorized path, and the
+    R x N per-device sub-traces are flattened into *one*
+    :func:`~repro.runtime.eventsim.run_step_batched` invocation
+    (``allow_stateless=True`` lets gap-mode policies ride the lock-step
+    rounds; step-mode policies use their own hooks).  Each sub-trace's
+    report is a pure function of its own trace, so per-seed fleet
+    reports are independent of which seeds share the batch — the
+    chunking-invariance guarantee the sweep runner relies on.
+
+    Policies outside both batch families fall back to per-seed
+    :func:`run_fleet` on the ``auto`` engine (same reports, no
+    flattening to be had).  ``route_seeds`` defaults to 0 for every
+    trace, matching :func:`run_fleet`'s default.
+    """
+    traces = list(traces)
+    if not traces:
+        return []
+    if route_seeds is None:
+        route_seeds = [0] * len(traces)
+    route_seeds = [int(s) for s in route_seeds]
+    if len(route_seeds) != len(traces):
+        raise ValueError(
+            f"route_seeds length {len(route_seeds)} != "
+            f"traces length {len(traces)}"
+        )
+    router_name = None
+    sub_traces: List[Trace] = []
+    for trace, seed in zip(traces, route_seeds):
+        dispatcher = Dispatcher(
+            router, n_devices, device,
+            service_time=service_time, seed=seed,
+        )
+        router_name = dispatcher.router.name
+        sub_traces.extend(dispatcher.dispatch(trace))
+    reports = run_step_batched(
+        device, policy, sub_traces,
+        service_time=service_time, oracle=oracle, allow_stateless=True,
+    )
+    if reports is None:
+        return [
+            run_fleet(
+                device, policy, trace, router, n_devices,
+                service_time=service_time, oracle=oracle, route_seed=seed,
+                engine="auto", keep_latencies=keep_latencies,
+            )
+            for trace, seed in zip(traces, route_seeds)
+        ]
+    home_power = device.state(device.initial_state).power
+    return [
+        build_fleet_report(
+            router=router_name,
+            policy=policy.name,
+            home_power=home_power,
+            reports=reports[r * n_devices:(r + 1) * n_devices],
+            keep_latencies=keep_latencies,
+        )
+        for r in range(len(traces))
+    ]

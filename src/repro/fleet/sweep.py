@@ -15,7 +15,7 @@ identical for every ``(chunk_size, n_jobs)`` combination.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Sequence, Tuple
+from typing import Any, Dict, List, Sequence, Tuple, Type
 
 import numpy as np
 
@@ -25,13 +25,37 @@ from ..device import get_preset
 from ..runtime.executor import get_executor, resolve_n_jobs
 from ..runtime.simsweep import PolicySpec, TraceSpec, estimate_request_seconds
 from .dispatch import ROUTERS, Router, make_router
-from .evaluate import run_fleet
+from .evaluate import run_fleet_batch
 from .report import FleetReport
 
-#: rough wall seconds to route one request through a queue-aware router
-#: (jsq / power_aware run a per-request Python loop even on the auto
-#: engine; stateless routers partition in NumPy and cost ~nothing)
+#: rough wall seconds to route one request through a router that only
+#: offers the scalar reference loop (per-request Python with a full
+#: per-device queue scan)
 SCALAR_ROUTE_SECONDS_PER_REQUEST = 2e-5
+
+#: rough wall seconds per request for queue-aware routers on the
+#: epoch-advance ``route_step_batch`` path (dense backlog arrays + a
+#: shared completion heap; still one Python round per arrival, hence
+#: not free like the closed-form ``route_batch`` routers)
+STEP_ROUTE_SECONDS_PER_REQUEST = 5e-6
+
+
+def route_seconds_per_request(router_cls: Type[Router]) -> float:
+    """Estimated routing cost of one request on the fastest route path.
+
+    The :meth:`~repro.fleet.dispatch.Dispatcher.assignments` cascade in
+    cost-model form: closed-form ``route_batch`` routers cost ~nothing,
+    ``route_step_batch`` routers pay the epoch-advance rate, and
+    everything else pays the scalar reference-loop rate.  Keeping the
+    split here stops :func:`~repro.runtime.executor.resolve_n_jobs`'s
+    serial-degrade heuristic from wrongly forcing in-process execution
+    on cells whose routing is actually fast.
+    """
+    if router_cls.route_batch is not Router.route_batch:
+        return 0.0
+    if router_cls.route_step_batch is not Router.route_step_batch:
+        return STEP_ROUTE_SECONDS_PER_REQUEST
+    return SCALAR_ROUTE_SECONDS_PER_REQUEST
 
 #: offset decorrelating the routing stream from the trace-generation
 #: stream (both are realized from the replication seed)
@@ -168,21 +192,23 @@ def run_fleet_chunk(
 ) -> List[FleetReport]:
     """One (cell, seed-chunk) work unit — module-level and built from
     picklable values only, so the executor can ship it to a worker.
-    Each seed's fleet report is a pure function of the arguments; the
+    The chunk's (seed x device) sub-traces flatten into a single
+    :func:`~repro.fleet.evaluate.run_fleet_batch` kernel invocation;
+    each seed's fleet report is still a pure function of the arguments
+    (every sub-trace resolves independently inside the batch), so
+    results are identical for every ``(chunk_size, n_jobs)``.  The
     retained per-device reports are stripped of their raw latency
     arrays (the merged-stream quantiles are already folded) so the
     pickled results stay small."""
     device = get_preset(device_name)
-    return [
-        run_fleet(
-            device, policy_spec.policy, trace_spec.realize(seed),
-            make_router(router_name), n_devices,
-            service_time=service_time, oracle=policy_spec.oracle,
-            route_seed=seed + ROUTE_SEED_OFFSET,
-            keep_latencies=False,
-        )
-        for seed in seeds
-    ]
+    return run_fleet_batch(
+        device, policy_spec.policy,
+        [trace_spec.realize(seed) for seed in seeds],
+        make_router(router_name), n_devices,
+        service_time=service_time, oracle=policy_spec.oracle,
+        route_seeds=[seed + ROUTE_SEED_OFFSET for seed in seeds],
+        keep_latencies=False,
+    )
 
 
 class FleetSweepRunner:
@@ -207,17 +233,17 @@ class FleetSweepRunner:
 
         Same request-count x engine-cost heuristic as
         :meth:`~repro.runtime.SimSweepRunner.estimate_chunk_seconds`,
-        plus the routing cost: queue-aware routers (no ``route_batch``
-        override) walk every request in Python, which dominates the
-        batched simulation engines.  The shared arrival stream's
-        request count is fleet-wide, so the per-chunk work does not
-        grow with the fleet-size axis.
+        plus the routing cost via :func:`route_seconds_per_request`:
+        queue-aware routers advance one arrival per Python round even
+        on the epoch-advance path, which still dominates the batched
+        simulation engines (at a ~4x lower rate than the scalar loop).
+        The shared arrival stream's request count is fleet-wide, so the
+        per-chunk work does not grow with the fleet-size axis.
         """
         chunk = min(self.chunk_size, spec.n_traces)
         requests = spec.trace.dist.rate() * spec.trace.duration
         per_route = [
-            chunk * requests * SCALAR_ROUTE_SECONDS_PER_REQUEST
-            if ROUTERS[name].route_batch is Router.route_batch else 0.0
+            chunk * requests * route_seconds_per_request(ROUTERS[name])
             for name in spec.routers
         ]
         per_policy = [

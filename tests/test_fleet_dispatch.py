@@ -2,9 +2,11 @@
 
 The fleet mirrors the repo's stateless/stateful split: stateless routers
 must be bit-identical between their scalar reference loop and the
-vectorized batch path, queue-aware routers must be deterministic scalar
-references, and the dispatcher must partition traces without losing
-requests, demands, or window duration.
+closed-form ``route_batch`` path, queue-aware routers must be
+bit-identical between the scalar loop and the epoch-advance
+``route_step_batch`` path (dense backlog arrays, one arrival per round),
+and the dispatcher must partition traces without losing requests,
+demands, or window duration.
 """
 
 from __future__ import annotations
@@ -23,10 +25,12 @@ from repro.fleet import (
     RoundRobinRouter,
     make_router,
 )
+from repro.fleet.dispatch import _COMPACT_MIN_SETTLED, _BacklogTracker
 from repro.workload import Exponential, Trace, renewal_trace
 
 STATELESS = ("round_robin", "random")
 QUEUE_AWARE = ("jsq", "power_aware")
+EPOCH_PRESETS = ("mobile_hdd", "wlan", "sa1100")
 
 
 def make_context(trace, n_devices, device_name="mobile_hdd", seed=0,
@@ -74,6 +78,136 @@ class TestStatelessBitExactness:
     def test_queue_aware_has_no_batch_path(self, name, rng):
         trace = renewal_trace(Exponential(0.8), 100.0, rng)
         assert make_router(name).route_batch(make_context(trace, 4)) is None
+
+    @pytest.mark.parametrize("name", STATELESS)
+    def test_stateless_has_no_step_path(self, name, rng):
+        """Stateless routers are served by route_batch; the epoch-advance
+        hook stays the base-class None for them."""
+        trace = renewal_trace(Exponential(0.8), 100.0, rng)
+        assert make_router(name).route_step_batch(make_context(trace, 4)) is None
+
+
+class TestQueueAwareEpochPath:
+    """route() and route_step_batch() must agree bit-for-bit: the dense
+    backlog arrays book the exact same completion floats as the scalar
+    tracker, and every argmin/argmax tie breaks to the lowest index in
+    both paths."""
+
+    @pytest.mark.parametrize("name", QUEUE_AWARE)
+    @pytest.mark.parametrize("device_name", EPOCH_PRESETS)
+    @pytest.mark.parametrize("n_devices", (1, 3, 16))
+    def test_scalar_equals_step_batch(self, name, device_name, n_devices, rng):
+        trace = renewal_trace(Exponential(0.8), 500.0, rng)
+        router = make_router(name)
+        scalar = router.route(make_context(trace, n_devices, device_name))
+        stepped = router.route_step_batch(
+            make_context(trace, n_devices, device_name)
+        )
+        assert stepped.dtype == np.int64
+        assert np.array_equal(scalar, stepped)
+
+    @pytest.mark.parametrize("name", QUEUE_AWARE)
+    @pytest.mark.parametrize("device_name", EPOCH_PRESETS)
+    def test_degenerate_traces(self, name, device_name):
+        router = make_router(name)
+        for trace in (
+            Trace([], duration=5.0),                    # no arrivals at all
+            Trace([0.0, 0.0, 0.0, 0.0], duration=1.0),  # one simultaneous burst
+            Trace([1.0], duration=2.0),                 # single request
+            Trace([0.0, 0.0, 3.0, 3.0, 3.0], duration=4.0),
+        ):
+            for n_devices in (1, 2, 4):
+                ctx = make_context(trace, n_devices, device_name)
+                scalar = router.route(ctx)
+                stepped = router.route_step_batch(
+                    make_context(trace, n_devices, device_name)
+                )
+                assert np.array_equal(scalar, stepped), (trace, n_devices)
+
+    @pytest.mark.parametrize("name", QUEUE_AWARE)
+    def test_heavy_trace_with_varied_demands(self, name, rng):
+        """Overload regime with per-request demands: long backlogs, many
+        settles per arrival, float completion times exercised hard."""
+        base = renewal_trace(Exponential(3.0), 300.0, rng)
+        trace = Trace(base.arrival_times, duration=300.0,
+                      service_demands=rng.uniform(0.05, 1.5, size=len(base)))
+        router = make_router(name)
+        scalar = router.route(make_context(trace, 8))
+        stepped = router.route_step_batch(make_context(trace, 8))
+        assert np.array_equal(scalar, stepped)
+
+    def test_simultaneous_arrivals_tie_break_lowest_index(self):
+        """Equal queue lengths must resolve to the lowest device index on
+        the epoch path exactly as on the scalar scan."""
+        trace = Trace([0.0, 0.0, 0.0, 0.0], duration=10.0)
+        out = JoinShortestQueueRouter().route_step_batch(
+            make_context(trace, 4)
+        )
+        assert out.tolist() == [0, 1, 2, 3]
+
+    def test_power_aware_all_awake_and_full_branch(self):
+        """max_queue=1 with a tight burst drives the router through all
+        three branches — including the every-device-awake-and-full plain
+        shortest-queue fallback — identically on both paths."""
+        trace = Trace([0.0, 0.1, 0.2, 0.3], duration=10.0)
+        router = PowerAwareRouter(awake_window=0.05, max_queue=1)
+        stepped = router.route_step_batch(make_context(trace, 2))
+        assert stepped.tolist() == [0, 1, 0, 1]
+        assert np.array_equal(router.route(make_context(trace, 2)), stepped)
+
+    def test_dispatcher_prefers_epoch_path(self, rng):
+        """assignments(vectorized=True) must reach route_step_batch for
+        queue-aware routers — proven by breaking the scalar loop."""
+        trace = renewal_trace(Exponential(0.8), 200.0, rng)
+        device = get_preset("mobile_hdd")
+        for name in QUEUE_AWARE:
+            dispatcher = Dispatcher(name, 4, device, service_time=0.4)
+            expected = dispatcher.assignments(trace, vectorized=False)
+            def broken(ctx):
+                raise AssertionError("scalar route must not be consulted")
+            dispatcher.router.route = broken
+            assert np.array_equal(
+                dispatcher.assignments(trace, vectorized=True), expected
+            )
+
+
+class TestBacklogCompaction:
+    """settle() compacts settled completion prefixes so per-device lists
+    stay bounded by the live backlog, not by the trace length."""
+
+    def test_long_trace_memory_stays_bounded(self):
+        tracker = _BacklogTracker(1)
+        now = 0.0
+        for _ in range(5000):
+            tracker.assign(0, now, 0.5)
+            now += 1.0
+            tracker.settle(now)
+            assert tracker.queue_len(0) == 0
+            # without compaction this list would grow to 5000 entries
+            assert len(tracker._completions[0]) <= 2 * _COMPACT_MIN_SETTLED
+
+    def test_compaction_preserves_scalar_semantics(self):
+        """Queue lengths and booked completions must match a plain
+        uncompacted reference through interleaved assigns and settles
+        (including partial settles that leave an unsettled tail)."""
+        tracker = _BacklogTracker(2)
+        pending = [[], []]
+        last = [0.0, 0.0]
+        now = 0.0
+        for i in range(400):
+            d = i % 2
+            now += 0.25 if i % 3 else 0.0    # repeats exercise ties
+            tracker.settle(now)
+            pending = [[c for c in p if c > now] for p in pending]
+            assert tracker.queue_len(0) == len(pending[0])
+            assert tracker.queue_len(1) == len(pending[1])
+            demand = 0.4 + (i % 5) * 0.3     # mixes drain and backlog
+            start = max(now, last[d])
+            done = start + demand
+            last[d] = done
+            pending[d].append(done)
+            tracker.assign(d, now, demand)
+            assert float(tracker.last_completion[d]) == done
 
 
 class TestRoundRobin:

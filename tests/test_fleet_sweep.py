@@ -33,12 +33,20 @@ from repro.fleet import (
     ROUTERS,
     FleetSweepRunner,
     FleetSweepSpec,
+    Router,
     build_fleet_report,
     make_router,
     run_fleet,
+    run_fleet_batch,
     run_fleet_chunk,
 )
+from repro.fleet.sweep import (
+    SCALAR_ROUTE_SECONDS_PER_REQUEST,
+    STEP_ROUTE_SECONDS_PER_REQUEST,
+    route_seconds_per_request,
+)
 from repro.runtime import PolicySpec, TraceSpec
+from repro.runtime.simsweep import estimate_request_seconds
 from repro.workload import Exponential, renewal_trace
 
 FLEET_FIELDS = (
@@ -73,13 +81,14 @@ POLICIES = [
 
 
 class TestEngineEquivalence:
+    @pytest.mark.parametrize("engine", ("auto", "flat"))
     @pytest.mark.parametrize("router_name", sorted(ROUTERS))
     @pytest.mark.parametrize(
         "policy_factory,oracle", [(f, o) for _, f, o in POLICIES],
         ids=[name for name, _, _ in POLICIES],
     )
     def test_vectorized_matches_scalar_reference(
-        self, router_name, policy_factory, oracle, rng
+        self, engine, router_name, policy_factory, oracle, rng
     ):
         trace = renewal_trace(Exponential(0.8), 800.0, rng)
         device = get_preset("mobile_hdd")
@@ -87,7 +96,7 @@ class TestEngineEquivalence:
         ref = run_fleet(device, policy_factory(), trace,
                         make_router(router_name), 5, engine="scalar", **kwargs)
         fast = run_fleet(device, policy_factory(), trace,
-                         make_router(router_name), 5, engine="auto", **kwargs)
+                         make_router(router_name), 5, engine=engine, **kwargs)
         assert_fleet_reports_match(ref, fast)
 
     def test_stateful_policy_rides_the_fleet_too(self, rng):
@@ -129,6 +138,141 @@ class TestEngineEquivalence:
         with pytest.raises(ValueError, match="engine"):
             run_fleet(get_preset("mobile_hdd"), AlwaysOn(), trace,
                       make_router("round_robin"), 2, engine="warp")
+
+    @pytest.mark.parametrize("device_name", ("mobile_hdd", "wlan", "sa1100"))
+    @pytest.mark.parametrize("router_name", ("jsq", "power_aware"))
+    def test_flat_engine_across_presets(self, device_name, router_name, rng):
+        """The acceptance pin for the flattened cell: queue-aware routing
+        plus the one-kernel-call fleet run tracks the scalar dispatcher
+        on every preset (rel <= 1e-9) — assignments themselves are
+        asserted bit-identical down in test_fleet_dispatch."""
+        trace = renewal_trace(Exponential(1.2), 400.0, rng)
+        device = get_preset(device_name)
+        kwargs = dict(service_time=0.4, route_seed=3)
+        ref = run_fleet(device, FixedTimeout(), trace,
+                        make_router(router_name), 6, engine="scalar", **kwargs)
+        flat = run_fleet(device, FixedTimeout(), trace,
+                         make_router(router_name), 6, engine="flat", **kwargs)
+        assert_fleet_reports_match(ref, flat)
+
+    def test_flat_engine_stateful_policy(self, rng):
+        """Step-mode policies ride the flattened call on their own hooks."""
+        trace = renewal_trace(Exponential(0.8), 400.0, rng)
+        device = get_preset("mobile_hdd")
+        ref = run_fleet(device, AdaptiveTimeout(initial_timeout=1.0), trace,
+                        make_router("jsq"), 4, engine="scalar",
+                        service_time=0.4)
+        flat = run_fleet(device, AdaptiveTimeout(initial_timeout=1.0), trace,
+                         make_router("jsq"), 4, engine="flat",
+                         service_time=0.4)
+        assert_fleet_reports_match(ref, flat)
+
+
+class TestRunFleetBatch:
+    """The whole-cell flattening entry the sweep workers call."""
+
+    def test_batch_composition_never_matters(self, rng):
+        """Per-seed reports are exact dataclass equals whether the seeds
+        share one flattened kernel call or run one by one — the property
+        that keeps sweep results invariant to (chunk_size, n_jobs)."""
+        device = get_preset("mobile_hdd")
+        traces = [renewal_trace(Exponential(0.9), 300.0, rng)
+                  for _ in range(4)]
+        seeds = [11, 12, 13, 14]
+        batched = run_fleet_batch(
+            device, FixedTimeout(), traces, make_router("power_aware"), 3,
+            service_time=0.4, route_seeds=seeds,
+        )
+        singles = [
+            run_fleet_batch(
+                device, FixedTimeout(), [trace], make_router("power_aware"),
+                3, service_time=0.4, route_seeds=[seed],
+            )[0]
+            for trace, seed in zip(traces, seeds)
+        ]
+        assert batched == singles
+
+    def test_matches_per_seed_auto_runs(self, rng):
+        device = get_preset("mobile_hdd")
+        traces = [renewal_trace(Exponential(0.9), 300.0, rng)
+                  for _ in range(3)]
+        seeds = [5, 6, 7]
+        batched = run_fleet_batch(
+            device, FixedTimeout(), traces, make_router("jsq"), 4,
+            service_time=0.4, route_seeds=seeds,
+        )
+        for fast, (trace, seed) in zip(batched, zip(traces, seeds)):
+            ref = run_fleet(device, FixedTimeout(), trace,
+                            make_router("jsq"), 4, service_time=0.4,
+                            route_seed=seed, engine="auto")
+            assert_fleet_reports_match(ref, fast)
+
+    def test_scalar_only_policy_falls_back(self, rng):
+        """Policies with neither batch hook cannot flatten; the batch
+        entry must return the same reports the auto engine produces."""
+        from test_runtime_eventsim_batch import _StatefulScalarOnly
+
+        device = get_preset("mobile_hdd")
+        traces = [renewal_trace(Exponential(0.5), 200.0, rng)
+                  for _ in range(2)]
+        batched = run_fleet_batch(
+            device, _StatefulScalarOnly(), traces, make_router("jsq"), 2,
+            service_time=0.4, route_seeds=[1, 2],
+        )
+        for fast, (trace, seed) in zip(batched, zip(traces, [1, 2])):
+            ref = run_fleet(device, _StatefulScalarOnly(), trace,
+                            make_router("jsq"), 2, service_time=0.4,
+                            route_seed=seed, engine="auto")
+            assert_fleet_reports_match(ref, fast)
+
+    def test_validation_and_empty(self, rng):
+        device = get_preset("mobile_hdd")
+        assert run_fleet_batch(
+            device, FixedTimeout(), [], make_router("jsq"), 2
+        ) == []
+        trace = renewal_trace(Exponential(0.5), 50.0, rng)
+        with pytest.raises(ValueError, match="route_seeds"):
+            run_fleet_batch(
+                device, FixedTimeout(), [trace], make_router("jsq"), 2,
+                route_seeds=[1, 2],
+            )
+
+
+class _ScalarOnlyRouter(Router):
+    """Registry-free router with neither vectorized path (cost model)."""
+
+    name = "scalar_only"
+
+    def route(self, ctx):  # pragma: no cover - never simulated
+        return np.zeros(ctx.arrivals.size, dtype=np.int64)
+
+
+class TestRoutingCostModel:
+    def test_rates_follow_the_assignment_cascade(self):
+        assert route_seconds_per_request(ROUTERS["round_robin"]) == 0.0
+        assert route_seconds_per_request(ROUTERS["random"]) == 0.0
+        assert route_seconds_per_request(ROUTERS["jsq"]) == \
+            STEP_ROUTE_SECONDS_PER_REQUEST
+        assert route_seconds_per_request(ROUTERS["power_aware"]) == \
+            STEP_ROUTE_SECONDS_PER_REQUEST
+        assert route_seconds_per_request(_ScalarOnlyRouter) == \
+            SCALAR_ROUTE_SECONDS_PER_REQUEST
+        assert STEP_ROUTE_SECONDS_PER_REQUEST < \
+            SCALAR_ROUTE_SECONDS_PER_REQUEST
+
+    def test_estimate_uses_vectorized_router_rate(self):
+        """A queue-aware cell must no longer be costed at the scalar
+        routing rate (which would wrongly trip the serial-degrade
+        heuristic into forcing in-process execution on fast cells)."""
+        spec = small_spec(routers=("jsq",),
+                          policies=(PolicySpec("always_on", AlwaysOn()),))
+        est = FleetSweepRunner(chunk_size=2).estimate_chunk_seconds(spec)
+        requests = spec.trace.dist.rate() * spec.trace.duration
+        expected = 2 * requests * STEP_ROUTE_SECONDS_PER_REQUEST + \
+            estimate_request_seconds(AlwaysOn(), 2 * requests)
+        assert est == pytest.approx(expected)
+        assert est < 2 * requests * SCALAR_ROUTE_SECONDS_PER_REQUEST + \
+            estimate_request_seconds(AlwaysOn(), 2 * requests)
 
 
 class TestFleetReport:
