@@ -57,5 +57,6 @@ SPEEDUP_BARS = {
         "fleet_kernel": 5.0,
         "queue_aware_routing": 5.0,
         "flattened_cell": 1.5,
+        "fault_tolerant_routing": 3.0,
     },
 }

@@ -16,6 +16,11 @@ The tentpole claims of the fleet subsystem, measured at N=64 replicas:
   kernel invocation over a whole (seed x device) cell beats R x N
   per-trace kernel runs >= 1.5x (the win is invocation-overhead
   amortization; per-replica report compilation is shared cost).
+- ``fault_tolerant_routing`` — failure-aware dispatch (seeded fault
+  schedule + failover retries) on the vectorized engine (dense backlog
+  arrays + incremental down/up transition replay) routes >= 3x faster
+  than the scalar failure-aware reference loop, with bit-identical
+  assignments/retries/dispatch times.
 
 Bars are deliberately conservative against CI-runner noise.  A further
 case times the (fleet size x router x policy) sweep at 1 and 2 jobs
@@ -47,7 +52,7 @@ from repro.fleet import (
     run_fleet_batch,
 )
 from repro.runtime import PolicySpec, TraceSpec
-from repro.workload import Exponential, renewal_trace
+from repro.workload import Exponential, FaultProcess, renewal_trace
 
 BENCH_PATH = REPO_ROOT / "BENCH_fleet.json"
 BARS = SPEEDUP_BARS["BENCH_fleet.json"]
@@ -214,6 +219,58 @@ def test_flattened_cell_speedup():
     )
 
 
+def test_fault_tolerant_routing_speedup():
+    """The failure-aware routing bar: the vectorized engine (dense
+    backlog + incremental fault-transition replay) >= 3x the scalar
+    reference loop at N=64, bit-identical outcomes."""
+    trace = _fleet_trace()
+    faults = FaultProcess(mtbf=2_000.0, mttr=200.0)
+    dispatcher = Dispatcher("jsq", N_DEVICES, get_preset(DEVICE),
+                            service_time=SERVICE_TIME, seed=7)
+
+    start = time.perf_counter()
+    _, scalar_out = dispatcher.dispatch_with_faults(
+        trace, faults, vectorized=False, fault_seed=5,
+    )
+    scalar_seconds = time.perf_counter() - start
+
+    vec_seconds = float("inf")
+    for _ in range(3):
+        start = time.perf_counter()
+        _, vec_out = dispatcher.dispatch_with_faults(
+            trace, faults, vectorized=True, fault_seed=5,
+        )
+        vec_seconds = min(vec_seconds, time.perf_counter() - start)
+
+    assert np.array_equal(scalar_out.assignments, vec_out.assignments)
+    assert np.array_equal(scalar_out.retries, vec_out.retries)
+    assert np.array_equal(scalar_out.dispatch_times, vec_out.dispatch_times)
+
+    speedup = scalar_seconds / vec_seconds
+    print()
+    print(f"fault-tolerant routing (jsq, {len(trace):,} requests, "
+          f"{scalar_out.n_retries} retries, {scalar_out.n_dropped} drops): "
+          f"scalar {scalar_seconds:.3f}s vs vectorized {vec_seconds:.3f}s "
+          f"({speedup:.1f}x)")
+    record_bench(BENCH_PATH, "fault_tolerant_routing", {
+        "device": DEVICE,
+        "n_devices": N_DEVICES,
+        "router": "jsq",
+        "mtbf": 2_000.0,
+        "mttr": 200.0,
+        "n_requests": len(trace),
+        "n_retries": int(scalar_out.n_retries),
+        "n_dropped": int(scalar_out.n_dropped),
+        "scalar_seconds": scalar_seconds,
+        "vectorized_seconds": vec_seconds,
+        "speedup": speedup,
+    })
+    assert speedup >= BARS["fault_tolerant_routing"], (
+        f"vectorized failure-aware routing only {speedup:.1f}x the "
+        f"scalar reference"
+    )
+
+
 def _sweep_seconds(n_jobs: int, spec: FleetSweepSpec):
     runner = FleetSweepRunner(chunk_size=2, n_jobs=n_jobs)
     start = time.perf_counter()
@@ -269,7 +326,7 @@ def test_bench_fleet_artifact_shape():
     assert BENCH_PATH.exists()
     data = json.loads(BENCH_PATH.read_text())
     for key in ("host", "fleet_kernel", "queue_aware_routing",
-                "flattened_cell", "fleet_sweep"):
+                "flattened_cell", "fault_tolerant_routing", "fleet_sweep"):
         assert key in data, f"BENCH_fleet.json missing {key!r}"
     for section, bar in BARS.items():
         assert data[section]["speedup"] >= bar, section

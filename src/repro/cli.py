@@ -21,13 +21,18 @@ replicas per lock-step batch; ``--jobs J`` shards seed chunks (and grid
 cells / policy-table cells) across J worker processes — results are
 bit-identical at any job count.  ``fleet-sweep`` additionally takes
 ``--devices N`` (fleet size) and ``--router NAME`` (single routing
-policy) to zoom the dispatch grid.
+policy) to zoom the dispatch grid, ``--mtbf`` / ``--mttr`` to inject
+seeded device failures (with ``--max-retries`` bounding failover
+retries before a request drops), and ``--checkpoint PATH`` to journal
+completed chunks — rerun with ``--resume`` to pick up an interrupted
+sweep bit-identically instead of starting over.
 """
 
 from __future__ import annotations
 
 import argparse
 import dataclasses
+import os
 import sys
 from typing import Callable, Dict, List, Optional
 
@@ -141,7 +146,11 @@ def _sim_sweep(quick: bool, n_seeds: Optional[int] = None,
 def _fleet_sweep(quick: bool, n_seeds: Optional[int] = None,
                  batch: Optional[int] = None, jobs: Optional[int] = None,
                  devices: Optional[int] = None,
-                 router: Optional[str] = None) -> str:
+                 router: Optional[str] = None,
+                 mtbf: Optional[float] = None,
+                 mttr: Optional[float] = None,
+                 max_retries: Optional[int] = None,
+                 checkpoint: Optional[str] = None) -> str:
     config = FleetConfig()
     if quick:
         config = dataclasses.replace(config, duration=500.0, n_traces=4)
@@ -153,6 +162,14 @@ def _fleet_sweep(quick: bool, n_seeds: Optional[int] = None,
         config = dataclasses.replace(config, fleet_sizes=(devices,))
     if router is not None:
         config = dataclasses.replace(config, routers=(router,))
+    if mtbf is not None:
+        config = dataclasses.replace(config, mtbf=mtbf)
+    if mttr is not None:
+        config = dataclasses.replace(config, mttr=mttr)
+    if max_retries is not None:
+        config = dataclasses.replace(config, max_retries=max_retries)
+    if checkpoint is not None:
+        config = dataclasses.replace(config, checkpoint=checkpoint)
     return run_fleet_sweep(config).render()
 
 
@@ -233,6 +250,43 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="fleet-sweep: run a single routing policy "
              "(default: the full router axis)",
     )
+    parser.add_argument(
+        "--mtbf",
+        type=float,
+        default=None,
+        metavar="S",
+        help="fleet-sweep: inject seeded device failures with this mean "
+             "time between failures (seconds; default: no faults)",
+    )
+    parser.add_argument(
+        "--mttr",
+        type=float,
+        default=None,
+        metavar="S",
+        help="fleet-sweep: mean time to repair a failed device "
+             "(seconds; requires --mtbf)",
+    )
+    parser.add_argument(
+        "--max-retries",
+        type=int,
+        default=None,
+        metavar="K",
+        help="fleet-sweep: failover retries before a request routed to "
+             "a down device is dropped (requires --mtbf)",
+    )
+    parser.add_argument(
+        "--checkpoint",
+        default=None,
+        metavar="PATH",
+        help="fleet-sweep: journal completed chunk results to PATH "
+             "(a fresh run truncates an existing journal; see --resume)",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="fleet-sweep: resume from the --checkpoint journal instead "
+             "of starting over (results are bit-identical either way)",
+    )
     args = parser.parse_args(argv)
     if args.seeds is not None and args.seeds < 1:
         parser.error("--seeds must be >= 1")
@@ -242,6 +296,18 @@ def main(argv: Optional[List[str]] = None) -> int:
         parser.error("--jobs must be >= 1")
     if args.devices is not None and args.devices < 1:
         parser.error("--devices must be >= 1")
+    if args.mtbf is not None and args.mtbf <= 0:
+        parser.error("--mtbf must be > 0")
+    if args.mttr is not None and args.mttr <= 0:
+        parser.error("--mttr must be > 0")
+    if args.max_retries is not None and args.max_retries < 0:
+        parser.error("--max-retries must be >= 0")
+    for flag, value in (("--mttr", args.mttr),
+                        ("--max-retries", args.max_retries)):
+        if value is not None and args.mtbf is None:
+            parser.error(f"{flag} requires --mtbf (no faults to configure)")
+    if args.resume and args.checkpoint is None:
+        parser.error("--resume requires --checkpoint")
 
     if args.experiment == "sweep":
         n_seeds = args.seeds if args.seeds is not None else 8
@@ -271,12 +337,23 @@ def main(argv: Optional[List[str]] = None) -> int:
                 f"(sharded experiments: {', '.join(sorted(_JOBBABLE))})"
             )
         for flag, value in (("--devices", args.devices),
-                            ("--router", args.router)):
+                            ("--router", args.router),
+                            ("--mtbf", args.mtbf),
+                            ("--mttr", args.mttr),
+                            ("--max-retries", args.max_retries),
+                            ("--checkpoint", args.checkpoint),
+                            ("--resume", args.resume or None)):
             if value is not None and args.experiment not in _FLEETABLE:
                 parser.error(
                     f"{flag} is not supported for {args.experiment!r} "
                     f"(fleet experiments: {', '.join(sorted(_FLEETABLE))})"
                 )
+
+    if (args.checkpoint is not None and not args.resume
+            and os.path.exists(args.checkpoint)):
+        # fresh run: drop the stale journal so old chunk results are
+        # not silently resumed
+        os.remove(args.checkpoint)
 
     names = sorted(_COMMANDS) if args.experiment == "all" else [args.experiment]
     for name in names:
@@ -287,10 +364,12 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"note: --batch has no effect on {name!r}")
         if name not in _JOBBABLE and args.jobs is not None:
             print(f"note: --jobs has no effect on {name!r}")
-        if name not in _FLEETABLE and (
-            args.devices is not None or args.router is not None
+        if name not in _FLEETABLE and any(
+            v is not None
+            for v in (args.devices, args.router, args.mtbf, args.mttr,
+                      args.max_retries, args.checkpoint)
         ):
-            print(f"note: --devices/--router have no effect on {name!r}")
+            print(f"note: fleet-sweep flags have no effect on {name!r}")
         kwargs = {}
         if args.seeds is not None and name in _SEEDABLE:
             kwargs["n_seeds"] = args.seeds
@@ -298,10 +377,15 @@ def main(argv: Optional[List[str]] = None) -> int:
             kwargs["batch"] = args.batch
         if args.jobs is not None and name in _JOBBABLE:
             kwargs["jobs"] = args.jobs
-        if args.devices is not None and name in _FLEETABLE:
-            kwargs["devices"] = args.devices
-        if args.router is not None and name in _FLEETABLE:
-            kwargs["router"] = args.router
+        if name in _FLEETABLE:
+            for key, value in (("devices", args.devices),
+                               ("router", args.router),
+                               ("mtbf", args.mtbf),
+                               ("mttr", args.mttr),
+                               ("max_retries", args.max_retries),
+                               ("checkpoint", args.checkpoint)):
+                if value is not None:
+                    kwargs[key] = value
         # no flags -> exactly one positional arg (the dispatch contract)
         out = _COMMANDS[name](args.quick, **kwargs) if kwargs else _COMMANDS[name](args.quick)
         print(out)

@@ -8,7 +8,7 @@ recorded here.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 
 @dataclass(frozen=True)
@@ -192,6 +192,14 @@ class FleetConfig:
     Stateless routers partition the stream with NumPy ops and every
     sub-trace rides the vectorized busy-period kernel; queue-aware
     routers (jsq, power_aware) use the scalar reference dispatcher path.
+
+    ``mtbf`` switches on fault injection: each device fails and repairs
+    on its own seeded exponential renewal process
+    (:class:`~repro.workload.FaultProcess` with means ``mtbf`` /
+    ``mttr``), and requests routed to a down device fail over under
+    ``failover_policy`` with up to ``max_retries`` capped-exponential
+    backoff retries.  ``checkpoint`` names a chunk-result journal file
+    so an interrupted sweep resumes without recomputation.
     """
 
     device: str = "mobile_hdd"
@@ -207,6 +215,11 @@ class FleetConfig:
     seed_stride: int = 101
     chunk_size: int = 4
     n_jobs: int = 1
+    mtbf: Optional[float] = None   #: mean time between failures (s); None = no faults
+    mttr: float = 50.0             #: mean time to repair (s)
+    failover_policy: str = "next_best"
+    max_retries: int = 3           #: failover retries before a request drops
+    checkpoint: Optional[str] = None
 
 
 @dataclass(frozen=True)

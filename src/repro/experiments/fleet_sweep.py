@@ -14,9 +14,14 @@ from __future__ import annotations
 
 from ..baselines import AlwaysOn, FixedTimeout, GreedySleep, OracleShutdown
 from ..device import get_preset
-from ..fleet import FleetSweepResult, FleetSweepRunner, FleetSweepSpec
+from ..fleet import (
+    FailoverConfig,
+    FleetSweepResult,
+    FleetSweepRunner,
+    FleetSweepSpec,
+)
 from ..runtime import PolicySpec, TraceSpec
-from ..workload import Exponential
+from ..workload import Exponential, FaultProcess
 from .config import FleetConfig
 
 
@@ -34,6 +39,13 @@ def _policy_roster() -> tuple:
 def build_spec(config: FleetConfig = FleetConfig()) -> FleetSweepSpec:
     """The :class:`~repro.fleet.FleetSweepSpec` this config realizes."""
     get_preset(config.device)  # fail fast on unknown presets
+    faults = None
+    failover = FailoverConfig()
+    if config.mtbf is not None:
+        faults = FaultProcess(mtbf=config.mtbf, mttr=config.mttr)
+        failover = FailoverConfig(
+            policy=config.failover_policy, max_retries=config.max_retries,
+        )
     return FleetSweepSpec(
         device=config.device,
         fleet_sizes=tuple(int(n) for n in config.fleet_sizes),
@@ -48,10 +60,15 @@ def build_spec(config: FleetConfig = FleetConfig()) -> FleetSweepSpec:
         seed=config.seed,
         seed_stride=config.seed_stride,
         service_time=config.service_time,
+        faults=faults,
+        failover=failover,
     )
 
 
 def run_fleet_sweep(config: FleetConfig = FleetConfig()) -> FleetSweepResult:
     """Run the full grid; deterministic given the config (any job count)."""
-    runner = FleetSweepRunner(chunk_size=config.chunk_size, n_jobs=config.n_jobs)
+    runner = FleetSweepRunner(
+        chunk_size=config.chunk_size, n_jobs=config.n_jobs,
+        checkpoint=config.checkpoint,
+    )
     return runner.run(build_spec(config))

@@ -23,8 +23,11 @@ one arrival per round) — and the sweep flattens each cell's
 """
 
 from .dispatch import (
+    FAILOVER_POLICIES,
     ROUTERS,
     Dispatcher,
+    FailoverConfig,
+    FailoverOutcome,
     JoinShortestQueueRouter,
     PowerAwareRouter,
     RandomRouter,
@@ -32,10 +35,13 @@ from .dispatch import (
     Router,
     RoundRobinRouter,
     make_router,
+    route_with_failover,
+    route_with_failover_step,
 )
 from .evaluate import ENGINES, run_fleet, run_fleet_batch
 from .report import FleetReport, build_fleet_report
 from .sweep import (
+    FAULT_SEED_OFFSET,
     ROUTE_SEED_OFFSET,
     FleetCellResult,
     FleetSweepResult,
@@ -54,6 +60,11 @@ __all__ = [
     "ROUTERS",
     "make_router",
     "Dispatcher",
+    "FailoverConfig",
+    "FailoverOutcome",
+    "FAILOVER_POLICIES",
+    "route_with_failover",
+    "route_with_failover_step",
     "ENGINES",
     "run_fleet",
     "run_fleet_batch",
@@ -65,4 +76,5 @@ __all__ = [
     "FleetSweepRunner",
     "run_fleet_chunk",
     "ROUTE_SEED_OFFSET",
+    "FAULT_SEED_OFFSET",
 ]

@@ -50,6 +50,7 @@ import numpy as np
 
 from ..device import PowerStateMachine
 from ..sim.simulator import resolve_demands
+from ..workload.faults import FaultSchedule, resolve_fault_schedule
 from ..workload.trace import Trace
 
 
@@ -117,6 +118,50 @@ class Router(ABC):
         """
         return None
 
+    # ------------------------------------------------------------------ #
+    # per-decision form (the failure-aware engines' router interface)
+    # ------------------------------------------------------------------ #
+
+    def begin_route(self, ctx: RouteContext) -> dict:
+        """Fresh per-trace decision state for :meth:`decide_one`.
+
+        The failure-aware engines own the backlog (they must book
+        retried requests at their delayed dispatch instants), so this
+        state carries only what the router itself threads between
+        decisions — a round-robin cursor, a resolved awake window.
+        """
+        return {}
+
+    def decide_one(
+        self,
+        state: dict,
+        queue_len: np.ndarray,
+        last_completion: np.ndarray,
+        now: float,
+        ctx: RouteContext,
+        alive: Optional[np.ndarray] = None,
+    ) -> int:
+        """One routing decision at instant ``now``.
+
+        This is the router's semantics factored to a single request so
+        the failure-aware engines (scalar reference and vectorized
+        epoch-advance) can interleave decisions with retries; with
+        ``alive=None`` a full pass over a trace must reproduce
+        :meth:`route` choice for choice (pinned in
+        tests/test_fleet_faults.py via the no-fault schedule).
+
+        ``alive`` is the live/dead mask of the fleet at ``now``: when
+        given (never all-False), the router must choose its best *live*
+        device — the mask-aware ranking failover falls back on.
+        ``queue_len`` / ``last_completion`` are the dispatcher-level
+        backlog views at ``now`` (post-settle), whichever backlog
+        structure the engine maintains.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not implement decide_one; "
+            "failure-aware routing needs the per-decision router form"
+        )
+
 
 class RoundRobinRouter(Router):
     """Cycle through the devices in request order (the classic default)."""
@@ -131,6 +176,22 @@ class RoundRobinRouter(Router):
 
     def route_batch(self, ctx: RouteContext) -> np.ndarray:
         return np.arange(ctx.arrivals.size, dtype=np.int64) % ctx.n_devices
+
+    def begin_route(self, ctx: RouteContext) -> dict:
+        return {"next": 0}
+
+    def decide_one(self, state, queue_len, last_completion, now, ctx,
+                   alive=None) -> int:
+        choice = state["next"] % ctx.n_devices
+        state["next"] += 1
+        if alive is None or alive[choice]:
+            return choice
+        # first live device cyclically after the cursor's pick
+        for off in range(1, ctx.n_devices):
+            candidate = (choice + off) % ctx.n_devices
+            if alive[candidate]:
+                return candidate
+        return choice  # unreachable: callers never pass an all-dead mask
 
 
 class RandomRouter(Router):
@@ -152,6 +213,16 @@ class RandomRouter(Router):
     def route_batch(self, ctx: RouteContext) -> np.ndarray:
         return ctx.rng.integers(0, ctx.n_devices, size=ctx.arrivals.size,
                                 dtype=np.int64)
+
+    def decide_one(self, state, queue_len, last_completion, now, ctx,
+                   alive=None) -> int:
+        # one stream draw per decision in either mode; with every device
+        # alive the masked draw indexes the identity, so a no-fault pass
+        # consumes the stream exactly like route()
+        if alive is None:
+            return int(ctx.rng.integers(0, ctx.n_devices))
+        live = np.flatnonzero(alive)
+        return int(live[int(ctx.rng.integers(0, live.size))])
 
 
 #: settled-prefix length past which :class:`_BacklogTracker` compacts a
@@ -285,6 +356,13 @@ class JoinShortestQueueRouter(Router):
             out[i] = choice
         return np.asarray(out, dtype=np.int64)
 
+    def decide_one(self, state, queue_len, last_completion, now, ctx,
+                   alive=None) -> int:
+        if alive is None:
+            return int(np.argmin(queue_len))
+        masked = np.where(alive, queue_len, np.iinfo(np.int64).max)
+        return int(np.argmin(masked))
+
 
 class PowerAwareRouter(Router):
     """Prefer devices that are presumably still awake.
@@ -385,6 +463,31 @@ class PowerAwareRouter(Router):
             out[i] = choice
         return out
 
+    def begin_route(self, ctx: RouteContext) -> dict:
+        return {"window": self.resolve_window(ctx.device)}
+
+    def decide_one(self, state, queue_len, last_completion, now, ctx,
+                   alive=None) -> int:
+        # the route() decision tree with every eligibility test ANDed
+        # against the live mask; with alive=None (or all-True) each
+        # branch reduces to the unmasked original, so choices — and
+        # tie-breaks — match route() exactly
+        window = state["window"]
+        full = np.iinfo(np.int64).max
+        awake = (queue_len > 0) | (now - last_completion < window)
+        eligible = alive if alive is not None else np.ones(
+            ctx.n_devices, dtype=bool
+        )
+        room = awake & eligible & (queue_len < self._max_queue)
+        if room.any():
+            return int(np.argmin(np.where(room, queue_len, full)))
+        sleeping = ~awake & eligible
+        if sleeping.any():
+            # wake the most recently used sleeping (live) device
+            return int(np.argmax(np.where(sleeping, last_completion, -np.inf)))
+        # every live device awake and full: plain shortest live queue
+        return int(np.argmin(np.where(eligible, queue_len, full)))
+
 
 #: registry used by the sweep layer and the CLI ``--router`` flag
 ROUTERS: Dict[str, Type[Router]] = {
@@ -403,6 +506,270 @@ def make_router(name: str) -> Router:
         raise ValueError(
             f"unknown router {name!r}; choose from {sorted(ROUTERS)}"
         ) from None
+
+
+#: failover policies accepted by :class:`FailoverConfig`
+FAILOVER_POLICIES = ("next_best", "resubmit")
+
+
+@dataclass(frozen=True)
+class FailoverConfig:
+    """How the dispatcher absorbs a request routed to a down device.
+
+    The first attempt is always the router's natural, fault-oblivious
+    choice (so a no-fault run is bit-identical to plain routing).  When
+    that device is down at the dispatch instant, the request backs off
+    — capped exponential, delay ``min(base * 2**(k-1), cap)`` before
+    retry ``k`` — and is re-decided:
+
+    - ``"next_best"`` (default): the retry decision sees the live/dead
+      mask and lands on the router's best *surviving* device —
+      health-checked failover.  Requests drop only while the whole
+      fleet is down.
+    - ``"resubmit"``: the retry goes back to the fault-oblivious router
+      (a stale health view): the router may well re-pick the dead
+      device, so a long outage can exhaust ``max_retries`` and drop the
+      request — the cost of health-blind dispatch, measurable in the
+      report's dropped/retry metrics.
+
+    After ``max_retries`` backoffs the request is dropped (assignment
+    ``-1``) rather than waiting forever.
+    """
+
+    policy: str = "next_best"
+    max_retries: int = 3
+    backoff_base: float = 0.5
+    backoff_cap: float = 8.0
+
+    def __post_init__(self) -> None:
+        if self.policy not in FAILOVER_POLICIES:
+            raise ValueError(
+                f"unknown failover policy {self.policy!r}; "
+                f"choose from {FAILOVER_POLICIES}"
+            )
+        if int(self.max_retries) < 0:
+            raise ValueError(
+                f"max_retries must be >= 0, got {self.max_retries}"
+            )
+        if self.backoff_base <= 0:
+            raise ValueError(
+                f"backoff_base must be > 0, got {self.backoff_base}"
+            )
+        if self.backoff_cap < self.backoff_base:
+            raise ValueError(
+                f"backoff_cap must be >= backoff_base, got "
+                f"{self.backoff_cap} < {self.backoff_base}"
+            )
+
+
+@dataclass
+class FailoverOutcome:
+    """Per-request result of one failure-aware routing pass.
+
+    ``assignments[i]`` is the landing device, or ``-1`` for a dropped
+    request; ``dispatch_times[i]`` the instant the request finally
+    dispatched (its arrival time plus any backoff delays — for dropped
+    requests, the instant the dispatcher gave up); ``retries[i]`` the
+    number of backoff delays taken.
+    """
+
+    arrivals: np.ndarray
+    assignments: np.ndarray
+    dispatch_times: np.ndarray
+    retries: np.ndarray
+
+    @property
+    def landed(self) -> np.ndarray:
+        """Boolean mask of requests that reached a device."""
+        return self.assignments >= 0
+
+    @property
+    def n_dropped(self) -> int:
+        """Requests that exhausted their retries."""
+        return int((~self.landed).sum())
+
+    @property
+    def n_retries(self) -> int:
+        """Total backoff retries across all requests."""
+        return int(self.retries.sum())
+
+    @property
+    def latency_inflation(self) -> float:
+        """Mean added dispatch delay (seconds) over landed requests."""
+        landed = self.landed
+        if not landed.any():
+            return 0.0
+        extra = self.dispatch_times[landed] - self.arrivals[landed]
+        return float(extra.mean())
+
+
+def _backoff_delay(k: int, config: FailoverConfig) -> float:
+    """Delay before retry ``k`` (1-based): capped exponential."""
+    return min(config.backoff_base * (2.0 ** (k - 1)), config.backoff_cap)
+
+
+def route_with_failover(
+    router: Router,
+    ctx: RouteContext,
+    faults: FaultSchedule,
+    config: FailoverConfig = FailoverConfig(),
+) -> FailoverOutcome:
+    """Scalar failure-aware reference loop (the semantics of record).
+
+    Walks the requests once; each request is resolved fully — natural
+    choice, backoff retries, landing or drop — before the next arrival
+    is considered (retried requests book at their *delayed* dispatch
+    instants, so a later-arriving request can observe their bookings;
+    the dispatcher-level service model already abstracts in-flight
+    detail, and inline resolution keeps the pass deterministic and
+    single-sweep).  Backlog bookkeeping is the list-walking
+    :class:`_BacklogTracker` and every mask is an exact per-device
+    :meth:`~repro.workload.FaultSchedule.is_down` query — the slow,
+    obviously-correct twin :func:`route_with_failover_step` is pinned
+    against bit for bit.
+    """
+    if faults.n_devices != ctx.n_devices:
+        raise ValueError(
+            f"fault schedule covers {faults.n_devices} devices, "
+            f"context has {ctx.n_devices}"
+        )
+    n = int(ctx.arrivals.size)
+    tracker = _BacklogTracker(ctx.n_devices)
+    state = router.begin_route(ctx)
+    assignments = np.empty(n, dtype=np.int64)
+    dispatch_times = np.empty(n)
+    retries = np.zeros(n, dtype=np.int64)
+
+    def backlog_view():
+        lengths = np.array(
+            [tracker.queue_len(d) for d in range(ctx.n_devices)],
+            dtype=np.int64,
+        )
+        return lengths, tracker.last_completion
+
+    for i in range(n):
+        now = float(ctx.arrivals[i])
+        t = now
+        k = 0
+        tracker.settle(t)
+        alive = faults.alive_mask(t)
+        lengths, last = backlog_view()
+        choice = router.decide_one(state, lengths, last, t, ctx)
+        while not alive[choice]:
+            if k == config.max_retries:
+                choice = -1
+                break
+            k += 1
+            t = t + _backoff_delay(k, config)
+            tracker.settle(t)
+            alive = faults.alive_mask(t)
+            if config.policy == "resubmit":
+                lengths, last = backlog_view()
+                choice = router.decide_one(state, lengths, last, t, ctx)
+            elif alive.any():
+                lengths, last = backlog_view()
+                choice = router.decide_one(
+                    state, lengths, last, t, ctx, alive=alive
+                )
+            # whole fleet down under next_best: hold the choice, back off
+        if choice >= 0:
+            tracker.assign(choice, t, float(ctx.demands[i]))
+        assignments[i] = choice
+        dispatch_times[i] = t
+        retries[i] = k
+    return FailoverOutcome(
+        arrivals=ctx.arrivals,
+        assignments=assignments,
+        dispatch_times=dispatch_times,
+        retries=retries,
+    )
+
+
+def route_with_failover_step(
+    router: Router,
+    ctx: RouteContext,
+    faults: FaultSchedule,
+    config: FailoverConfig = FailoverConfig(),
+) -> FailoverOutcome:
+    """Epoch-advance failure-aware routing (the vectorized fast path).
+
+    Same attempt/backoff/landing semantics as
+    :func:`route_with_failover`, different mechanics: the backlog lives
+    in dense arrays settled through one shared completion heap
+    (:class:`_DenseBacklog`), and the live/dead mask at each *arrival*
+    is maintained incrementally from the schedule's merged transition
+    stream — one boolean flip per fault event over the whole trace
+    instead of an O(N) per-device interval scan per request.  Retry
+    probes (rare, and at off-arrival instants ahead of the incremental
+    clock) fall back to the exact
+    :meth:`~repro.workload.FaultSchedule.alive_mask` query the scalar
+    loop uses.  Booked completion times and backoff instants are
+    computed with the same Python-float arithmetic, masks are exact
+    boolean replays, and decisions go through the same
+    :meth:`Router.decide_one` — so the outcome is bit-identical to the
+    scalar reference (pinned in tests/test_fleet_faults.py and
+    asserted in-bench).
+    """
+    if faults.n_devices != ctx.n_devices:
+        raise ValueError(
+            f"fault schedule covers {faults.n_devices} devices, "
+            f"context has {ctx.n_devices}"
+        )
+    n = int(ctx.arrivals.size)
+    backlog = _DenseBacklog(ctx.n_devices)
+    queue_len = backlog.queue_len
+    last_completion = backlog.last_completion
+    settle = backlog.settle
+    assign = backlog.assign
+    state = router.begin_route(ctx)
+    assignments = np.empty(n, dtype=np.int64)
+    dispatch_times = np.empty(n)
+    retries = np.zeros(n, dtype=np.int64)
+
+    ev_times, ev_devices, ev_downs = faults.transitions()
+    ev_times_list = ev_times.tolist()
+    n_events = len(ev_times_list)
+    next_event = 0
+    alive_now = np.ones(ctx.n_devices, dtype=bool)
+
+    arrivals = ctx.arrivals.tolist()
+    demands = ctx.demands.tolist()
+    decide = router.decide_one
+    for i in range(n):
+        now = arrivals[i]
+        while next_event < n_events and ev_times_list[next_event] <= now:
+            alive_now[ev_devices[next_event]] = not ev_downs[next_event]
+            next_event += 1
+        t = now
+        k = 0
+        settle(t)
+        alive = alive_now
+        choice = decide(state, queue_len, last_completion, t, ctx)
+        while not alive[choice]:
+            if k == config.max_retries:
+                choice = -1
+                break
+            k += 1
+            t = t + _backoff_delay(k, config)
+            settle(t)
+            alive = faults.alive_mask(t)
+            if config.policy == "resubmit":
+                choice = decide(state, queue_len, last_completion, t, ctx)
+            elif alive.any():
+                choice = decide(
+                    state, queue_len, last_completion, t, ctx, alive=alive
+                )
+        if choice >= 0:
+            assign(choice, t, demands[i])
+        assignments[i] = choice
+        dispatch_times[i] = t
+        retries[i] = k
+    return FailoverOutcome(
+        arrivals=ctx.arrivals,
+        assignments=assignments,
+        dispatch_times=dispatch_times,
+        retries=retries,
+    )
 
 
 class Dispatcher:
@@ -486,3 +853,56 @@ class Dispatcher:
             self.assignments(trace, vectorized=vectorized),
             n_parts=self.n_devices,
         )
+
+    def dispatch_with_faults(
+        self,
+        trace: Trace,
+        faults,
+        failover: FailoverConfig = FailoverConfig(),
+        vectorized: bool = True,
+        fault_seed: Optional[int] = None,
+    ) -> Tuple[List[Trace], FailoverOutcome]:
+        """Route under a fault schedule and split into per-device traces.
+
+        ``faults`` is a :class:`~repro.workload.FaultSchedule` or a
+        :class:`~repro.workload.FaultProcess` (realized over the trace
+        window with ``fault_seed``, defaulting to the routing seed).
+        Dropped requests appear in the returned
+        :class:`FailoverOutcome` but in no sub-trace; landed requests
+        enter their device's stream at their *delayed* dispatch instant
+        (a retried request can dispatch after a later arrival, so each
+        sub-trace is stable-sorted by dispatch time), and the shared
+        window is stretched to cover the latest landing.
+        """
+        schedule = resolve_fault_schedule(
+            faults,
+            self.n_devices,
+            trace.duration,
+            seed=self.seed if fault_seed is None else int(fault_seed),
+        )
+        if schedule is None:
+            raise ValueError(
+                "dispatch_with_faults needs a fault schedule; "
+                "use dispatch() for the fault-free path"
+            )
+        ctx = self._context(trace)
+        engine = route_with_failover_step if vectorized else route_with_failover
+        outcome = engine(self.router, ctx, schedule, failover)
+        duration = float(trace.duration)
+        landed = outcome.landed
+        if landed.any():
+            duration = max(duration, float(outcome.dispatch_times[landed].max()))
+        subs: List[Trace] = []
+        for d in range(self.n_devices):
+            mask = outcome.assignments == d
+            times = outcome.dispatch_times[mask]
+            demands = ctx.demands[mask]
+            order = np.argsort(times, kind="stable")
+            subs.append(
+                Trace(
+                    times[order],
+                    duration=duration,
+                    service_demands=demands[order],
+                )
+            )
+        return subs, outcome

@@ -36,8 +36,9 @@ from ..device import PowerStateMachine
 from ..runtime.eventsim import run_step_batched, simulate_traces_batch
 from ..sim.policy_api import EventPolicy
 from ..sim.simulator import DPMSimulator
+from ..workload.faults import resolve_fault_schedule
 from ..workload.trace import Trace
-from .dispatch import Dispatcher, Router
+from .dispatch import Dispatcher, FailoverConfig, Router
 from .report import FleetReport, build_fleet_report
 
 #: engines accepted by :func:`run_fleet`
@@ -55,6 +56,9 @@ def run_fleet(
     route_seed: int = 0,
     engine: str = "auto",
     keep_latencies: bool = True,
+    faults=None,
+    failover: Optional[FailoverConfig] = None,
+    fault_seed: Optional[int] = None,
 ) -> FleetReport:
     """Simulate ``n_devices`` replicas of ``device`` sharing ``trace``.
 
@@ -62,6 +66,16 @@ def run_fleet(
     reused sequentially; every engine resets it per run, identical to
     how sweep cells share policy instances).  Deterministic given
     ``(trace, route_seed)`` for either engine.
+
+    ``faults`` injects device failures: a
+    :class:`~repro.workload.FaultSchedule` or a
+    :class:`~repro.workload.FaultProcess` (realized over the trace
+    window with ``fault_seed``, defaulting to ``route_seed``).  Routing
+    then goes through the failure-aware engines — the vectorized
+    epoch-advance path for ``auto``/``flat``, the scalar reference loop
+    for ``scalar``, pinned bit-identical — honouring ``failover``
+    (default :class:`~repro.fleet.dispatch.FailoverConfig`), and the
+    report carries availability/retry/drop/inflation metrics.
 
     The fleet quantiles always merge the exact per-device completion
     streams; ``keep_latencies=False`` drops the raw arrays from the
@@ -75,11 +89,31 @@ def run_fleet(
             device, policy, [trace], router, n_devices,
             service_time=service_time, oracle=oracle,
             route_seeds=[route_seed], keep_latencies=keep_latencies,
+            faults=faults, failover=failover,
+            fault_seeds=None if fault_seed is None else [fault_seed],
         )[0]
     dispatcher = Dispatcher(
         router, n_devices, device, service_time=service_time, seed=route_seed,
     )
-    sub_traces = dispatcher.dispatch(trace, vectorized=engine == "auto")
+    fault_kwargs = {}
+    if faults is None:
+        sub_traces = dispatcher.dispatch(trace, vectorized=engine == "auto")
+    else:
+        schedule = resolve_fault_schedule(
+            faults, n_devices, trace.duration,
+            seed=route_seed if fault_seed is None else int(fault_seed),
+        )
+        sub_traces, outcome = dispatcher.dispatch_with_faults(
+            trace, schedule,
+            failover=failover if failover is not None else FailoverConfig(),
+            vectorized=engine == "auto",
+        )
+        fault_kwargs = {
+            "availability": float(schedule.availability().mean()),
+            "n_retries": outcome.n_retries,
+            "n_dropped": outcome.n_dropped,
+            "failover_latency_inflation": outcome.latency_inflation,
+        }
     if engine == "auto":
         reports = simulate_traces_batch(
             device, policy, sub_traces,
@@ -97,6 +131,7 @@ def run_fleet(
         home_power=device.state(device.initial_state).power,
         reports=reports,
         keep_latencies=keep_latencies,
+        **fault_kwargs,
     )
 
 
@@ -110,6 +145,9 @@ def run_fleet_batch(
     oracle: bool = False,
     route_seeds: Optional[Sequence[int]] = None,
     keep_latencies: bool = True,
+    faults=None,
+    failover: Optional[FailoverConfig] = None,
+    fault_seeds: Optional[Sequence[int]] = None,
 ) -> List[FleetReport]:
     """R seeded fleet runs of one cell as a single flattened kernel call.
 
@@ -126,7 +164,12 @@ def run_fleet_batch(
     Policies outside both batch families fall back to per-seed
     :func:`run_fleet` on the ``auto`` engine (same reports, no
     flattening to be had).  ``route_seeds`` defaults to 0 for every
-    trace, matching :func:`run_fleet`'s default.
+    trace, matching :func:`run_fleet`'s default; with ``faults`` given,
+    ``fault_seeds`` (defaulting to the route seeds) realize a
+    :class:`~repro.workload.FaultProcess` independently per trace, and
+    each flattened sub-trace carries its failover-delayed dispatch
+    instants — per-seed reports remain pure functions of their own
+    ``(trace, route_seed, fault_seed)``, preserving chunking-invariance.
     """
     traces = list(traces)
     if not traces:
@@ -139,15 +182,42 @@ def run_fleet_batch(
             f"route_seeds length {len(route_seeds)} != "
             f"traces length {len(traces)}"
         )
+    if fault_seeds is None:
+        fault_seeds = route_seeds
+    fault_seeds = [int(s) for s in fault_seeds]
+    if len(fault_seeds) != len(traces):
+        raise ValueError(
+            f"fault_seeds length {len(fault_seeds)} != "
+            f"traces length {len(traces)}"
+        )
     router_name = None
     sub_traces: List[Trace] = []
-    for trace, seed in zip(traces, route_seeds):
+    fault_kwargs: List[dict] = []
+    for trace, seed, fseed in zip(traces, route_seeds, fault_seeds):
         dispatcher = Dispatcher(
             router, n_devices, device,
             service_time=service_time, seed=seed,
         )
         router_name = dispatcher.router.name
-        sub_traces.extend(dispatcher.dispatch(trace))
+        if faults is None:
+            sub_traces.extend(dispatcher.dispatch(trace))
+            fault_kwargs.append({})
+        else:
+            schedule = resolve_fault_schedule(
+                faults, n_devices, trace.duration, seed=fseed,
+            )
+            subs, outcome = dispatcher.dispatch_with_faults(
+                trace, schedule,
+                failover=failover if failover is not None
+                else FailoverConfig(),
+            )
+            sub_traces.extend(subs)
+            fault_kwargs.append({
+                "availability": float(schedule.availability().mean()),
+                "n_retries": outcome.n_retries,
+                "n_dropped": outcome.n_dropped,
+                "failover_latency_inflation": outcome.latency_inflation,
+            })
     reports = run_step_batched(
         device, policy, sub_traces,
         service_time=service_time, oracle=oracle, allow_stateless=True,
@@ -158,8 +228,9 @@ def run_fleet_batch(
                 device, policy, trace, router, n_devices,
                 service_time=service_time, oracle=oracle, route_seed=seed,
                 engine="auto", keep_latencies=keep_latencies,
+                faults=faults, failover=failover, fault_seed=fseed,
             )
-            for trace, seed in zip(traces, route_seeds)
+            for trace, seed, fseed in zip(traces, route_seeds, fault_seeds)
         ]
     home_power = device.state(device.initial_state).power
     return [
@@ -169,6 +240,7 @@ def run_fleet_batch(
             home_power=home_power,
             reports=reports[r * n_devices:(r + 1) * n_devices],
             keep_latencies=keep_latencies,
+            **fault_kwargs[r],
         )
         for r in range(len(traces))
     ]

@@ -43,6 +43,15 @@ class FleetReport:
     n_wrong_shutdowns: int
     requests_per_device: Tuple[int, ...]
     state_residency: Dict[str, float]  #: fleet-total seconds per condition
+    #: mean per-device uptime fraction under the injected fault schedule
+    #: (1.0 when the run had no faults)
+    availability: float = 1.0
+    #: total failover backoff retries across all requests
+    n_retries: int = 0
+    #: requests that exhausted their retries and were dropped
+    n_dropped: int = 0
+    #: mean added dispatch delay (seconds) over requests that landed
+    failover_latency_inflation: float = 0.0
     #: the per-device reports the aggregate was folded from
     device_reports: Tuple[SimReport, ...] = field(default=(), repr=False)
 
@@ -60,6 +69,10 @@ def build_fleet_report(
     home_power: float,
     reports: Sequence[SimReport],
     keep_latencies: bool = True,
+    availability: float = 1.0,
+    n_retries: int = 0,
+    n_dropped: int = 0,
+    failover_latency_inflation: float = 0.0,
 ) -> FleetReport:
     """Fold per-device reports into the fleet aggregate.
 
@@ -69,6 +82,10 @@ def build_fleet_report(
     retained ``device_reports`` once the exact merged-stream quantiles
     are computed — the fold is the last consumer, so sweep workers can
     ship the aggregate back without R x n_requests floats in the pickle.
+    The fault-injection fields (``availability`` and the failover
+    counters) come from the dispatcher's
+    :class:`~repro.fleet.dispatch.FailoverOutcome`; their defaults
+    describe a fault-free run.
     """
     if not reports:
         raise ValueError("need at least one device report")
@@ -108,5 +125,9 @@ def build_fleet_report(
         n_wrong_shutdowns=int(sum(r.n_wrong_shutdowns for r in reports)),
         requests_per_device=tuple(r.n_requests for r in reports),
         state_residency=residency,
+        availability=float(availability),
+        n_retries=int(n_retries),
+        n_dropped=int(n_dropped),
+        failover_latency_inflation=float(failover_latency_inflation),
         device_reports=tuple(reports),
     )

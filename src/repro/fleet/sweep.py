@@ -15,16 +15,18 @@ identical for every ``(chunk_size, n_jobs)`` combination.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Sequence, Tuple, Type
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Type
 
 import numpy as np
 
 from ..analysis.ascii_plot import format_table
 from ..analysis.bootstrap import CI, bootstrap_ci
 from ..device import get_preset
+from ..runtime.checkpoint import run_chunks_checkpointed, spec_hash
 from ..runtime.executor import get_executor, resolve_n_jobs
 from ..runtime.simsweep import PolicySpec, TraceSpec, estimate_request_seconds
-from .dispatch import ROUTERS, Router, make_router
+from ..workload.faults import FaultProcess, FaultSchedule
+from .dispatch import ROUTERS, FailoverConfig, Router, make_router
 from .evaluate import run_fleet_batch
 from .report import FleetReport
 
@@ -61,6 +63,12 @@ def route_seconds_per_request(router_cls: Type[Router]) -> float:
 #: stream (both are realized from the replication seed)
 ROUTE_SEED_OFFSET = 1_000_003
 
+#: offset decorrelating the fault-injection stream from both the
+#: trace-generation and routing streams — all three realize from the
+#: replication seed, so injected nondeterminism stays deterministic
+#: per replication yet statistically independent of the workload
+FAULT_SEED_OFFSET = 2_000_003
+
 
 @dataclass(frozen=True)
 class FleetSweepSpec:
@@ -81,6 +89,13 @@ class FleetSweepSpec:
     seed: int = 0
     seed_stride: int = 101
     service_time: float = 0.5
+    #: optional fault injection: a :class:`~repro.workload.FaultProcess`
+    #: recipe (realized per fleet size and replication), or — for
+    #: single-fleet-size sweeps — a concrete
+    #: :class:`~repro.workload.FaultSchedule`
+    faults: Any = None
+    #: failover behaviour when routing under faults
+    failover: FailoverConfig = FailoverConfig()
 
     def __post_init__(self) -> None:
         if not (self.fleet_sizes and self.routers and self.policies):
@@ -98,6 +113,53 @@ class FleetSweepSpec:
             raise ValueError(f"seed_stride must be >= 1, got {self.seed_stride}")
         if self.service_time <= 0:
             raise ValueError(f"service_time must be > 0, got {self.service_time}")
+        if not isinstance(self.failover, FailoverConfig):
+            raise ValueError(
+                f"failover must be a FailoverConfig, got {self.failover!r}"
+            )
+        self._validate_faults()
+
+    def _validate_faults(self) -> None:
+        """Reject degenerate fault configs before they cost a sweep.
+
+        ``FaultProcess`` already refuses nonsensical parameters
+        (MTBF/MTTR <= 0, a whole-fleet ``start_down`` cohort); the spec
+        layer adds the checks that need sweep context — a fleet that
+        churns faster than it serves, or a concrete schedule that
+        starts with every device dead.
+        """
+        faults = self.faults
+        if faults is None:
+            return
+        if isinstance(faults, FaultProcess):
+            if faults.mttr <= 0:
+                raise ValueError(f"MTTR must be > 0, got {faults.mttr}")
+            if faults.mtbf < self.service_time:
+                raise ValueError(
+                    f"MTBF {faults.mtbf} is shorter than a single request's "
+                    f"service demand {self.service_time}: every device would "
+                    f"fail mid-request — not a meaningful fault scenario"
+                )
+            return
+        if isinstance(faults, FaultSchedule):
+            sizes = set(int(n) for n in self.fleet_sizes)
+            if sizes != {faults.n_devices}:
+                raise ValueError(
+                    f"a concrete FaultSchedule ({faults.n_devices} devices) "
+                    f"only fits a single-fleet-size sweep of that size, got "
+                    f"fleet_sizes={self.fleet_sizes}; pass a FaultProcess "
+                    f"recipe to sweep fleet sizes"
+                )
+            if faults.all_down_at(0.0):
+                raise ValueError(
+                    "fault schedule has all devices down at t=0 — no "
+                    "surviving device to fail over to; stagger the outage"
+                )
+            return
+        raise ValueError(
+            f"faults must be a FaultProcess, FaultSchedule, or None, "
+            f"got {faults!r}"
+        )
 
     def seeds(self) -> List[int]:
         """Replication seeds, shared across cells so comparisons pair."""
@@ -161,18 +223,31 @@ class FleetSweepResult:
             "fleet", "router", "policy", "power (W)", "+-", "saving",
             "p50 lat", "p99 lat", "shutdowns", "imbalance",
         ]
+        faulty = self.spec.faults is not None
+        if faulty:
+            headers += ["avail", "retries", "dropped"]
         rows = []
         for c in self.cells:
             power = c.power_ci()
             p50 = float(np.mean([r.p50_latency for r in c.reports]))
             p99 = c.p99_ci()
-            rows.append([
+            row = [
                 c.n_devices, c.router, c.policy,
                 round(power.estimate, 4), round(power.half_width, 4),
                 round(c.saving_ci().estimate, 4),
                 round(p50, 3), round(p99.estimate, 3),
                 round(c.mean_shutdowns, 1), round(c.mean_imbalance, 2),
-            ])
+            ]
+            if faulty:
+                row += [
+                    round(float(np.mean(
+                        [r.availability for r in c.reports])), 4),
+                    round(float(np.mean(
+                        [r.n_retries for r in c.reports])), 1),
+                    round(float(np.mean(
+                        [r.n_dropped for r in c.reports])), 1),
+                ]
+            rows.append(row)
         return format_table(
             headers, rows,
             title=f"FLEET-SWEEP: {self.spec.device} fleet scenario grid "
@@ -189,6 +264,8 @@ def run_fleet_chunk(
     trace_spec: TraceSpec,
     service_time: float,
     seeds: Sequence[int],
+    faults: Any = None,
+    failover: FailoverConfig = FailoverConfig(),
 ) -> List[FleetReport]:
     """One (cell, seed-chunk) work unit — module-level and built from
     picklable values only, so the executor can ship it to a worker.
@@ -199,7 +276,12 @@ def run_fleet_chunk(
     results are identical for every ``(chunk_size, n_jobs)``.  The
     retained per-device reports are stripped of their raw latency
     arrays (the merged-stream quantiles are already folded) so the
-    pickled results stay small."""
+    pickled results stay small.
+
+    With ``faults`` given, each replication's fault stream realizes
+    from ``seed + FAULT_SEED_OFFSET`` — deterministic per replication,
+    decorrelated from both its trace and routing streams, and
+    independent of how replications are chunked."""
     device = get_preset(device_name)
     return run_fleet_batch(
         device, policy_spec.policy,
@@ -208,6 +290,8 @@ def run_fleet_chunk(
         service_time=service_time, oracle=policy_spec.oracle,
         route_seeds=[seed + ROUTE_SEED_OFFSET for seed in seeds],
         keep_latencies=False,
+        faults=faults, failover=failover,
+        fault_seeds=[seed + FAULT_SEED_OFFSET for seed in seeds],
     )
 
 
@@ -220,13 +304,36 @@ class FleetSweepRunner:
         Trace replications per work unit.
     n_jobs:
         Worker processes to shard (cell, chunk) units across (1 = serial).
+    timeout:
+        Per-chunk wall-second bound when collecting pool results; a
+        chunk exceeding it (hung or silently-dead worker) reruns
+        in-process (see :meth:`MultiprocessExecutor.submit_all`).
+    max_retries:
+        Pool resubmissions of a chunk whose worker raised, before the
+        chunk degrades to an in-process rerun.
+    retry_backoff:
+        Base of the capped-exponential sleep between retries.
+    checkpoint:
+        Path of a chunk-result journal: completed chunks are recorded as
+        they finish and skipped on the next run with the same spec and
+        chunk size — resumed results are bit-identical to an
+        uninterrupted run.
     """
 
-    def __init__(self, chunk_size: int = 4, n_jobs: int = 1) -> None:
+    def __init__(self, chunk_size: int = 4, n_jobs: int = 1,
+                 timeout: Optional[float] = None, max_retries: int = 0,
+                 retry_backoff: float = 0.5,
+                 checkpoint: Optional[str] = None) -> None:
         if chunk_size < 1:
             raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+        if max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {max_retries}")
         self.chunk_size = int(chunk_size)
         self.n_jobs = int(n_jobs)
+        self.timeout = timeout
+        self.max_retries = int(max_retries)
+        self.retry_backoff = float(retry_backoff)
+        self.checkpoint = checkpoint
 
     def estimate_chunk_seconds(self, spec: FleetSweepSpec) -> float:
         """Mean estimated wall seconds of one (cell, seed-chunk) unit.
@@ -242,10 +349,18 @@ class FleetSweepRunner:
         """
         chunk = min(self.chunk_size, spec.n_traces)
         requests = spec.trace.dist.rate() * spec.trace.duration
-        per_route = [
-            chunk * requests * route_seconds_per_request(ROUTERS[name])
-            for name in spec.routers
+        per_request_rates = [
+            route_seconds_per_request(ROUTERS[name]) for name in spec.routers
         ]
+        if spec.faults is not None:
+            # failure-aware routing runs every router through the
+            # epoch-advance engine — closed-form routers lose their
+            # free path and pay at least the per-arrival Python round
+            per_request_rates = [
+                max(rate, STEP_ROUTE_SECONDS_PER_REQUEST)
+                for rate in per_request_rates
+            ]
+        per_route = [chunk * requests * rate for rate in per_request_rates]
         per_policy = [
             estimate_request_seconds(p.policy, chunk * requests)
             for p in spec.policies
@@ -270,17 +385,24 @@ class FleetSweepRunner:
                     for chunk in chunks:
                         tasks.append(
                             (spec.device, int(n_devices), router_name,
-                             policy_spec, spec.trace, spec.service_time, chunk)
+                             policy_spec, spec.trace, spec.service_time, chunk,
+                             spec.faults, spec.failover)
                         )
         est = self.estimate_chunk_seconds(spec)
         n_jobs, decision = resolve_n_jobs(self.n_jobs, est, len(tasks))
-        chunk_reports = get_executor(n_jobs).map(run_fleet_chunk, tasks)
+        chunk_reports, resilience = run_chunks_checkpointed(
+            get_executor(n_jobs), run_fleet_chunk, tasks,
+            spec_key=spec_hash(spec, self.chunk_size),
+            checkpoint=self.checkpoint, timeout=self.timeout,
+            max_retries=self.max_retries, retry_backoff=self.retry_backoff,
+        )
 
         result = FleetSweepResult(spec=spec, execution={
             "n_jobs_requested": self.n_jobs,
             "n_jobs_effective": n_jobs,
             "decision": decision,
             "estimated_chunk_seconds": est,
+            **resilience,
         })
         per_cell = len(chunks)
         for c, (n_devices, router_name, policy_label) in enumerate(cell_keys):

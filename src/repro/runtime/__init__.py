@@ -40,8 +40,10 @@ from .eventsim import (
     simulate_trace,
     simulate_traces_batch,
 )
+from .checkpoint import CheckpointJournal, run_chunks_checkpointed, spec_hash
 from .executor import (
     AsyncTasks,
+    ChunkExecutionError,
     Executor,
     MultiprocessExecutor,
     SerialExecutor,
@@ -76,6 +78,10 @@ __all__ = [
     "MultiprocessExecutor",
     "Executor",
     "AsyncTasks",
+    "ChunkExecutionError",
+    "CheckpointJournal",
+    "run_chunks_checkpointed",
+    "spec_hash",
     "get_executor",
     "is_picklable",
     "GridSpec",

@@ -1,0 +1,157 @@
+"""Checkpoint/resume for chunked sweeps: an append-only result journal.
+
+A sweep is a list of pure work units (chunks); each chunk's result is a
+pure function of its picklable argument tuple.  That makes resumption
+trivially sound: journal every completed chunk result keyed by
+``(spec-hash, chunk-id)``, and on restart recompute only the chunks the
+journal does not already hold — the merged results are bit-identical to
+an uninterrupted run because *which process computed a chunk, and when,
+never influences its bits* (the determinism contract the executor layer
+already guarantees for any ``(chunk_size, n_jobs)``).
+
+The journal is a single file of consecutive :mod:`pickle` records,
+appended and flushed (+ fsynced) per chunk, so a run killed mid-sweep
+loses at most the chunk in flight.  A truncated trailing record — the
+kill arriving mid-write — is detected and ignored on load.  The spec
+hash stored in every record guards against resuming with a different
+sweep configuration: foreign records are skipped, so one journal file
+can even host successive different sweeps without confusion.  The hash
+must cover everything that shapes the task list — including the chunk
+size, since chunk identity (not just cell identity) is the journal key.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from .executor import ChunkExecutionError, Executor
+
+
+def spec_hash(*parts: Any) -> str:
+    """Deterministic digest of picklable spec components.
+
+    Pickle bytes of plain dataclasses / primitives are stable across
+    runs and processes (insertion-ordered dicts, no address-dependent
+    state), so the digest is a reliable identity for "the same sweep
+    configuration".  Pass every input that shapes the task list —
+    the spec itself *and* the chunking parameters.
+    """
+    digest = hashlib.sha256()
+    for part in parts:
+        digest.update(pickle.dumps(part, protocol=4))
+    return digest.hexdigest()[:16]
+
+
+class CheckpointJournal:
+    """Append-only ``(spec-hash, chunk-id) -> result`` journal file."""
+
+    def __init__(self, path: Union[str, Path], spec_key: str) -> None:
+        self.path = Path(path)
+        self.spec_key = str(spec_key)
+
+    def load(self) -> Dict[int, Any]:
+        """Completed chunk results recorded for this spec key.
+
+        Records from other spec keys are skipped; a truncated trailing
+        record (interrupted mid-write) ends the scan silently — every
+        complete record before it is still honored.
+        """
+        results: Dict[int, Any] = {}
+        if not self.path.exists():
+            return results
+        with open(self.path, "rb") as fh:
+            while True:
+                try:
+                    record = pickle.load(fh)
+                except EOFError:
+                    break
+                except (pickle.UnpicklingError, AttributeError, ValueError,
+                        IndexError, ImportError):
+                    # torn tail: the writer died mid-record
+                    break
+                if record.get("spec") == self.spec_key:
+                    results[int(record["chunk"])] = record["result"]
+        return results
+
+    def append(self, chunk_id: int, result: Any) -> None:
+        """Durably record one completed chunk result."""
+        record = {"spec": self.spec_key, "chunk": int(chunk_id),
+                  "result": result}
+        with open(self.path, "ab") as fh:
+            pickle.dump(record, fh, protocol=4)
+            fh.flush()
+            os.fsync(fh.fileno())
+
+
+def run_chunks_checkpointed(
+    executor: Executor,
+    fn: Callable[..., Any],
+    tasks: Sequence[Tuple],
+    spec_key: str,
+    checkpoint: Optional[Union[str, Path]] = None,
+    timeout: Optional[float] = None,
+    max_retries: int = 0,
+    retry_backoff: float = 0.5,
+) -> Tuple[List[Any], Dict[str, Any]]:
+    """Run chunked work units with optional resilience and checkpointing.
+
+    The single entry point the sweep runners share: fan ``tasks`` across
+    ``executor`` with the per-chunk ``timeout`` / ``max_retries`` /
+    ``retry_backoff`` contract of
+    :meth:`~repro.runtime.executor.MultiprocessExecutor.submit_all`, and
+    — when ``checkpoint`` names a journal file — skip chunks already
+    recorded under ``spec_key`` and journal each fresh result as it is
+    collected.  Returns ``(results, execution)`` where ``results`` is in
+    task order (resumed and fresh chunks interleaved transparently) and
+    ``execution`` records what happened: resumed/computed chunk counts
+    and the retry/timeout/degrade event log.
+
+    Chunk identity is positional: ``tasks[i]`` must be the same work
+    unit on every invocation with the same ``spec_key`` (hash the
+    chunking parameters into the key to guarantee it).
+    """
+    tasks = list(tasks)
+    journal = None
+    done: Dict[int, Any] = {}
+    if checkpoint is not None:
+        journal = CheckpointJournal(checkpoint, spec_key)
+        done = {i: r for i, r in journal.load().items() if i < len(tasks)}
+    todo = [i for i in range(len(tasks)) if i not in done]
+
+    on_result = None
+    if journal is not None:
+        def on_result(j: int, result: Any, _todo=todo, _journal=journal):
+            _journal.append(_todo[j], result)
+
+    try:
+        pending = executor.submit_all(
+            fn, [tasks[i] for i in todo],
+            timeout=timeout, max_retries=max_retries,
+            retry_backoff=retry_backoff, on_result=on_result,
+        )
+        fresh = pending.get()
+    except ChunkExecutionError as exc:
+        # re-key from the submitted-subset index space to task order,
+        # so the error names the chunk the caller knows (completed
+        # results were already journaled via on_result, so a resumed
+        # run picks up right behind the failure)
+        remapped = ChunkExecutionError(
+            todo[exc.chunk_index], exc.task,
+            {todo[j]: r for j, r in exc.completed.items()}, exc.events,
+        )
+        raise remapped from exc.__cause__
+    results = list(done.get(i) for i in range(len(tasks)))
+    for j, i in enumerate(todo):
+        results[i] = fresh[j]
+    execution: Dict[str, Any] = {
+        "resumed_chunks": len(done),
+        "computed_chunks": len(todo),
+        "resilience_events": list(pending.events),
+    }
+    if checkpoint is not None:
+        execution["checkpoint"] = str(checkpoint)
+    return results, execution

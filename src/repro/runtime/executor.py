@@ -23,10 +23,12 @@ instead of crashing the pool.
 
 from __future__ import annotations
 
+import multiprocessing
 import os
 import pickle
+import time
 from multiprocessing import get_context
-from typing import Any, Callable, List, Optional, Sequence, Tuple, Union
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 
 def is_picklable(obj: Any) -> bool:
@@ -38,24 +40,145 @@ def is_picklable(obj: Any) -> bool:
     return True
 
 
+#: ceiling on the exponential retry backoff sleep (seconds)
+RETRY_BACKOFF_CAP = 8.0
+
+
+def retry_backoff_seconds(
+    attempt: int, base: float, cap: float = RETRY_BACKOFF_CAP
+) -> float:
+    """Sleep before pool retry ``attempt`` (1-based): capped exponential."""
+    return min(base * (2.0 ** (attempt - 1)), cap)
+
+
+class ChunkExecutionError(RuntimeError):
+    """A work unit failed even after retries and an in-process rerun.
+
+    Carries everything a checkpointing caller needs to salvage the run:
+
+    Attributes
+    ----------
+    chunk_index:
+        Submission-order index of the failing task.
+    task:
+        The failing task's argument tuple (its spec), so the error names
+        *which* work unit died, not just that one did.
+    completed:
+        ``{chunk_index: result}`` for every task that finished before
+        the failure surfaced — retrievable for checkpointing instead of
+        discarded (tasks still in flight behind the failing one are not
+        awaited).
+    events:
+        The retry/timeout/degrade decision log up to the failure.
+
+    The original worker exception is chained as ``__cause__``.
+    """
+
+    def __init__(
+        self,
+        chunk_index: int,
+        task: Tuple,
+        completed: Dict[int, Any],
+        events: List[Dict[str, Any]],
+    ) -> None:
+        self.chunk_index = int(chunk_index)
+        self.task = task
+        self.completed = completed
+        self.events = events
+        attempts = sum(
+            1 for e in events
+            if e.get("chunk") == chunk_index and e.get("action") == "retry"
+        )
+        super().__init__(
+            f"chunk {chunk_index} failed after {attempts} pool retr"
+            f"{'y' if attempts == 1 else 'ies'} and an in-process rerun "
+            f"(task spec: {task!r}); {len(completed)} completed chunk "
+            f"result(s) preserved on .completed"
+        )
+
+
+def _run_serially(
+    fn: Callable[..., Any],
+    tasks: Sequence[Tuple],
+    max_retries: int = 0,
+    retry_backoff: float = 0.5,
+    on_result: Optional[Callable[[int, Any], None]] = None,
+    events: Optional[List[Dict[str, Any]]] = None,
+) -> Tuple[List[Any], List[Dict[str, Any]]]:
+    """In-process reference execution with the same retry contract as
+    the pool path (an exception is retried with capped backoff, then
+    raises :class:`ChunkExecutionError` with completed results attached
+    — in-process there is no cheaper mode left to degrade into)."""
+    events = [] if events is None else events
+    results: List[Any] = []
+    for i, task in enumerate(tasks):
+        attempt = 0
+        while True:
+            try:
+                result = fn(*task)
+                break
+            except Exception as exc:
+                if attempt >= max_retries:
+                    raise ChunkExecutionError(
+                        i, task, dict(enumerate(results)), events
+                    ) from exc
+                attempt += 1
+                delay = retry_backoff_seconds(attempt, retry_backoff)
+                events.append({
+                    "chunk": i, "action": "retry", "attempt": attempt,
+                    "backoff_seconds": delay, "where": "serial",
+                })
+                time.sleep(delay)
+        results.append(result)
+        if on_result is not None:
+            on_result(i, result)
+    return results, events
+
+
 class AsyncTasks:
     """Handle for tasks submitted via :meth:`Executor.submit_all`.
 
     ``get()`` blocks until every task finishes and returns the results in
     submission order; it must be called exactly once (it releases the
-    worker pool).
+    worker pool).  Collection is resilient when the submitting executor
+    was configured so: a chunk whose worker raises is retried on the pool
+    (capped-exponential backoff sleep) up to ``max_retries`` times and
+    then rerun in-process serially; a chunk that exceeds the per-chunk
+    ``timeout`` (including one whose worker died without reporting —
+    e.g. ``os._exit``) is rerun in-process immediately, and the pool is
+    torn down with ``terminate`` afterwards since a hung or dead worker
+    slot cannot be reclaimed.  Every decision is recorded in
+    :attr:`events` for the caller's execution metadata; if even the
+    in-process rerun fails, :class:`ChunkExecutionError` surfaces with
+    the failing chunk's index/spec and all completed results attached.
     """
 
     def __init__(
         self,
         results: Optional[List[Any]] = None,
         pool: Any = None,
-        async_result: Any = None,
+        handles: Optional[List[Any]] = None,
+        fn: Optional[Callable[..., Any]] = None,
+        tasks: Optional[Sequence[Tuple]] = None,
+        timeout: Optional[float] = None,
+        max_retries: int = 0,
+        retry_backoff: float = 0.5,
+        on_result: Optional[Callable[[int, Any], None]] = None,
+        events: Optional[List[Dict[str, Any]]] = None,
     ) -> None:
         self._results = results
         self._pool = pool
-        self._async = async_result
+        self._handles = handles
+        self._fn = fn
+        self._tasks = list(tasks) if tasks is not None else None
+        self._timeout = timeout
+        self._max_retries = int(max_retries)
+        self._retry_backoff = float(retry_backoff)
+        self._on_result = on_result
         self._cancelled = False
+        self._poisoned = False
+        #: retry/timeout/degrade decision log (shared with the caller)
+        self.events: List[Dict[str, Any]] = events if events is not None else []
 
     def get(self) -> List[Any]:
         """Results in submission order (blocking).
@@ -65,15 +188,67 @@ class AsyncTasks:
         RuntimeError
             If the tasks were already abandoned via :meth:`cancel` —
             their results no longer exist, and waiting would hang.
+        ChunkExecutionError
+            If a chunk failed beyond recovery; completed results and the
+            failing chunk's index/spec ride on the exception.
         """
         if self._cancelled:
             raise RuntimeError("tasks were cancelled; no results to get")
         if self._results is not None:
             return self._results
+        results: List[Any] = []
         try:
-            return self._async.get()
+            for i, handle in enumerate(self._handles):
+                result = self._collect(i, handle, dict(enumerate(results)))
+                results.append(result)
+                if self._on_result is not None:
+                    self._on_result(i, result)
+            return results
         finally:
-            self._release()
+            self._release(terminate=self._poisoned)
+
+    def _collect(self, i: int, handle: Any, completed: Dict[int, Any]) -> Any:
+        """One chunk's result, through the timeout/retry/degrade ladder."""
+        attempt = 0
+        while True:
+            try:
+                if self._timeout is None:
+                    return handle.get()
+                return handle.get(self._timeout)
+            except multiprocessing.TimeoutError:
+                # the worker is hung or died silently; its slot is not
+                # reclaimable, so rerun here and terminate the pool on
+                # the way out rather than wait for a result that may
+                # never come
+                self._poisoned = True
+                self.events.append({
+                    "chunk": i, "action": "timeout",
+                    "timeout_seconds": self._timeout,
+                })
+                return self._degrade(i, completed)
+            except Exception as exc:
+                if attempt >= self._max_retries:
+                    self.events.append({
+                        "chunk": i, "action": "serial_degrade",
+                        "error": repr(exc),
+                    })
+                    return self._degrade(i, completed)
+                attempt += 1
+                delay = retry_backoff_seconds(attempt, self._retry_backoff)
+                self.events.append({
+                    "chunk": i, "action": "retry", "attempt": attempt,
+                    "backoff_seconds": delay, "error": repr(exc),
+                })
+                time.sleep(delay)
+                handle = self._pool.apply_async(self._fn, self._tasks[i])
+
+    def _degrade(self, i: int, completed: Dict[int, Any]) -> Any:
+        """Last resort: run the chunk in-process, serially."""
+        try:
+            return self._fn(*self._tasks[i])
+        except Exception as exc:
+            raise ChunkExecutionError(i, self._tasks[i], completed,
+                                      self.events) from exc
 
     def cancel(self) -> None:
         """Abandon the submitted tasks and release the pool.
@@ -106,10 +281,26 @@ class SerialExecutor:
         """``[fn(*task) for task in tasks]`` — order-preserving."""
         return [fn(*task) for task in tasks]
 
-    def submit_all(self, fn: Callable[..., Any],
-                   tasks: Sequence[Tuple]) -> AsyncTasks:
-        """Eager serial execution behind the async-handle interface."""
-        return AsyncTasks(results=self.map(fn, tasks))
+    def submit_all(
+        self,
+        fn: Callable[..., Any],
+        tasks: Sequence[Tuple],
+        timeout: Optional[float] = None,
+        max_retries: int = 0,
+        retry_backoff: float = 0.5,
+        on_result: Optional[Callable[[int, Any], None]] = None,
+    ) -> AsyncTasks:
+        """Eager serial execution behind the async-handle interface.
+
+        Honors the same retry contract as the pool path (``timeout`` is
+        meaningless in-process and ignored); failures raise
+        :class:`ChunkExecutionError` here rather than from ``get()``.
+        """
+        results, events = _run_serially(
+            fn, tasks, max_retries=max_retries, retry_backoff=retry_backoff,
+            on_result=on_result,
+        )
+        return AsyncTasks(results=results, events=events)
 
     def __repr__(self) -> str:
         return "SerialExecutor()"
@@ -147,8 +338,15 @@ class MultiprocessExecutor:
         with self._pool(len(tasks)) as pool:
             return pool.starmap(fn, tasks)
 
-    def submit_all(self, fn: Callable[..., Any],
-                   tasks: Sequence[Tuple]) -> AsyncTasks:
+    def submit_all(
+        self,
+        fn: Callable[..., Any],
+        tasks: Sequence[Tuple],
+        timeout: Optional[float] = None,
+        max_retries: int = 0,
+        retry_backoff: float = 0.5,
+        on_result: Optional[Callable[[int, Any], None]] = None,
+    ) -> AsyncTasks:
         """Dispatch tasks to workers and return immediately.
 
         Lets the parent overlap its own work (e.g. a callback-bearing
@@ -158,12 +356,32 @@ class MultiprocessExecutor:
         lone task could buy (``BENCH_engine.json``'s quick snapshot
         showed 2-job sweeps *slower* than serial for exactly this
         reason), and one worker cannot overlap anything with itself.
+
+        Tasks are shipped as individual ``apply_async`` submissions (not
+        one ``starmap``) so collection can wait on, retry, and degrade
+        each chunk independently: ``timeout`` bounds the wait for any
+        single chunk's result, ``max_retries`` bounds pool resubmissions
+        of a raising chunk (with ``retry_backoff``-based capped
+        exponential sleeps), and a chunk that exhausts both reruns
+        in-process serially rather than killing the sweep.  ``on_result``
+        is invoked as ``on_result(index, result)`` when each chunk's
+        result is collected, in submission order — the checkpoint
+        journaling hook.
         """
         tasks = list(tasks)
         if len(tasks) < 2 or self.n_jobs == 1:
-            return AsyncTasks(results=[fn(*task) for task in tasks])
+            results, events = _run_serially(
+                fn, tasks, max_retries=max_retries,
+                retry_backoff=retry_backoff, on_result=on_result,
+            )
+            return AsyncTasks(results=results, events=events)
         pool = self._pool(len(tasks))
-        return AsyncTasks(pool=pool, async_result=pool.starmap_async(fn, tasks))
+        return AsyncTasks(
+            pool=pool,
+            handles=[pool.apply_async(fn, task) for task in tasks],
+            fn=fn, tasks=tasks, timeout=timeout, max_retries=max_retries,
+            retry_backoff=retry_backoff, on_result=on_result,
+        )
 
     def __repr__(self) -> str:
         return f"MultiprocessExecutor(n_jobs={self.n_jobs})"

@@ -27,7 +27,7 @@ records the decision in :attr:`SimSweepResult.execution`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -38,6 +38,7 @@ from ..sim.policy_api import EventPolicy
 from ..sim.stats import SimReport
 from ..workload.arrivals import InterArrival
 from ..workload.generator import renewal_trace
+from .checkpoint import run_chunks_checkpointed, spec_hash
 from .eventsim import policy_batch_mode, simulate_traces_batch
 from .executor import get_executor, resolve_n_jobs
 
@@ -216,13 +217,36 @@ class SimSweepRunner:
         parallelism, larger ones amortize per-unit overhead.
     n_jobs:
         Worker processes to shard (cell, chunk) units across (1 = serial).
+    timeout:
+        Per-chunk wall-second bound when collecting pool results; a
+        chunk exceeding it (hung or silently-dead worker) reruns
+        in-process (see :meth:`MultiprocessExecutor.submit_all`).
+    max_retries:
+        Pool resubmissions of a chunk whose worker raised, before the
+        chunk degrades to an in-process rerun.
+    retry_backoff:
+        Base of the capped-exponential sleep between retries.
+    checkpoint:
+        Path of a chunk-result journal: completed chunks are recorded as
+        they finish and skipped on the next run with the same spec and
+        chunk size — resumed results are bit-identical to an
+        uninterrupted run.
     """
 
-    def __init__(self, chunk_size: int = 8, n_jobs: int = 1) -> None:
+    def __init__(self, chunk_size: int = 8, n_jobs: int = 1,
+                 timeout: Optional[float] = None, max_retries: int = 0,
+                 retry_backoff: float = 0.5,
+                 checkpoint: Optional[str] = None) -> None:
         if chunk_size < 1:
             raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+        if max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {max_retries}")
         self.chunk_size = int(chunk_size)
         self.n_jobs = int(n_jobs)
+        self.timeout = timeout
+        self.max_retries = int(max_retries)
+        self.retry_backoff = float(retry_backoff)
+        self.checkpoint = checkpoint
 
     def estimate_chunk_seconds(self, spec: SimSweepSpec) -> float:
         """Mean estimated wall seconds of one (cell, seed-chunk) unit.
@@ -262,13 +286,19 @@ class SimSweepRunner:
                         )
         est = self.estimate_chunk_seconds(spec)
         n_jobs, decision = resolve_n_jobs(self.n_jobs, est, len(tasks))
-        chunk_reports = get_executor(n_jobs).map(run_sim_chunk, tasks)
+        chunk_reports, resilience = run_chunks_checkpointed(
+            get_executor(n_jobs), run_sim_chunk, tasks,
+            spec_key=spec_hash(spec, self.chunk_size),
+            checkpoint=self.checkpoint, timeout=self.timeout,
+            max_retries=self.max_retries, retry_backoff=self.retry_backoff,
+        )
 
         result = SimSweepResult(spec=spec, execution={
             "n_jobs_requested": self.n_jobs,
             "n_jobs_effective": n_jobs,
             "decision": decision,
             "estimated_chunk_seconds": est,
+            **resilience,
         })
         per_cell = len(chunks)
         for c, (device, trace_name, policy_label) in enumerate(cell_keys):

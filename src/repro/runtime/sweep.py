@@ -28,7 +28,7 @@ dataclasses (``RolloutSpec.from_env_config``) and calls down.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Callable, List, Optional, Sequence, Union
+from typing import Any, Callable, Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
@@ -41,6 +41,7 @@ from ..mdp import DeterministicPolicy
 from ..workload.nonstationary import RateSchedule
 from .batched_env import BatchedSlottedEnv
 from .batched_qdpm import BatchedQDPM, BatchRunHistory, run_lockstep
+from .checkpoint import run_chunks_checkpointed, spec_hash
 from .executor import (
     MultiprocessExecutor,
     SerialExecutor,
@@ -140,6 +141,10 @@ class SweepResult:
 
     spec: RolloutSpec
     runs: List[SeedRun] = field(default_factory=list)
+    #: resilience/checkpoint record of how the runner executed the sweep
+    #: (resumed/computed chunk counts, retry/timeout/degrade events) —
+    #: empty for plain uncheckpointed runs with no incidents
+    execution: Dict[str, Any] = field(default_factory=dict)
 
     @property
     def seeds(self) -> List[int]:
@@ -303,15 +308,40 @@ class SweepRunner:
         Worker processes to shard chunks across (default 1 = in-process).
         Chunks are pure functions of their seeds, so per-seed results
         are bit-identical for every ``(batch_size, n_jobs)`` combination.
+    timeout:
+        Per-chunk wall-second bound when collecting pool results; a
+        chunk exceeding it (hung or silently-dead worker) reruns
+        in-process (see :meth:`MultiprocessExecutor.submit_all`).
+    max_retries:
+        Pool resubmissions of a chunk whose worker raised, before the
+        chunk degrades to an in-process rerun.
+    retry_backoff:
+        Base of the capped-exponential sleep between retries.
+    checkpoint:
+        Path of a chunk-result journal: completed seed chunks are
+        recorded as they finish and skipped on the next run with the
+        same spec and batch size — resumed results are bit-identical to
+        an uninterrupted run.  Incompatible with the in-process snapshot
+        hooks of :meth:`run_many` (resumed chunks never execute, so the
+        hooks could not fire).
     """
 
-    def __init__(self, batch_size: int = 32, n_jobs: int = 1) -> None:
+    def __init__(self, batch_size: int = 32, n_jobs: int = 1,
+                 timeout: Optional[float] = None, max_retries: int = 0,
+                 retry_backoff: float = 0.5,
+                 checkpoint: Optional[str] = None) -> None:
         if batch_size < 1:
             raise ValueError(f"batch_size must be >= 1, got {batch_size}")
         if int(n_jobs) < 1:
             raise ValueError(f"n_jobs must be >= 1, got {n_jobs}")
+        if max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {max_retries}")
         self.batch_size = int(batch_size)
         self.n_jobs = int(n_jobs)
+        self.timeout = timeout
+        self.max_retries = int(max_retries)
+        self.retry_backoff = float(retry_backoff)
+        self.checkpoint = checkpoint
 
     def run_many(
         self,
@@ -351,6 +381,24 @@ class SweepRunner:
             return self._run_scalar(spec, seeds, controller_factory, executor)
         chunks = [seeds[i:i + chunk] for i in range(0, len(seeds), chunk)]
         result = SweepResult(spec=spec)
+        if self.checkpoint is not None:
+            if on_record is not None or on_chunk_done is not None:
+                raise ValueError(
+                    "checkpointing does not compose with in-process "
+                    "snapshot hooks: resumed chunks load from the journal "
+                    "without executing, so the hooks could not fire"
+                )
+            runs_per_chunk, execution = run_chunks_checkpointed(
+                executor, run_chunk, [(spec, c) for c in chunks],
+                spec_key=spec_hash(spec, chunk),
+                checkpoint=self.checkpoint, timeout=self.timeout,
+                max_retries=self.max_retries,
+                retry_backoff=self.retry_backoff,
+            )
+            result.execution.update(execution)
+            for chunk_runs in runs_per_chunk:
+                result.runs.extend(chunk_runs)
+            return result
         if isinstance(executor, SerialExecutor) or len(chunks) == 1:
             for chunk_seeds in chunks:
                 result.runs.extend(
@@ -368,7 +416,9 @@ class SweepRunner:
         # spin-up dominating exactly those shapes, so they degrade to
         # the serial path's cost instead of paying for a pool.
         pending = MultiprocessExecutor(executor.n_jobs - 1).submit_all(
-            run_chunk, [(spec, c) for c in chunks[1:]]
+            run_chunk, [(spec, c) for c in chunks[1:]],
+            timeout=self.timeout, max_retries=self.max_retries,
+            retry_backoff=self.retry_backoff,
         )
         try:
             result.runs.extend(
@@ -380,6 +430,8 @@ class SweepRunner:
             raise
         for chunk_runs in pending.get():
             result.runs.extend(chunk_runs)
+        if pending.events:
+            result.execution["resilience_events"] = list(pending.events)
         return result
 
     # ------------------------------------------------------------------ #

@@ -11,6 +11,7 @@ from .arrivals import (
     Weibull,
     from_dict,
 )
+from .faults import FaultProcess, FaultSchedule, no_faults, resolve_fault_schedule
 from .generator import (
     bernoulli_arrivals,
     piecewise_renewal_trace,
@@ -48,6 +49,10 @@ __all__ = [
     "Weibull",
     "DISTRIBUTIONS",
     "from_dict",
+    "FaultProcess",
+    "FaultSchedule",
+    "no_faults",
+    "resolve_fault_schedule",
     "Trace",
     "TraceStats",
     "IdleHistogram",

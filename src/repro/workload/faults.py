@@ -1,0 +1,262 @@
+"""Device fault injection: seeded per-device down intervals.
+
+Everything the fleet layer simulates today assumes perfectly reliable
+devices; real datacenter DPM operates under failures, and the
+energy/latency trade-off changes qualitatively when routers must absorb
+failover load.  This module supplies the fault model:
+
+- :class:`FaultProcess` — a *recipe*: alternating up/down durations
+  drawn from exponential (MTBF/MTTR means) or deterministic schedules,
+  realized per device from a seeded stream so a schedule is a pure
+  function of ``(seed, n_devices, horizon)``.  Per-device streams are
+  keyed ``(seed, device)``, so device d's fault history never depends on
+  the fleet size — the same decorrelation discipline the trace and
+  routing streams follow.
+- :class:`FaultSchedule` — the *realization*: per-device sorted,
+  non-overlapping down intervals ``[start, end)`` over a horizon, with
+  point queries (:meth:`FaultSchedule.is_down`), whole-fleet masks
+  (:meth:`FaultSchedule.alive_mask`), and a merged transition stream
+  (:meth:`FaultSchedule.transitions`) that the vectorized failure-aware
+  routing engine advances incrementally.
+
+Interval convention: a device is **down** on ``[start, end)`` — down at
+the instant it fails, up again at the instant repair completes.  Every
+query helper follows the same convention, so the scalar and vectorized
+routing engines observe bit-identical masks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+class FaultSchedule:
+    """Realized per-device down intervals over ``[0, horizon]``.
+
+    Parameters
+    ----------
+    down_intervals:
+        One sequence of ``(start, end)`` pairs per device; each device's
+        intervals must be sorted, non-overlapping, and lie within
+        ``[0, horizon]`` with ``start < end``.
+    horizon:
+        Observation-window length (> 0); availability is measured
+        against it.
+    """
+
+    def __init__(
+        self,
+        down_intervals: Sequence[Sequence[Tuple[float, float]]],
+        horizon: float,
+    ) -> None:
+        if horizon <= 0:
+            raise ValueError(f"horizon must be > 0, got {horizon}")
+        self.horizon = float(horizon)
+        self._starts: List[np.ndarray] = []
+        self._ends: List[np.ndarray] = []
+        for d, intervals in enumerate(down_intervals):
+            pairs = [(float(s), float(e)) for s, e in intervals]
+            starts = np.array([s for s, _ in pairs])
+            ends = np.array([e for _, e in pairs])
+            if np.any(starts < 0) or np.any(ends > self.horizon):
+                raise ValueError(
+                    f"device {d}: down intervals must lie in [0, {horizon}]"
+                )
+            if np.any(ends <= starts):
+                raise ValueError(
+                    f"device {d}: intervals need start < end, got {pairs}"
+                )
+            if starts.size > 1 and np.any(starts[1:] < ends[:-1]):
+                raise ValueError(
+                    f"device {d}: intervals must be sorted and disjoint"
+                )
+            self._starts.append(starts)
+            self._ends.append(ends)
+        if not self._starts:
+            raise ValueError("need at least one device")
+
+    @property
+    def n_devices(self) -> int:
+        return len(self._starts)
+
+    # ------------------------------------------------------------------ #
+    # point queries (the scalar reference semantics)
+    # ------------------------------------------------------------------ #
+
+    def is_down(self, device: int, t: float) -> bool:
+        """True when ``device`` is down at instant ``t`` (``[start, end)``)."""
+        starts = self._starts[device]
+        i = int(np.searchsorted(starts, t, side="right")) - 1
+        return i >= 0 and t < float(self._ends[device][i])
+
+    def alive_mask(self, t: float) -> np.ndarray:
+        """Boolean ``(n_devices,)`` mask: True where the device is up at
+        ``t``.  Both routing engines use this exact function for retry
+        probes, so their masks agree bit for bit."""
+        return np.array(
+            [not self.is_down(d, t) for d in range(self.n_devices)]
+        )
+
+    # ------------------------------------------------------------------ #
+    # whole-schedule views
+    # ------------------------------------------------------------------ #
+
+    def intervals(self, device: int) -> List[Tuple[float, float]]:
+        """The device's down intervals as ``(start, end)`` pairs."""
+        return list(
+            zip(self._starts[device].tolist(), self._ends[device].tolist())
+        )
+
+    def transitions(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Merged fault events: ``(times, devices, down_flags)``.
+
+        Sorted by time (stable, so same-instant events keep device
+        order); ``down_flags[k]`` is True for a failure, False for a
+        repair.  Applying every event with ``time <= t`` to an all-up
+        mask reproduces exactly ``~alive_mask(t)`` — the invariant the
+        vectorized routing engine's incremental mask relies on.
+        """
+        times = []
+        devices = []
+        downs = []
+        for d in range(self.n_devices):
+            for arr, flag in ((self._starts[d], True), (self._ends[d], False)):
+                times.append(arr)
+                devices.append(np.full(arr.size, d, dtype=np.int64))
+                downs.append(np.full(arr.size, flag, dtype=bool))
+        t = np.concatenate(times) if times else np.empty(0)
+        dev = np.concatenate(devices) if devices else np.empty(0, np.int64)
+        dn = np.concatenate(downs) if downs else np.empty(0, bool)
+        order = np.argsort(t, kind="stable")
+        return t[order], dev[order], dn[order]
+
+    def down_time(self, device: int) -> float:
+        """Total seconds ``device`` spends down within the horizon."""
+        return float((self._ends[device] - self._starts[device]).sum())
+
+    def availability(self) -> np.ndarray:
+        """Per-device uptime fraction over the horizon."""
+        down = np.array([self.down_time(d) for d in range(self.n_devices)])
+        return 1.0 - down / self.horizon
+
+    def all_down_at(self, t: float) -> bool:
+        """True when not a single device is up at ``t``."""
+        return not bool(self.alive_mask(t).any())
+
+    def __repr__(self) -> str:
+        n_int = sum(s.size for s in self._starts)
+        return (
+            f"FaultSchedule(n_devices={self.n_devices}, "
+            f"horizon={self.horizon:.6g}, n_down_intervals={n_int})"
+        )
+
+
+@dataclass(frozen=True)
+class FaultProcess:
+    """Seeded alternating up/down renewal process, one stream per device.
+
+    Every device starts up (unless it belongs to the ``start_down``
+    cohort) and alternates: an up period with mean ``mtbf`` seconds,
+    then a down period with mean ``mttr`` seconds.  ``deterministic``
+    swaps the exponential draws for the exact means — all devices then
+    fail in lock-step, the correlated worst case (useful as a degenerate
+    stress schedule; the seeded exponential draws are the realistic
+    decorrelated default).
+
+    Parameters
+    ----------
+    mtbf:
+        Mean time between failures — expected up-time run length (> 0).
+    mttr:
+        Mean time to repair — expected down-interval length (> 0).
+    deterministic:
+        Use the exact means instead of exponential draws.
+    start_down:
+        Fraction of the fleet (devices ``0 .. floor(f*N)-1``) that
+        begins the horizon mid-repair — a cold-start / rolling-outage
+        scenario.  Must be < 1: with the whole fleet down at t=0 there
+        is no surviving device to fail over to (the sweep spec rejects
+        it with a clear error rather than simulating a black hole).
+    """
+
+    mtbf: float
+    mttr: float
+    deterministic: bool = False
+    start_down: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.mtbf <= 0:
+            raise ValueError(f"mtbf must be > 0, got {self.mtbf}")
+        if self.mttr <= 0:
+            raise ValueError(f"mttr must be > 0, got {self.mttr}")
+        if not 0.0 <= self.start_down < 1.0:
+            raise ValueError(
+                f"start_down must lie in [0, 1) — a whole fleet down at "
+                f"t=0 has no surviving device to fail over to "
+                f"(got {self.start_down})"
+            )
+
+    def _durations(self, rng: np.random.Generator, mean: float) -> float:
+        return mean if self.deterministic else float(rng.exponential(mean))
+
+    def realize(
+        self, n_devices: int, horizon: float, seed: int = 0
+    ) -> FaultSchedule:
+        """Draw one :class:`FaultSchedule` — a pure function of
+        ``(n_devices, horizon, seed)``; device ``d``'s stream is keyed
+        ``(seed, d)``, so its fault history is independent of the fleet
+        size and of every other device."""
+        if int(n_devices) < 1:
+            raise ValueError(f"n_devices must be >= 1, got {n_devices}")
+        if horizon <= 0:
+            raise ValueError(f"horizon must be > 0, got {horizon}")
+        n_start_down = int(np.floor(self.start_down * int(n_devices)))
+        intervals: List[List[Tuple[float, float]]] = []
+        for d in range(int(n_devices)):
+            rng = np.random.default_rng([int(seed), d])
+            spans: List[Tuple[float, float]] = []
+            t = 0.0
+            if d < n_start_down:
+                down = self._durations(rng, self.mttr)
+                spans.append((0.0, min(down, horizon)))
+                t = down
+            while t < horizon:
+                t += self._durations(rng, self.mtbf)
+                if t >= horizon:
+                    break
+                down = self._durations(rng, self.mttr)
+                spans.append((t, min(t + down, horizon)))
+                t += down
+            intervals.append(spans)
+        return FaultSchedule(intervals, horizon)
+
+
+def no_faults(n_devices: int, horizon: float) -> FaultSchedule:
+    """An always-up schedule (the reliability baseline in tests)."""
+    return FaultSchedule([[] for _ in range(int(n_devices))], horizon)
+
+
+def resolve_fault_schedule(
+    faults, n_devices: int, horizon: float, seed: int = 0
+) -> Optional[FaultSchedule]:
+    """Accept a :class:`FaultSchedule`, a :class:`FaultProcess` (realized
+    with ``seed``), or None — the polymorphic ``faults`` argument the
+    fleet entry points take."""
+    if faults is None:
+        return None
+    if isinstance(faults, FaultSchedule):
+        if faults.n_devices != int(n_devices):
+            raise ValueError(
+                f"fault schedule covers {faults.n_devices} devices, "
+                f"fleet has {n_devices}"
+            )
+        return faults
+    if isinstance(faults, FaultProcess):
+        return faults.realize(n_devices, horizon, seed=seed)
+    raise TypeError(
+        f"faults must be a FaultSchedule, FaultProcess, or None, "
+        f"got {type(faults)!r}"
+    )

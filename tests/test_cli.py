@@ -114,6 +114,49 @@ class TestDispatch:
         with pytest.raises(SystemExit):
             cli.main(["fleet-sweep", "--router", "warp"])
 
+    def test_fault_and_checkpoint_flags_forwarded(self, monkeypatch, tmp_path):
+        seen = {}
+
+        def fake(quick, n_seeds=None, batch=None, jobs=None, devices=None,
+                 router=None, mtbf=None, mttr=None, max_retries=None,
+                 checkpoint=None):
+            seen.update(mtbf=mtbf, mttr=mttr, max_retries=max_retries,
+                        checkpoint=checkpoint)
+            return ""
+
+        monkeypatch.setitem(cli._COMMANDS, "fleet-sweep", fake)
+        ck = tmp_path / "journal.ck"
+        cli.main(["fleet-sweep", "--mtbf", "200", "--mttr", "20",
+                  "--max-retries", "5", "--checkpoint", str(ck)])
+        assert seen == {"mtbf": 200.0, "mttr": 20.0, "max_retries": 5,
+                        "checkpoint": str(ck)}
+
+    def test_fault_flag_validation(self):
+        with pytest.raises(SystemExit):
+            cli.main(["fleet-sweep", "--mtbf", "0"])
+        with pytest.raises(SystemExit):
+            cli.main(["fleet-sweep", "--mttr", "10"])  # requires --mtbf
+        with pytest.raises(SystemExit):
+            cli.main(["fleet-sweep", "--max-retries", "2"])  # requires --mtbf
+        with pytest.raises(SystemExit):
+            cli.main(["fleet-sweep", "--resume"])  # requires --checkpoint
+        with pytest.raises(SystemExit):
+            cli.main(["fig1", "--mtbf", "100"])
+        with pytest.raises(SystemExit):
+            cli.main(["grid", "--checkpoint", "ck"])
+
+    def test_fresh_run_truncates_stale_journal(self, monkeypatch, tmp_path):
+        monkeypatch.setitem(
+            cli._COMMANDS, "fleet-sweep", lambda quick, **kw: ""
+        )
+        ck = tmp_path / "journal.ck"
+        ck.write_bytes(b"stale")
+        cli.main(["fleet-sweep", "--checkpoint", str(ck)])
+        assert not ck.exists()
+        ck.write_bytes(b"keep")
+        cli.main(["fleet-sweep", "--checkpoint", str(ck), "--resume"])
+        assert ck.read_bytes() == b"keep"
+
 
 class TestRealQuickRun:
     def test_overhead_quick_end_to_end(self, capsys):

@@ -1,0 +1,488 @@
+"""Failure-aware routing: scalar/vectorized pinning, failover semantics.
+
+The contract extends the fleet's determinism discipline to injected
+faults: the vectorized failure-aware engine
+(:func:`~repro.fleet.route_with_failover_step`, dense backlog + an
+incremental transition-replay mask) must be **bit-identical** to the
+scalar reference loop (:func:`~repro.fleet.route_with_failover`,
+list-walking backlog + exact per-device interval queries) on every
+router, preset, failover policy, and fault schedule — including the
+degenerate ones (lock-step correlated failures, cold-start cohorts,
+whole-fleet outages); a no-fault schedule must reproduce plain routing
+choice for choice; and the fleet engines (`auto`/`flat` vs `scalar`)
+must agree on every report field under faults at rel <= 1e-9.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import AlwaysOn, FixedTimeout, GreedySleep
+from repro.device import get_preset
+from repro.fleet import (
+    ROUTERS,
+    Dispatcher,
+    FailoverConfig,
+    FleetSweepSpec,
+    make_router,
+    route_with_failover,
+    route_with_failover_step,
+    run_fleet,
+    run_fleet_batch,
+)
+from repro.fleet.dispatch import RouteContext
+from repro.runtime.simsweep import PolicySpec, TraceSpec
+from repro.workload import (
+    Exponential,
+    FaultProcess,
+    FaultSchedule,
+    Trace,
+    no_faults,
+    renewal_trace,
+)
+
+from test_fleet_sweep import assert_fleet_reports_match
+
+PRESETS = ("mobile_hdd", "wlan")
+
+
+def make_context(trace, n_devices, device_name="mobile_hdd", seed=0,
+                 service_time=0.4):
+    demands = trace.service_demands
+    if demands is None:
+        demands = np.full(len(trace), service_time)
+    return RouteContext(
+        arrivals=trace.arrival_times,
+        demands=demands,
+        n_devices=n_devices,
+        device=get_preset(device_name),
+        rng=np.random.default_rng(seed),
+    )
+
+
+def fault_scenarios(n_devices, horizon, seed=5):
+    """The schedule battery every pinning test runs: a realistic seeded
+    exponential process, the degenerate correlated lock-step process, a
+    cold-start cohort, a single long outage, and a whole-fleet blackout
+    window (every device down at once mid-trace)."""
+    scenarios = {
+        "exponential": FaultProcess(mtbf=40.0, mttr=6.0).realize(
+            n_devices, horizon, seed=seed
+        ),
+        "lockstep": FaultProcess(
+            mtbf=25.0, mttr=5.0, deterministic=True
+        ).realize(n_devices, horizon, seed=seed),
+        "cold_start": FaultProcess(
+            mtbf=60.0, mttr=10.0, start_down=0.5
+        ).realize(n_devices, horizon, seed=seed),
+        "long_outage": FaultSchedule(
+            [[(0.0, horizon * 0.9)]] + [[] for _ in range(n_devices - 1)],
+            horizon,
+        ),
+    }
+    if n_devices > 1:
+        blackout = (horizon * 0.3, horizon * 0.5)
+        scenarios["blackout"] = FaultSchedule(
+            [[blackout] for _ in range(n_devices)], horizon
+        )
+    return scenarios
+
+
+class TestFailoverConfig:
+    def test_defaults_valid(self):
+        cfg = FailoverConfig()
+        assert cfg.policy == "next_best"
+
+    @pytest.mark.parametrize("kwargs", [
+        {"policy": "teleport"},
+        {"max_retries": -1},
+        {"backoff_base": 0.0},
+        {"backoff_base": -1.0},
+        {"backoff_cap": 0.1, "backoff_base": 0.5},
+    ])
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            FailoverConfig(**kwargs)
+
+
+class TestNoFaultBitIdentity:
+    """With an always-up schedule the failure-aware engines must make
+    exactly the choices of plain routing: the first attempt is always
+    the router's natural, mask-oblivious decision."""
+
+    @pytest.mark.parametrize("name", sorted(ROUTERS))
+    @pytest.mark.parametrize("engine",
+                             (route_with_failover, route_with_failover_step))
+    def test_matches_plain_route(self, name, engine, rng):
+        trace = renewal_trace(Exponential(0.8), 400.0, rng)
+        router = make_router(name)
+        plain = router.route(make_context(trace, 4, seed=9))
+        outcome = engine(router, make_context(trace, 4, seed=9),
+                         no_faults(4, trace.duration))
+        assert np.array_equal(outcome.assignments, plain)
+        assert outcome.n_retries == 0
+        assert outcome.n_dropped == 0
+        assert outcome.latency_inflation == 0.0
+        assert np.array_equal(outcome.dispatch_times, trace.arrival_times)
+
+
+class TestScalarVectorizedPinning:
+    """route_with_failover_step must be bit-identical to the scalar
+    reference — assignments, dispatch instants, and retry counts —
+    across routers x presets x failover policies x fault scenarios."""
+
+    @pytest.mark.parametrize("name", sorted(ROUTERS))
+    @pytest.mark.parametrize("device_name", PRESETS)
+    @pytest.mark.parametrize("policy", ("next_best", "resubmit"))
+    def test_pinned_across_scenarios(self, name, device_name, policy, rng):
+        trace = renewal_trace(Exponential(0.8), 300.0, rng)
+        router = make_router(name)
+        config = FailoverConfig(policy=policy, max_retries=3,
+                                backoff_base=0.25, backoff_cap=2.0)
+        for label, faults in fault_scenarios(4, trace.duration).items():
+            ref = route_with_failover(
+                router, make_context(trace, 4, device_name, seed=9),
+                faults, config,
+            )
+            fast = route_with_failover_step(
+                router, make_context(trace, 4, device_name, seed=9),
+                faults, config,
+            )
+            assert np.array_equal(ref.assignments, fast.assignments), label
+            assert np.array_equal(ref.retries, fast.retries), label
+            # bit-identical, not approximately equal
+            assert np.array_equal(ref.dispatch_times,
+                                  fast.dispatch_times), label
+
+    @pytest.mark.parametrize("name", sorted(ROUTERS))
+    def test_pinned_single_device_fleet(self, name, rng):
+        """n_devices=1: failover has nowhere to go, so outages must
+        produce drops (or backoff landings) identically on both paths."""
+        trace = renewal_trace(Exponential(0.5), 100.0, rng)
+        faults = FaultSchedule([[(10.0, 30.0), (60.0, 61.0)]], trace.duration)
+        router = make_router(name)
+        config = FailoverConfig(max_retries=2, backoff_base=0.5,
+                                backoff_cap=4.0)
+        ref = route_with_failover(
+            router, make_context(trace, 1, seed=3), faults, config)
+        fast = route_with_failover_step(
+            router, make_context(trace, 1, seed=3), faults, config)
+        assert np.array_equal(ref.assignments, fast.assignments)
+        assert np.array_equal(ref.dispatch_times, fast.dispatch_times)
+        assert ref.n_dropped > 0  # the 20s outage outlives the backoff
+
+    def test_device_count_mismatch_raises(self, rng):
+        trace = renewal_trace(Exponential(0.5), 50.0, rng)
+        for engine in (route_with_failover, route_with_failover_step):
+            with pytest.raises(ValueError, match="covers 2 devices"):
+                engine(make_router("jsq"), make_context(trace, 4),
+                       no_faults(2, trace.duration))
+
+
+class TestFailoverSemantics:
+    def test_next_best_lands_on_survivor(self):
+        """Device 0 down for the whole window: every request that would
+        naturally land there fails over to a live device instead."""
+        trace = Trace([1.0, 2.0, 3.0, 4.0], duration=10.0)
+        faults = FaultSchedule([[(0.0, 10.0)], []], 10.0)
+        outcome = route_with_failover(
+            make_router("jsq"), make_context(trace, 2), faults,
+            FailoverConfig(policy="next_best"),
+        )
+        assert outcome.n_dropped == 0
+        assert (outcome.assignments == 1).all()
+        assert outcome.n_retries == 4      # one backoff each before rerouting
+        assert outcome.latency_inflation > 0.0
+
+    def test_resubmit_drops_under_stale_health_view(self):
+        """resubmit re-asks the fault-oblivious router; jsq keeps
+        re-picking the (empty-queued) dead device, so the request
+        exhausts its retries and drops — the measurable cost of
+        health-blind dispatch that next_best avoids."""
+        trace = Trace([1.0], duration=200.0)
+        faults = FaultSchedule([[(0.0, 150.0)], []], 200.0)
+        resubmit = route_with_failover(
+            make_router("jsq"), make_context(trace, 2), faults,
+            FailoverConfig(policy="resubmit", max_retries=3,
+                           backoff_base=0.5, backoff_cap=8.0),
+        )
+        assert resubmit.assignments.tolist() == [-1]
+        assert resubmit.retries.tolist() == [3]
+        next_best = route_with_failover(
+            make_router("jsq"), make_context(trace, 2), faults,
+            FailoverConfig(policy="next_best", max_retries=3),
+        )
+        assert next_best.assignments.tolist() == [1]
+
+    def test_backoff_delays_are_capped_exponential(self):
+        """A whole-fleet blackout forces consecutive backoffs: the
+        dispatch delay must be the sum of min(base * 2**(k-1), cap)."""
+        trace = Trace([1.0], duration=100.0)
+        faults = FaultSchedule([[(0.0, 90.0)], [(0.0, 90.0)]], 100.0)
+        config = FailoverConfig(max_retries=4, backoff_base=1.0,
+                                backoff_cap=4.0)
+        outcome = route_with_failover(
+            make_router("round_robin"), make_context(trace, 2),
+            faults, config,
+        )
+        # delays 1, 2, 4, 4 — still inside the blackout, so it drops
+        assert outcome.assignments.tolist() == [-1]
+        assert outcome.dispatch_times.tolist() == [1.0 + 1.0 + 2.0 + 4.0 + 4.0]
+
+    def test_fleet_recovers_mid_backoff(self):
+        """A blackout that ends inside the backoff window: the retry
+        probe sees the repaired device and lands there."""
+        trace = Trace([1.0], duration=100.0)
+        faults = FaultSchedule([[(0.0, 3.0)], [(0.0, 90.0)]], 100.0)
+        outcome = route_with_failover(
+            make_router("round_robin"), make_context(trace, 2), faults,
+            FailoverConfig(max_retries=4, backoff_base=1.0, backoff_cap=4.0),
+        )
+        # natural pick 0 (down), backoff to 2.0 (still down), to 4.0:
+        # device 0 repaired — lands there
+        assert outcome.assignments.tolist() == [0]
+        assert outcome.dispatch_times.tolist() == [4.0]
+        assert outcome.retries.tolist() == [2]
+
+    def test_max_retries_zero_drops_immediately(self):
+        trace = Trace([1.0], duration=10.0)
+        faults = FaultSchedule([[(0.0, 10.0)], []], 10.0)
+        outcome = route_with_failover(
+            make_router("round_robin"), make_context(trace, 2), faults,
+            FailoverConfig(max_retries=0),
+        )
+        assert outcome.assignments.tolist() == [-1]
+        assert outcome.dispatch_times.tolist() == [1.0]
+
+
+class TestDispatchWithFaults:
+    def test_subtraces_carry_delayed_dispatches(self):
+        """A failed-over request enters its device's sub-trace at the
+        delayed dispatch instant, stable-sorted against other landings
+        — request 0's retry lands on device 1 *after* request 2's
+        natural dispatch there, so the sub-trace order flips."""
+        trace = Trace([1.0, 1.2, 1.3], duration=10.0,
+                      service_demands=[0.3, 0.2, 0.7])
+        faults = FaultSchedule([[(0.95, 1.05)], []], 10.0)
+        subs, outcome = Dispatcher(
+            "round_robin", 2, get_preset("mobile_hdd"),
+        ).dispatch_with_faults(
+            trace, faults, FailoverConfig(backoff_base=0.5),
+        )
+        # request 0: natural pick 0 (down at 1.0), retried at 1.5 onto
+        # device 1; request 1: cursor pick 0 (repaired by 1.2); request
+        # 2: cursor pick 1, dispatching at 1.3 < 1.5
+        assert subs[0].arrival_times.tolist() == [1.2]
+        assert subs[0].service_demands.tolist() == [0.2]
+        assert subs[1].arrival_times.tolist() == [1.3, 1.5]
+        assert subs[1].service_demands.tolist() == [0.7, 0.3]
+        assert outcome.n_retries == 1
+
+    def test_dropped_requests_reach_no_subtrace(self):
+        trace = Trace([1.0, 5.0], duration=10.0)
+        faults = FaultSchedule([[(0.0, 10.0)], [(0.0, 10.0)]], 10.0)
+        subs, outcome = Dispatcher(
+            "jsq", 2, get_preset("mobile_hdd"),
+        ).dispatch_with_faults(trace, faults, FailoverConfig(max_retries=1))
+        assert outcome.n_dropped == 2
+        assert all(len(s) == 0 for s in subs)
+
+    def test_window_stretches_to_latest_landing(self):
+        """A retry landing past the nominal window must stretch every
+        sub-trace's shared duration to cover it."""
+        trace = Trace([9.5], duration=10.0)
+        faults = FaultSchedule([[(9.0, 10.0)], []], 10.0)
+        subs, outcome = Dispatcher(
+            "round_robin", 2, get_preset("mobile_hdd"),
+        ).dispatch_with_faults(
+            trace, faults, FailoverConfig(backoff_base=1.0),
+        )
+        assert outcome.dispatch_times.tolist() == [10.5]
+        assert all(s.duration == 10.5 for s in subs)
+
+    def test_requires_schedule(self, rng):
+        trace = renewal_trace(Exponential(0.5), 50.0, rng)
+        with pytest.raises(ValueError, match="fault schedule"):
+            Dispatcher("jsq", 2, get_preset("mobile_hdd")).\
+                dispatch_with_faults(trace, None)
+
+    def test_accepts_process_and_is_seed_deterministic(self, rng):
+        trace = renewal_trace(Exponential(0.8), 200.0, rng)
+        dispatcher = Dispatcher("jsq", 3, get_preset("mobile_hdd"), seed=4)
+        proc = FaultProcess(mtbf=30.0, mttr=5.0)
+        subs_a, out_a = dispatcher.dispatch_with_faults(trace, proc)
+        subs_b, out_b = dispatcher.dispatch_with_faults(trace, proc)
+        assert np.array_equal(out_a.assignments, out_b.assignments)
+        assert np.array_equal(out_a.dispatch_times, out_b.dispatch_times)
+        _, out_c = dispatcher.dispatch_with_faults(trace, proc, fault_seed=99)
+        assert not np.array_equal(out_a.assignments, out_c.assignments)
+
+
+class TestFleetEnginesUnderFaults:
+    """run_fleet's auto/flat engines vs the scalar reference, with
+    faults injected: every FleetReport field at rel <= 1e-9 (assignments
+    and dispatch instants themselves are bit-identical upstream)."""
+
+    POLICIES = [("always_on", AlwaysOn), ("greedy", GreedySleep),
+                ("timeout", FixedTimeout)]
+
+    @pytest.mark.parametrize("engine", ("auto", "flat"))
+    @pytest.mark.parametrize("router_name", sorted(ROUTERS))
+    @pytest.mark.parametrize(
+        "policy_factory", [f for _, f in POLICIES],
+        ids=[name for name, _ in POLICIES],
+    )
+    def test_engines_pinned_under_faults(self, engine, router_name,
+                                         policy_factory, rng):
+        trace = renewal_trace(Exponential(0.8), 400.0, rng)
+        device = get_preset("mobile_hdd")
+        kwargs = dict(
+            service_time=0.4, route_seed=21,
+            faults=FaultProcess(mtbf=50.0, mttr=8.0), fault_seed=77,
+            failover=FailoverConfig(max_retries=3),
+        )
+        ref = run_fleet(device, policy_factory(), trace,
+                        make_router(router_name), 4, engine="scalar",
+                        **kwargs)
+        fast = run_fleet(device, policy_factory(), trace,
+                         make_router(router_name), 4, engine=engine,
+                         **kwargs)
+        assert_fleet_reports_match(ref, fast)
+        for field in ("availability", "n_retries", "n_dropped",
+                      "failover_latency_inflation"):
+            assert getattr(ref, field) == getattr(fast, field), field
+
+    @pytest.mark.parametrize("engine", ("auto", "flat"))
+    def test_degenerate_blackout_pinned(self, engine, rng):
+        """Whole-fleet blackout mid-trace: drops occur, some devices may
+        end up with empty sub-traces — engines must still agree."""
+        trace = renewal_trace(Exponential(1.0), 120.0, rng)
+        device = get_preset("wlan")
+        faults = FaultSchedule([[(30.0, 60.0)]] * 3, trace.duration)
+        kwargs = dict(service_time=0.4, route_seed=5, faults=faults,
+                      failover=FailoverConfig(max_retries=2,
+                                              backoff_base=0.5,
+                                              backoff_cap=2.0))
+        ref = run_fleet(device, FixedTimeout(), trace, make_router("jsq"),
+                        3, engine="scalar", **kwargs)
+        fast = run_fleet(device, FixedTimeout(), trace, make_router("jsq"),
+                         3, engine=engine, **kwargs)
+        assert ref.n_dropped > 0
+        assert_fleet_reports_match(ref, fast)
+
+    @pytest.mark.parametrize("engine", ("auto", "flat"))
+    def test_every_request_dropped_pinned(self, engine):
+        """Whole fleet down for the whole window, zero retries: every
+        request drops, every sub-trace is empty — both engines must
+        still produce a coherent (all-zero traffic) report."""
+        trace = Trace(np.array([1.0, 2.0, 3.0]), 100.0)
+        device = get_preset("mobile_hdd")
+        faults = FaultSchedule([[(0.0, 100.0)], [(0.0, 100.0)]], 100.0)
+        kwargs = dict(service_time=0.4, route_seed=1, faults=faults,
+                      failover=FailoverConfig(max_retries=0))
+        ref = run_fleet(device, FixedTimeout(), trace,
+                        make_router("round_robin"), 2, engine="scalar",
+                        **kwargs)
+        fast = run_fleet(device, FixedTimeout(), trace,
+                         make_router("round_robin"), 2, engine=engine,
+                         **kwargs)
+        for report in (ref, fast):
+            assert report.n_dropped == len(trace)
+            assert report.n_requests == 0
+            assert report.availability == 0.0
+        assert_fleet_reports_match(ref, fast)
+
+    def test_report_metrics_reflect_faults(self, rng):
+        trace = renewal_trace(Exponential(0.8), 300.0, rng)
+        device = get_preset("mobile_hdd")
+        report = run_fleet(
+            device, AlwaysOn(), trace, make_router("jsq"), 3,
+            service_time=0.4,
+            faults=FaultProcess(mtbf=30.0, mttr=10.0), fault_seed=2,
+        )
+        assert 0.0 < report.availability < 1.0
+        assert report.n_retries > 0
+        assert report.failover_latency_inflation > 0.0
+        fault_free = run_fleet(device, AlwaysOn(), trace,
+                               make_router("jsq"), 3, service_time=0.4)
+        assert fault_free.availability == 1.0
+        assert fault_free.n_retries == 0
+        assert fault_free.n_dropped == 0
+
+    def test_batch_matches_per_seed_runs(self, rng):
+        """Chunking invariance under faults: a flattened batch of R
+        seeded runs equals R independent run_fleet calls."""
+        traces = [renewal_trace(Exponential(0.8), 200.0,
+                                np.random.default_rng(s)) for s in (1, 2, 3)]
+        device = get_preset("mobile_hdd")
+        proc = FaultProcess(mtbf=40.0, mttr=6.0)
+        batched = run_fleet_batch(
+            device, GreedySleep(), traces, make_router("power_aware"), 3,
+            service_time=0.4, route_seeds=[11, 12, 13],
+            faults=proc, fault_seeds=[21, 22, 23],
+        )
+        for trace, rs, fs, got in zip(traces, (11, 12, 13), (21, 22, 23),
+                                      batched):
+            solo = run_fleet(
+                device, GreedySleep(), trace, make_router("power_aware"), 3,
+                service_time=0.4, route_seed=rs, faults=proc, fault_seed=fs,
+                engine="flat",
+            )
+            assert_fleet_reports_match(solo, got)
+            assert solo.n_retries == got.n_retries
+            assert solo.n_dropped == got.n_dropped
+
+
+class TestFleetSweepSpecFaultValidation:
+    """Satellite: degenerate fault configs must fail fast at the spec."""
+
+    def _spec(self, **overrides):
+        kwargs = dict(
+            device="mobile_hdd",
+            fleet_sizes=(2,),
+            routers=("jsq",),
+            policies=(PolicySpec(label="always_on", policy=AlwaysOn()),),
+            trace=TraceSpec(name="exp", dist=Exponential(1.0),
+                            duration=100.0),
+            service_time=0.4,
+        )
+        kwargs.update(overrides)
+        return FleetSweepSpec(**kwargs)
+
+    def test_valid_process_accepted(self):
+        spec = self._spec(faults=FaultProcess(mtbf=30.0, mttr=5.0))
+        assert spec.faults.mtbf == 30.0
+
+    def test_mtbf_shorter_than_a_request_rejected(self):
+        with pytest.raises(ValueError, match="shorter than a single"):
+            self._spec(faults=FaultProcess(mtbf=0.1, mttr=5.0))
+
+    def test_mttr_nonpositive_rejected_at_the_source(self):
+        with pytest.raises(ValueError, match="mttr"):
+            FaultProcess(mtbf=10.0, mttr=0.0)
+        with pytest.raises(ValueError, match="mttr"):
+            FaultProcess(mtbf=10.0, mttr=-1.0)
+
+    def test_whole_fleet_start_down_rejected_at_the_source(self):
+        with pytest.raises(ValueError, match="no surviving device"):
+            FaultProcess(mtbf=10.0, mttr=1.0, start_down=1.0)
+
+    def test_all_down_at_t0_schedule_rejected(self):
+        dead = FaultSchedule([[(0.0, 5.0)], [(0.0, 3.0)]], 100.0)
+        with pytest.raises(ValueError, match="down at t=0"):
+            self._spec(faults=dead)
+
+    def test_schedule_must_match_single_fleet_size(self):
+        sched = no_faults(2, 100.0)
+        assert self._spec(faults=sched).faults is sched
+        with pytest.raises(ValueError, match="single-fleet-size"):
+            self._spec(faults=sched, fleet_sizes=(2, 4))
+
+    def test_wrong_type_rejected(self):
+        with pytest.raises(ValueError, match="FaultProcess"):
+            self._spec(faults=0.5)
+
+    def test_failover_type_checked(self):
+        with pytest.raises(ValueError, match="FailoverConfig"):
+            self._spec(failover={"policy": "next_best"})

@@ -31,6 +31,7 @@ from repro.experiments import (
 )
 from repro.fleet import (
     ROUTERS,
+    FailoverConfig,
     FleetSweepRunner,
     FleetSweepSpec,
     Router,
@@ -485,3 +486,43 @@ class TestExperimentHarness:
             build_fleet_sweep_spec(
                 dataclasses.replace(FleetConfig(), device="warp_core")
             )
+
+    def test_fault_config_realizes_fault_injection(self):
+        config = dataclasses.replace(
+            FleetConfig(), fleet_sizes=(2,), routers=("round_robin",),
+            duration=300.0, n_traces=3, mtbf=60.0, mttr=10.0,
+            failover_policy="resubmit", max_retries=5,
+        )
+        spec = build_fleet_sweep_spec(config)
+        assert spec.faults is not None
+        assert spec.faults.mtbf == 60.0 and spec.faults.mttr == 10.0
+        assert spec.failover.policy == "resubmit"
+        assert spec.failover.max_retries == 5
+        result = run_fleet_sweep(config)
+        assert all(
+            r.availability < 1.0
+            for c in result.cells for r in c.reports
+        )
+        table = result.render()
+        assert "avail" in table and "dropped" in table
+
+    def test_faultless_config_keeps_faultless_spec(self):
+        spec = build_fleet_sweep_spec(FleetConfig())
+        assert spec.faults is None
+        assert spec.failover == FailoverConfig()
+
+    def test_checkpoint_config_resumes_without_recompute(self, tmp_path):
+        ck = tmp_path / "fleet.ck"
+        config = dataclasses.replace(
+            FleetConfig(), fleet_sizes=(2,), routers=("round_robin",),
+            duration=300.0, n_traces=4, chunk_size=2, checkpoint=str(ck),
+        )
+        first = run_fleet_sweep(config)
+        assert first.execution["computed_chunks"] > 0
+        second = run_fleet_sweep(config)
+        assert second.execution["computed_chunks"] == 0
+        assert second.execution["resumed_chunks"] == (
+            first.execution["computed_chunks"]
+        )
+        for ca, cb in zip(first.cells, second.cells):
+            assert ca.reports == cb.reports

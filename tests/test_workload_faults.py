@@ -1,0 +1,168 @@
+"""Fault model: seeded schedules, interval conventions, determinism.
+
+The contract under test is the one the failure-aware routing engines
+build on: a schedule is a pure function of ``(seed, n_devices,
+horizon)``, a device is down on ``[start, end)`` exactly, and the merged
+transition stream replayed incrementally reproduces ``alive_mask`` bit
+for bit at every query instant.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.workload import (
+    FaultProcess,
+    FaultSchedule,
+    no_faults,
+    resolve_fault_schedule,
+)
+
+
+class TestFaultSchedule:
+    def test_interval_convention_half_open(self):
+        sched = FaultSchedule([[(2.0, 5.0)]], horizon=10.0)
+        assert not sched.is_down(0, 1.999)
+        assert sched.is_down(0, 2.0)          # down at the failure instant
+        assert sched.is_down(0, 4.999)
+        assert not sched.is_down(0, 5.0)      # up at the repair instant
+        assert not sched.is_down(0, 9.0)
+
+    def test_alive_mask_matches_is_down(self):
+        sched = FaultSchedule(
+            [[(1.0, 3.0)], [], [(0.5, 2.0), (4.0, 6.0)]], horizon=10.0
+        )
+        for t in (0.0, 0.5, 1.0, 1.5, 2.0, 3.0, 4.0, 5.5, 6.0, 9.9):
+            expected = [not sched.is_down(d, t) for d in range(3)]
+            assert sched.alive_mask(t).tolist() == expected
+
+    def test_transitions_replay_equals_alive_mask(self):
+        """Applying every event with time <= t reproduces the mask —
+        the invariant the vectorized routing engine relies on."""
+        sched = FaultSchedule(
+            [[(1.0, 3.0), (5.0, 7.0)], [(3.0, 4.0)], []], horizon=10.0
+        )
+        times, devices, downs = sched.transitions()
+        assert np.all(np.diff(times) >= 0)
+        for t in (0.0, 0.5, 1.0, 2.9, 3.0, 4.0, 5.0, 6.5, 7.0, 10.0):
+            alive = np.ones(3, dtype=bool)
+            for k in range(times.size):
+                if times[k] <= t:
+                    alive[devices[k]] = not downs[k]
+            assert np.array_equal(alive, sched.alive_mask(t))
+
+    def test_availability_and_down_time(self):
+        sched = FaultSchedule([[(0.0, 2.0), (6.0, 8.0)], []], horizon=10.0)
+        assert sched.down_time(0) == pytest.approx(4.0)
+        assert sched.down_time(1) == 0.0
+        assert sched.availability() == pytest.approx([0.6, 1.0])
+
+    def test_all_down_at(self):
+        sched = FaultSchedule([[(1.0, 2.0)], [(1.5, 3.0)]], horizon=5.0)
+        assert not sched.all_down_at(0.0)
+        assert sched.all_down_at(1.5)
+        assert not sched.all_down_at(2.5)
+
+    @pytest.mark.parametrize("bad", [
+        [[(2.0, 1.0)]],             # start >= end
+        [[(-1.0, 1.0)]],            # before the window
+        [[(0.0, 11.0)]],            # past the horizon
+        [[(0.0, 3.0), (2.0, 4.0)]], # overlapping
+        [[(4.0, 5.0), (1.0, 2.0)]], # unsorted
+    ])
+    def test_invalid_intervals_raise(self, bad):
+        with pytest.raises(ValueError):
+            FaultSchedule(bad, horizon=10.0)
+
+    def test_empty_fleet_and_horizon_raise(self):
+        with pytest.raises(ValueError):
+            FaultSchedule([], horizon=10.0)
+        with pytest.raises(ValueError):
+            FaultSchedule([[]], horizon=0.0)
+
+    def test_no_faults_helper(self):
+        sched = no_faults(3, 100.0)
+        assert sched.availability().tolist() == [1.0, 1.0, 1.0]
+        assert sched.alive_mask(50.0).all()
+
+
+class TestFaultProcess:
+    def test_realize_is_pure_function_of_seed(self):
+        proc = FaultProcess(mtbf=50.0, mttr=5.0)
+        a = proc.realize(4, 1_000.0, seed=7)
+        b = proc.realize(4, 1_000.0, seed=7)
+        for d in range(4):
+            assert a.intervals(d) == b.intervals(d)
+        c = proc.realize(4, 1_000.0, seed=8)
+        assert any(a.intervals(d) != c.intervals(d) for d in range(4))
+
+    def test_per_device_streams_independent_of_fleet_size(self):
+        """Device d's fault history is keyed (seed, d): growing the
+        fleet never perturbs existing devices' schedules."""
+        proc = FaultProcess(mtbf=30.0, mttr=4.0)
+        small = proc.realize(2, 500.0, seed=3)
+        large = proc.realize(8, 500.0, seed=3)
+        for d in range(2):
+            assert small.intervals(d) == large.intervals(d)
+
+    def test_deterministic_schedule_is_exact_and_correlated(self):
+        proc = FaultProcess(mtbf=10.0, mttr=2.0, deterministic=True)
+        sched = proc.realize(3, 25.0, seed=0)
+        expected = [(10.0, 12.0), (22.0, 24.0)]
+        for d in range(3):
+            assert sched.intervals(d) == expected
+
+    def test_exponential_means_are_plausible(self):
+        proc = FaultProcess(mtbf=100.0, mttr=10.0)
+        sched = proc.realize(64, 100_000.0, seed=1)
+        spans = [e - s for d in range(64) for s, e in sched.intervals(d)]
+        # repair-interval mean ~ mttr (loose 3-sigma-ish bounds)
+        assert 8.0 < float(np.mean(spans)) < 12.0
+        # availability ~ mtbf / (mtbf + mttr) = 0.909
+        assert 0.88 < float(sched.availability().mean()) < 0.94
+
+    def test_start_down_cohort(self):
+        proc = FaultProcess(
+            mtbf=1e6, mttr=5.0, deterministic=True, start_down=0.5
+        )
+        sched = proc.realize(4, 100.0, seed=0)
+        assert sched.is_down(0, 0.0) and sched.is_down(1, 0.0)
+        assert not sched.is_down(2, 0.0) and not sched.is_down(3, 0.0)
+        assert not sched.is_down(0, 5.0)  # repaired after mttr exactly
+
+    def test_intervals_clipped_to_horizon(self):
+        proc = FaultProcess(mtbf=8.0, mttr=100.0, deterministic=True)
+        sched = proc.realize(1, 10.0, seed=0)
+        assert sched.intervals(0) == [(8.0, 10.0)]
+
+    @pytest.mark.parametrize("kwargs", [
+        {"mtbf": 0.0, "mttr": 1.0},
+        {"mtbf": -1.0, "mttr": 1.0},
+        {"mtbf": 1.0, "mttr": 0.0},
+        {"mtbf": 1.0, "mttr": -2.0},
+        {"mtbf": 1.0, "mttr": 1.0, "start_down": 1.0},
+        {"mtbf": 1.0, "mttr": 1.0, "start_down": -0.1},
+    ])
+    def test_invalid_process_raises(self, kwargs):
+        with pytest.raises(ValueError):
+            FaultProcess(**kwargs)
+
+
+class TestResolveFaultSchedule:
+    def test_passthrough_and_realize(self):
+        sched = no_faults(2, 10.0)
+        assert resolve_fault_schedule(sched, 2, 10.0) is sched
+        proc = FaultProcess(mtbf=5.0, mttr=1.0)
+        realized = resolve_fault_schedule(proc, 3, 10.0, seed=4)
+        assert isinstance(realized, FaultSchedule)
+        assert realized.n_devices == 3
+        assert resolve_fault_schedule(None, 2, 10.0) is None
+
+    def test_device_count_mismatch_raises(self):
+        with pytest.raises(ValueError, match="2 devices"):
+            resolve_fault_schedule(no_faults(2, 10.0), 4, 10.0)
+
+    def test_wrong_type_raises(self):
+        with pytest.raises(TypeError):
+            resolve_fault_schedule(0.5, 2, 10.0)
