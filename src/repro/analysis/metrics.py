@@ -138,4 +138,10 @@ def latency_percentiles(
     delays = np.asarray(delays, dtype=float)
     if delays.size == 0:
         return tuple(0.0 for _ in qs)
+    if not np.isfinite(delays).all():
+        bad = int(np.count_nonzero(~np.isfinite(delays)))
+        raise ValueError(
+            f"latency stream contains {bad} non-finite value(s); "
+            "percentiles over NaN/inf would silently poison the tail summary"
+        )
     return tuple(float(v) for v in np.percentile(delays, qs))

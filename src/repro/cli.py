@@ -26,6 +26,13 @@ seeded device failures (with ``--max-retries`` bounding failover
 retries before a request drops), and ``--checkpoint PATH`` to journal
 completed chunks — rerun with ``--resume`` to pick up an interrupted
 sweep bit-identically instead of starting over.
+
+``--verify P`` shadow-runs fraction P of seed chunks / cells on the
+scalar reference path and compares field-for-field (any divergence
+aborts); ``--diagnostics DIR`` writes minimal-repro JSON bundles on
+invariant violations or worker failures.  Ctrl-C (or SIGTERM) during a
+checkpointed sweep flushes the journal, prints a one-line resume hint,
+and exits with status 130.
 """
 
 from __future__ import annotations
@@ -55,10 +62,13 @@ from .experiments import (
     run_variation,
 )
 from .fleet import ROUTERS
+from .runtime.verify import SweepInterrupted
 
 
 def _sweep_settings(config, n_seeds: Optional[int], batch: Optional[int],
-                    jobs: Optional[int] = None):
+                    jobs: Optional[int] = None,
+                    verify: Optional[float] = None,
+                    diagnostics: Optional[str] = None):
     """Overlay CLI sweep flags onto a config's ``sweep`` block."""
     sweep = config.sweep
     if n_seeds is not None:
@@ -67,26 +77,56 @@ def _sweep_settings(config, n_seeds: Optional[int], batch: Optional[int],
         sweep = dataclasses.replace(sweep, batch_size=batch)
     if jobs is not None:
         sweep = dataclasses.replace(sweep, n_jobs=jobs)
+    if verify is not None:
+        sweep = dataclasses.replace(sweep, verify_fraction=verify)
+    if diagnostics is not None:
+        sweep = dataclasses.replace(sweep, diagnostics_dir=diagnostics)
     return dataclasses.replace(config, sweep=sweep)
 
 
+def _verification_line(execution) -> str:
+    """One-line shadow-verification summary for a sweep's metadata."""
+    block = (execution or {}).get("verification")
+    if not block:
+        return ""
+    if "skipped" in block:
+        return f"verification: skipped — {block['skipped']}"
+    return (
+        f"verification: {block['n_verified']}/{block['n_chunks']} chunks "
+        f"shadow-verified against {block['reference']} — "
+        f"{block['n_divergences']} divergence(s)"
+    )
+
+
 def _fig1(quick: bool, n_seeds: Optional[int] = None,
-          batch: Optional[int] = None, jobs: Optional[int] = None) -> str:
+          batch: Optional[int] = None, jobs: Optional[int] = None,
+          verify: Optional[float] = None,
+          diagnostics: Optional[str] = None) -> str:
     config = Fig1Config()
     if quick:
         config = dataclasses.replace(config, n_slots=30_000, record_every=1_000)
-    return run_fig1(_sweep_settings(config, n_seeds, batch, jobs)).render()
+    result = run_fig1(
+        _sweep_settings(config, n_seeds, batch, jobs, verify, diagnostics)
+    )
+    line = _verification_line(result.execution)
+    return result.render() + ("\n" + line if line else "")
 
 
 def _fig2(quick: bool, n_seeds: Optional[int] = None,
-          batch: Optional[int] = None, jobs: Optional[int] = None) -> str:
+          batch: Optional[int] = None, jobs: Optional[int] = None,
+          verify: Optional[float] = None,
+          diagnostics: Optional[str] = None) -> str:
     config = Fig2Config()
     if quick:
         config = dataclasses.replace(
             config, segment_slots=8_000, record_every=500, mb_min_samples=400,
             mb_freeze_slots=800,
         )
-    return run_fig2(_sweep_settings(config, n_seeds, batch, jobs)).render()
+    result = run_fig2(
+        _sweep_settings(config, n_seeds, batch, jobs, verify, diagnostics)
+    )
+    line = _verification_line(result.execution)
+    return result.render() + ("\n" + line if line else "")
 
 
 def _overhead(quick: bool, n_seeds: Optional[int] = None,
@@ -102,13 +142,19 @@ def _overhead(quick: bool, n_seeds: Optional[int] = None,
 
 
 def _variation(quick: bool, n_seeds: Optional[int] = None,
-               batch: Optional[int] = None, jobs: Optional[int] = None) -> str:
+               batch: Optional[int] = None, jobs: Optional[int] = None,
+               verify: Optional[float] = None,
+               diagnostics: Optional[str] = None) -> str:
     config = VariationConfig()
     if quick:
         config = dataclasses.replace(
             config, n_slots=20_000, warmup_slots=15_000
         )
-    return run_variation(_sweep_settings(config, n_seeds, batch, jobs)).render()
+    result = run_variation(
+        _sweep_settings(config, n_seeds, batch, jobs, verify, diagnostics)
+    )
+    line = _verification_line(result.execution)
+    return result.render() + ("\n" + line if line else "")
 
 
 def _policies(quick: bool, n_seeds: Optional[int] = None,
@@ -132,7 +178,9 @@ def _grid(quick: bool, n_seeds: Optional[int] = None,
 
 
 def _sim_sweep(quick: bool, n_seeds: Optional[int] = None,
-               batch: Optional[int] = None, jobs: Optional[int] = None) -> str:
+               batch: Optional[int] = None, jobs: Optional[int] = None,
+               verify: Optional[float] = None,
+               diagnostics: Optional[str] = None) -> str:
     config = SimSweepConfig()
     if quick:
         config = dataclasses.replace(config, duration=2_000.0, n_traces=4)
@@ -140,7 +188,14 @@ def _sim_sweep(quick: bool, n_seeds: Optional[int] = None,
         config = dataclasses.replace(config, n_traces=n_seeds)
     if jobs is not None:
         config = dataclasses.replace(config, n_jobs=jobs)
-    return run_sim_sweep(config).render()
+    if verify is not None:
+        config = dataclasses.replace(config, verify_fraction=verify)
+    if diagnostics is not None:
+        config = dataclasses.replace(config, diagnostics_dir=diagnostics)
+    result = run_sim_sweep(config)
+    out = result.render()
+    line = _verification_line(getattr(result, "execution", None))
+    return out + "\n" + line if line else out
 
 
 def _fleet_sweep(quick: bool, n_seeds: Optional[int] = None,
@@ -150,7 +205,9 @@ def _fleet_sweep(quick: bool, n_seeds: Optional[int] = None,
                  mtbf: Optional[float] = None,
                  mttr: Optional[float] = None,
                  max_retries: Optional[int] = None,
-                 checkpoint: Optional[str] = None) -> str:
+                 checkpoint: Optional[str] = None,
+                 verify: Optional[float] = None,
+                 diagnostics: Optional[str] = None) -> str:
     config = FleetConfig()
     if quick:
         config = dataclasses.replace(config, duration=500.0, n_traces=4)
@@ -170,7 +227,14 @@ def _fleet_sweep(quick: bool, n_seeds: Optional[int] = None,
         config = dataclasses.replace(config, max_retries=max_retries)
     if checkpoint is not None:
         config = dataclasses.replace(config, checkpoint=checkpoint)
-    return run_fleet_sweep(config).render()
+    if verify is not None:
+        config = dataclasses.replace(config, verify_fraction=verify)
+    if diagnostics is not None:
+        config = dataclasses.replace(config, diagnostics_dir=diagnostics)
+    result = run_fleet_sweep(config)
+    out = result.render()
+    line = _verification_line(getattr(result, "execution", None))
+    return out + "\n" + line if line else out
 
 
 _COMMANDS: Dict[str, Callable[..., str]] = {
@@ -195,6 +259,9 @@ _BATCHABLE = _SWEEPABLE + ("overhead",)
 _JOBBABLE = _SWEEPABLE + ("policies", "sim-sweep", "fleet-sweep")
 #: experiments that consume --devices / --router (fleet dispatch grid)
 _FLEETABLE = ("fleet-sweep",)
+#: experiments with a sampled shadow-execution path (--verify/--diagnostics);
+#: grid cells run through the executor directly and are excluded
+_VERIFIABLE = ("fig1", "fig2", "variation", "sim-sweep", "fleet-sweep")
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -287,6 +354,22 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="fleet-sweep: resume from the --checkpoint journal instead "
              "of starting over (results are bit-identical either way)",
     )
+    parser.add_argument(
+        "--verify",
+        type=float,
+        default=None,
+        metavar="P",
+        help="shadow-run fraction P of seed chunks / cells on the scalar "
+             "reference path and compare field-for-field (0 <= P <= 1; "
+             "any divergence aborts with a diagnostics bundle)",
+    )
+    parser.add_argument(
+        "--diagnostics",
+        default=None,
+        metavar="DIR",
+        help="write minimal-repro JSON bundles to DIR on invariant "
+             "violations, shadow divergences, or worker failures",
+    )
     args = parser.parse_args(argv)
     if args.seeds is not None and args.seeds < 1:
         parser.error("--seeds must be >= 1")
@@ -308,15 +391,22 @@ def main(argv: Optional[List[str]] = None) -> int:
             parser.error(f"{flag} requires --mtbf (no faults to configure)")
     if args.resume and args.checkpoint is None:
         parser.error("--resume requires --checkpoint")
-
+    if args.verify is not None and not 0.0 <= args.verify <= 1.0:
+        parser.error("--verify must be in [0, 1]")
     if args.experiment == "sweep":
         n_seeds = args.seeds if args.seeds is not None else 8
         names = ("fig1", "fig2", "variation")
         for name in names:
             print(f"=== {name} (x{n_seeds} seeds) ===")
-            print(_COMMANDS[name](
-                args.quick, n_seeds=n_seeds, batch=args.batch, jobs=args.jobs
-            ))
+            try:
+                print(_COMMANDS[name](
+                    args.quick, n_seeds=n_seeds, batch=args.batch,
+                    jobs=args.jobs, verify=args.verify,
+                    diagnostics=args.diagnostics,
+                ))
+            except SweepInterrupted as exc:
+                print(f"\n{name}: {exc.resume_hint()}", file=sys.stderr)
+                return 130
             print()
         return 0
 
@@ -348,6 +438,13 @@ def main(argv: Optional[List[str]] = None) -> int:
                     f"{flag} is not supported for {args.experiment!r} "
                     f"(fleet experiments: {', '.join(sorted(_FLEETABLE))})"
                 )
+        for flag, value in (("--verify", args.verify),
+                            ("--diagnostics", args.diagnostics)):
+            if value is not None and args.experiment not in _VERIFIABLE:
+                parser.error(
+                    f"{flag} is not supported for {args.experiment!r} "
+                    f"(verifiable experiments: {', '.join(sorted(_VERIFIABLE))})"
+                )
 
     if (args.checkpoint is not None and not args.resume
             and os.path.exists(args.checkpoint)):
@@ -370,6 +467,10 @@ def main(argv: Optional[List[str]] = None) -> int:
                       args.max_retries, args.checkpoint)
         ):
             print(f"note: fleet-sweep flags have no effect on {name!r}")
+        if name not in _VERIFIABLE and (
+            args.verify is not None or args.diagnostics is not None
+        ):
+            print(f"note: --verify/--diagnostics have no effect on {name!r}")
         kwargs = {}
         if args.seeds is not None and name in _SEEDABLE:
             kwargs["n_seeds"] = args.seeds
@@ -386,8 +487,18 @@ def main(argv: Optional[List[str]] = None) -> int:
                                ("checkpoint", args.checkpoint)):
                 if value is not None:
                     kwargs[key] = value
+        if name in _VERIFIABLE:
+            if args.verify is not None:
+                kwargs["verify"] = args.verify
+            if args.diagnostics is not None:
+                kwargs["diagnostics"] = args.diagnostics
         # no flags -> exactly one positional arg (the dispatch contract)
-        out = _COMMANDS[name](args.quick, **kwargs) if kwargs else _COMMANDS[name](args.quick)
+        try:
+            out = (_COMMANDS[name](args.quick, **kwargs) if kwargs
+                   else _COMMANDS[name](args.quick))
+        except SweepInterrupted as exc:
+            print(f"\n{name}: {exc.resume_hint()}", file=sys.stderr)
+            return 130
         print(out)
         print()
     return 0

@@ -35,12 +35,21 @@ class SweepConfig:
     ``(batch_size, n_jobs)`` combination).  With the default
     ``n_seeds = 1`` an experiment reproduces its classic single-seed
     protocol.
+
+    ``verify_fraction`` turns on sampled shadow execution: that fraction
+    of seed chunks is deterministically re-run on the scalar reference
+    path and compared field-for-field (see
+    :mod:`repro.runtime.verify`).  ``diagnostics_dir`` names a directory
+    for minimal-repro bundles written on invariant violations or worker
+    failures.
     """
 
     n_seeds: int = 1
     batch_size: int = 32
     seed_stride: int = 1_000
     n_jobs: int = 1
+    verify_fraction: float = 0.0
+    diagnostics_dir: Optional[str] = None
 
     def seeds(self, base_seed: int) -> List[int]:
         """The seed list this sweep realizes from an experiment's base seed."""
@@ -177,6 +186,8 @@ class SimSweepConfig:
     seed_stride: int = 101
     chunk_size: int = 4
     n_jobs: int = 1
+    verify_fraction: float = 0.0   #: fraction of cells shadow-run on the scalar loop
+    diagnostics_dir: Optional[str] = None
 
 
 @dataclass(frozen=True)
@@ -220,6 +231,8 @@ class FleetConfig:
     failover_policy: str = "next_best"
     max_retries: int = 3           #: failover retries before a request drops
     checkpoint: Optional[str] = None
+    verify_fraction: float = 0.0   #: fraction of cells shadow-run on the scalar dispatcher
+    diagnostics_dir: Optional[str] = None
 
 
 @dataclass(frozen=True)

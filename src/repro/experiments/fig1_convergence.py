@@ -53,6 +53,7 @@ class Fig1Result:
     convergence_slot: Optional[int]   #: online payoff enters the soft band
     n_seeds: int = 1                  #: independent learners swept
     reward_ci: Optional[CI] = None    #: across-seed horizon payoff CI
+    execution: Optional[dict] = None  #: sweep execution metadata (verification)
 
     def render(self) -> str:
         """ASCII figure matching the paper's Fig. 1 layout.
@@ -145,7 +146,9 @@ def run_fig1(config: Fig1Config = Fig1Config()) -> Fig1Result:
             lead["driver"] = driver
 
     runner = SweepRunner(
-        batch_size=config.sweep.batch_size, n_jobs=config.sweep.n_jobs
+        batch_size=config.sweep.batch_size, n_jobs=config.sweep.n_jobs,
+        verify_fraction=config.sweep.verify_fraction,
+        diagnostics_dir=config.sweep.diagnostics_dir,
     )
     sweep = runner.run_many(
         spec, seeds, on_record=on_record, on_chunk_done=on_chunk_done
@@ -179,4 +182,5 @@ def run_fig1(config: Fig1Config = Fig1Config()) -> Fig1Result:
         convergence_slot=conv,
         n_seeds=len(seeds),
         reward_ci=sweep.reward_ci() if len(seeds) > 1 else None,
+        execution=getattr(sweep, "execution", None),
     )

@@ -28,7 +28,7 @@ from ..adaptive import (
 from ..analysis import CI, SwitchResponse, ascii_chart, switch_responses
 from ..device import get_preset
 from ..env import SlottedDPMEnv, build_dpm_model
-from ..runtime import RolloutSpec, SweepRunner
+from ..runtime import RolloutSpec, SweepRunner, merge_verification_blocks
 from ..workload import PiecewiseConstantRate
 from .config import Fig2Config
 
@@ -52,6 +52,7 @@ class Fig2Result:
     n_seeds: int = 1                      #: seeds per controller arm
     qdpm_reward_ci: Optional[CI] = None   #: across-seed Q-DPM payoff CI
     mb_reward_ci: Optional[CI] = None     #: across-seed model-based payoff CI
+    execution: Optional[dict] = None      #: merged sweep verification metadata
 
     def render(self) -> str:
         """ASCII figure matching the paper's Fig. 2 layout."""
@@ -146,6 +147,14 @@ def _make_env(config: Fig2Config, seed: int) -> SlottedDPMEnv:
     )
 
 
+def _merged_execution(*sweeps) -> Optional[dict]:
+    """One execution block covering every sweep arm, for the CLI summary."""
+    merged = merge_verification_blocks(
+        [getattr(s, "execution", None) for s in sweeps]
+    )
+    return {"verification": merged} if merged else None
+
+
 def run_fig2(config: Fig2Config = Fig2Config()) -> Fig2Result:
     """Run the FIG2 experiment; deterministic given the config seeds.
 
@@ -173,7 +182,9 @@ def run_fig2(config: Fig2Config = Fig2Config()) -> Fig2Result:
     )
     seeds = config.seeds()
     runner = SweepRunner(
-        batch_size=config.sweep.batch_size, n_jobs=config.sweep.n_jobs
+        batch_size=config.sweep.batch_size, n_jobs=config.sweep.n_jobs,
+        verify_fraction=config.sweep.verify_fraction,
+        diagnostics_dir=config.sweep.diagnostics_dir,
     )
 
     # --- Q-DPM (batched) -----------------------------------------------
@@ -244,4 +255,5 @@ def run_fig2(config: Fig2Config = Fig2Config()) -> Fig2Result:
         n_seeds=len(seeds),
         qdpm_reward_ci=sweep_q.reward_ci() if multi else None,
         mb_reward_ci=sweep_m.reward_ci() if multi else None,
+        execution=_merged_execution(sweep_q, sweep_m),
     )

@@ -70,5 +70,7 @@ def run_fleet_sweep(config: FleetConfig = FleetConfig()) -> FleetSweepResult:
     runner = FleetSweepRunner(
         chunk_size=config.chunk_size, n_jobs=config.n_jobs,
         checkpoint=config.checkpoint,
+        verify_fraction=config.verify_fraction,
+        diagnostics_dir=config.diagnostics_dir,
     )
     return runner.run(build_spec(config))

@@ -67,5 +67,9 @@ def build_spec(config: SimSweepConfig = SimSweepConfig()) -> SimSweepSpec:
 
 def run_sim_sweep(config: SimSweepConfig = SimSweepConfig()) -> SimSweepResult:
     """Run the full grid; deterministic given the config (any job count)."""
-    runner = SimSweepRunner(chunk_size=config.chunk_size, n_jobs=config.n_jobs)
+    runner = SimSweepRunner(
+        chunk_size=config.chunk_size, n_jobs=config.n_jobs,
+        verify_fraction=config.verify_fraction,
+        diagnostics_dir=config.diagnostics_dir,
+    )
     return runner.run(build_spec(config))

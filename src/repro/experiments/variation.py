@@ -33,7 +33,7 @@ from typing import List, Optional
 from ..analysis import CI, format_table
 from ..device import get_preset
 from ..env import build_dpm_model
-from ..runtime import RolloutSpec, SweepRunner
+from ..runtime import RolloutSpec, SweepRunner, merge_verification_blocks
 from ..workload import ConstantRate, SinusoidalRate
 from .config import VariationConfig
 
@@ -62,6 +62,7 @@ class VariationResult:
 
     config: VariationConfig
     rows: List[VariationRow]
+    execution: Optional[dict] = None   #: merged sweep verification metadata
 
     def render(self) -> str:
         multi = self.rows and self.rows[0].qdpm_ci is not None
@@ -110,12 +111,15 @@ def run_variation(config: VariationConfig = VariationConfig()) -> VariationResul
     ).policy
 
     runner = SweepRunner(
-        batch_size=config.sweep.batch_size, n_jobs=config.sweep.n_jobs
+        batch_size=config.sweep.batch_size, n_jobs=config.sweep.n_jobs,
+        verify_fraction=config.sweep.verify_fraction,
+        diagnostics_dir=config.sweep.diagnostics_dir,
     )
     seeds = config.seeds()
     multi = len(seeds) > 1
 
     rows: List[VariationRow] = []
+    executions: List[Optional[dict]] = []
     for amplitude in config.amplitudes:
         schedule = SinusoidalRate(config.base_rate, amplitude, config.period)
         # one whole-horizon window: mean reward/slot per seed, exactly as
@@ -143,6 +147,10 @@ def run_variation(config: VariationConfig = VariationConfig()) -> VariationResul
             warmup_seed_offset=0,
         )
         qdpm_sweep = runner.run_many(qdpm_spec, seeds)
+        executions.extend([
+            getattr(frozen_sweep, "execution", None),
+            getattr(qdpm_sweep, "execution", None),
+        ])
 
         rows.append(
             VariationRow(
@@ -155,4 +163,8 @@ def run_variation(config: VariationConfig = VariationConfig()) -> VariationResul
                 qdpm_ci=qdpm_sweep.reward_ci() if multi else None,
             )
         )
-    return VariationResult(config=config, rows=rows)
+    merged = merge_verification_blocks(executions)
+    return VariationResult(
+        config=config, rows=rows,
+        execution={"verification": merged} if merged else None,
+    )

@@ -25,9 +25,15 @@ from ..device import get_preset
 from ..runtime.checkpoint import run_chunks_checkpointed, spec_hash
 from ..runtime.executor import get_executor, resolve_n_jobs
 from ..runtime.simsweep import PolicySpec, TraceSpec, estimate_request_seconds
+from ..runtime.verify import (
+    InvariantViolation,
+    check_fleet_report,
+    shadow_verify_chunks,
+    write_diagnostics_bundle,
+)
 from ..workload.faults import FaultProcess, FaultSchedule
 from .dispatch import ROUTERS, FailoverConfig, Router, make_router
-from .evaluate import run_fleet_batch
+from .evaluate import run_fleet, run_fleet_batch
 from .report import FleetReport
 
 #: rough wall seconds to route one request through a router that only
@@ -295,6 +301,39 @@ def run_fleet_chunk(
     )
 
 
+def reference_fleet_chunk(
+    device_name: str,
+    n_devices: int,
+    router_name: str,
+    policy_spec: PolicySpec,
+    trace_spec: TraceSpec,
+    service_time: float,
+    seeds: Sequence[int],
+    faults: Any = None,
+    failover: FailoverConfig = FailoverConfig(),
+) -> List[FleetReport]:
+    """Scalar reference path for one :func:`run_fleet_chunk` work unit.
+
+    Per-seed ``engine="scalar"`` fleet runs — the reference dispatcher
+    loop every vectorized fleet path is pinned against in the test
+    suite, with the same per-seed route/fault stream derivation the
+    fast chunk uses.  Shadow verification compares these
+    field-for-field against the flattened-kernel results.
+    """
+    device = get_preset(device_name)
+    return [
+        run_fleet(
+            device, policy_spec.policy, trace_spec.realize(seed),
+            make_router(router_name), n_devices,
+            service_time=service_time, oracle=policy_spec.oracle,
+            route_seed=seed + ROUTE_SEED_OFFSET, engine="scalar",
+            keep_latencies=False, faults=faults, failover=failover,
+            fault_seed=seed + FAULT_SEED_OFFSET,
+        )
+        for seed in seeds
+    ]
+
+
 class FleetSweepRunner:
     """Chunked executor fan-out over the fleet cell grid.
 
@@ -318,22 +357,42 @@ class FleetSweepRunner:
         they finish and skipped on the next run with the same spec and
         chunk size — resumed results are bit-identical to an
         uninterrupted run.
+    verify_fraction:
+        Fraction of work units to shadow-verify: each sampled chunk is
+        re-run per-seed through the ``engine="scalar"`` reference
+        dispatcher and compared field-for-field (rel <= 1e-9).  The
+        sample is a deterministic function of the spec, so resumed and
+        fresh runs verify the same cells.  A divergence raises
+        :class:`~repro.runtime.verify.InvariantViolation`; the sample
+        and outcome land in the result's ``execution["verification"]``.
+    diagnostics_dir:
+        Directory for minimal-repro JSON bundles written on invariant
+        violations, shadow divergences, and unrecoverable chunk
+        failures.
     """
 
     def __init__(self, chunk_size: int = 4, n_jobs: int = 1,
                  timeout: Optional[float] = None, max_retries: int = 0,
                  retry_backoff: float = 0.5,
-                 checkpoint: Optional[str] = None) -> None:
+                 checkpoint: Optional[str] = None,
+                 verify_fraction: float = 0.0,
+                 diagnostics_dir: Optional[str] = None) -> None:
         if chunk_size < 1:
             raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
         if max_retries < 0:
             raise ValueError(f"max_retries must be >= 0, got {max_retries}")
+        if not 0.0 <= float(verify_fraction) <= 1.0:
+            raise ValueError(
+                f"verify_fraction must be in [0, 1], got {verify_fraction}"
+            )
         self.chunk_size = int(chunk_size)
         self.n_jobs = int(n_jobs)
         self.timeout = timeout
         self.max_retries = int(max_retries)
         self.retry_backoff = float(retry_backoff)
         self.checkpoint = checkpoint
+        self.verify_fraction = float(verify_fraction)
+        self.diagnostics_dir = diagnostics_dir
 
     def estimate_chunk_seconds(self, spec: FleetSweepSpec) -> float:
         """Mean estimated wall seconds of one (cell, seed-chunk) unit.
@@ -390,18 +449,34 @@ class FleetSweepRunner:
                         )
         est = self.estimate_chunk_seconds(spec)
         n_jobs, decision = resolve_n_jobs(self.n_jobs, est, len(tasks))
+        spec_key = spec_hash(spec, self.chunk_size)
         chunk_reports, resilience = run_chunks_checkpointed(
             get_executor(n_jobs), run_fleet_chunk, tasks,
-            spec_key=spec_hash(spec, self.chunk_size),
+            spec_key=spec_key,
             checkpoint=self.checkpoint, timeout=self.timeout,
             max_retries=self.max_retries, retry_backoff=self.retry_backoff,
+            diagnostics_dir=self.diagnostics_dir, spec=spec,
         )
+        self._check_invariants(spec, spec_key, tasks, chunk_reports)
+        verification = None
+        if self.verify_fraction > 0.0:
+            verification = shadow_verify_chunks(
+                tasks, chunk_reports, self.verify_fraction, spec_key,
+                reference_fleet_chunk, "run_fleet scalar dispatcher",
+                seeds_of=lambda task: task[6],
+                # per-device sub-reports carry summation-order noise
+                # beyond the fleet-level pin; the folded fields are the
+                # contract
+                ignore=("device_reports", "latencies"),
+                diagnostics_dir=self.diagnostics_dir, spec=spec,
+            )
 
         result = FleetSweepResult(spec=spec, execution={
             "n_jobs_requested": self.n_jobs,
             "n_jobs_effective": n_jobs,
             "decision": decision,
             "estimated_chunk_seconds": est,
+            **({"verification": verification} if verification else {}),
             **resilience,
         })
         per_cell = len(chunks)
@@ -416,3 +491,31 @@ class FleetSweepRunner:
                 )
             )
         return result
+
+    def _check_invariants(self, spec: FleetSweepSpec, spec_key: str,
+                          tasks, chunk_reports) -> None:
+        """Always-on invariant pass over every collected fleet report:
+        request/energy/residency conservation laws that hold for any
+        correct engine — a dict walk per report, not a re-simulation."""
+        try:
+            for t, (task, reports) in enumerate(zip(tasks, chunk_reports)):
+                (_, n_devices, router_name, policy_spec, trace_spec,
+                 _, chunk, *_rest) = task
+                for seed, report in zip(chunk, reports):
+                    check_fleet_report(
+                        report, spec_key=spec_key, seed=seed,
+                        context={"chunk": t, "n_devices": int(n_devices),
+                                 "router": router_name,
+                                 "trace": trace_spec.name,
+                                 "policy": policy_spec.label},
+                    )
+        except InvariantViolation as exc:
+            if self.diagnostics_dir is not None:
+                write_diagnostics_bundle(
+                    self.diagnostics_dir, "invariant_violation", spec=spec,
+                    spec_key=spec_key, seed=exc.seed,
+                    chunk_id=exc.context.get("chunk"), details=exc.details,
+                    error=exc, extra={"invariant": exc.invariant,
+                                      "context": exc.context},
+                )
+            raise

@@ -40,7 +40,12 @@ from .eventsim import (
     simulate_trace,
     simulate_traces_batch,
 )
-from .checkpoint import CheckpointJournal, run_chunks_checkpointed, spec_hash
+from .checkpoint import (
+    CheckpointJournal,
+    CheckpointMismatchError,
+    run_chunks_checkpointed,
+    spec_hash,
+)
 from .executor import (
     AsyncTasks,
     ChunkExecutionError,
@@ -59,9 +64,30 @@ from .simsweep import (
     SimSweepRunner,
     SimSweepSpec,
     TraceSpec,
+    reference_sim_chunk,
     run_sim_chunk,
 )
-from .sweep import RolloutSpec, SeedRun, SweepResult, SweepRunner, run_chunk
+from .sweep import (
+    RolloutSpec,
+    SeedRun,
+    SweepResult,
+    SweepRunner,
+    reference_seed_runs,
+    run_chunk,
+)
+from .verify import (
+    InvariantViolation,
+    SweepInterrupted,
+    check_fleet_report,
+    check_seed_run,
+    check_sim_report,
+    compare_reports,
+    merge_verification_blocks,
+    shadow_indices,
+    shadow_verify_chunks,
+    trap_signals,
+    write_diagnostics_bundle,
+)
 
 __all__ = [
     "BatchedSlottedEnv",
@@ -102,4 +128,18 @@ __all__ = [
     "SimSweepResult",
     "SimSweepRunner",
     "run_sim_chunk",
+    "reference_sim_chunk",
+    "reference_seed_runs",
+    "CheckpointMismatchError",
+    "InvariantViolation",
+    "SweepInterrupted",
+    "check_sim_report",
+    "check_fleet_report",
+    "check_seed_run",
+    "compare_reports",
+    "merge_verification_blocks",
+    "shadow_indices",
+    "shadow_verify_chunks",
+    "trap_signals",
+    "write_diagnostics_bundle",
 ]

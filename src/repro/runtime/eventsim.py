@@ -367,6 +367,7 @@ def simulate_trace(
     wait_state: Optional[str] = None,
     oracle: bool = False,
     keep_latencies: bool = True,
+    verify: bool = False,
 ) -> SimReport:
     """One device + one trace + one policy, on the fastest valid engine.
 
@@ -375,19 +376,33 @@ def simulate_trace(
     shape qualifies, and falls back to the scalar
     :class:`~repro.sim.DPMSimulator` event loop otherwise — same
     :class:`~repro.sim.SimReport` either way.
+
+    ``verify=True`` runs the finished report through the
+    :func:`~repro.runtime.verify.check_sim_report` invariant suite
+    (conservation laws, monotone percentiles, finite fields) and raises
+    :class:`~repro.runtime.verify.InvariantViolation` on any breach —
+    the opt-in for direct callers outside the sweep runners, which
+    check their chunk results centrally.
     """
     report = run_vectorized(
         device, policy, trace,
         service_time=service_time, wait_state=wait_state, oracle=oracle,
         keep_latencies=keep_latencies,
     )
-    if report is not None:
-        return report
-    return DPMSimulator(
-        device, policy,
-        service_time=service_time, wait_state=wait_state, oracle=oracle,
-        keep_latencies=keep_latencies,
-    ).run(trace)
+    if report is None:
+        report = DPMSimulator(
+            device, policy,
+            service_time=service_time, wait_state=wait_state, oracle=oracle,
+            keep_latencies=keep_latencies,
+        ).run(trace)
+    if verify:
+        from .verify import check_sim_report
+
+        check_sim_report(
+            report, device=device,
+            context={"policy": type(policy).__name__, "engine": "simulate_trace"},
+        )
+    return report
 
 
 def policy_batch_mode(policy: EventPolicy) -> str:

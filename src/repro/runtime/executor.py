@@ -204,6 +204,14 @@ class AsyncTasks:
                 if self._on_result is not None:
                     self._on_result(i, result)
             return results
+        except BaseException:
+            # an aborted collection (KeyboardInterrupt / trapped signal /
+            # ChunkExecutionError) leaves in-flight tasks behind — and a
+            # Ctrl-C already hit the whole process group, so workers may
+            # be dying mid-task; close()+join() would wait on results
+            # that will never come.  terminate instead.
+            self._poisoned = True
+            raise
         finally:
             self._release(terminate=self._poisoned)
 

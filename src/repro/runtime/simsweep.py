@@ -38,9 +38,16 @@ from ..sim.policy_api import EventPolicy
 from ..sim.stats import SimReport
 from ..workload.arrivals import InterArrival
 from ..workload.generator import renewal_trace
+from ..sim.simulator import DPMSimulator
 from .checkpoint import run_chunks_checkpointed, spec_hash
 from .eventsim import policy_batch_mode, simulate_traces_batch
 from .executor import get_executor, resolve_n_jobs
+from .verify import (
+    InvariantViolation,
+    check_sim_report,
+    shadow_verify_chunks,
+    write_diagnostics_bundle,
+)
 
 #: rough wall seconds to simulate one request, by engine family
 #: (reference-container numbers from BENCH_sim.json: the busy-period /
@@ -207,6 +214,31 @@ def run_sim_chunk(
     )
 
 
+def reference_sim_chunk(
+    device_name: str,
+    policy_spec: PolicySpec,
+    trace_spec: TraceSpec,
+    service_time: float,
+    seeds: Sequence[int],
+) -> List[SimReport]:
+    """Scalar reference path for one :func:`run_sim_chunk` work unit.
+
+    Per-seed :class:`~repro.sim.DPMSimulator` event loops — the
+    reference every vectorized engine is pinned against in the test
+    suite.  Shadow verification re-runs sampled chunks through this and
+    compares field-for-field, so the pinning holds *during* a sweep,
+    not just at test time.
+    """
+    device = get_preset(device_name)
+    return [
+        DPMSimulator(
+            device, policy_spec.policy, service_time=service_time,
+            oracle=policy_spec.oracle, keep_latencies=False,
+        ).run(trace_spec.realize(seed))
+        for seed in seeds
+    ]
+
+
 class SimSweepRunner:
     """Chunked executor fan-out over the event-sim cell grid.
 
@@ -231,22 +263,42 @@ class SimSweepRunner:
         they finish and skipped on the next run with the same spec and
         chunk size — resumed results are bit-identical to an
         uninterrupted run.
+    verify_fraction:
+        Fraction of work units to shadow-verify: each sampled chunk is
+        re-run per-seed on the scalar :class:`~repro.sim.DPMSimulator`
+        reference and compared field-for-field (rel <= 1e-9).  The
+        sample is a deterministic function of the spec, so resumed and
+        fresh runs verify the same cells.  A divergence raises
+        :class:`~repro.runtime.verify.InvariantViolation`; the sample
+        and outcome land in the result's ``execution["verification"]``.
+    diagnostics_dir:
+        Directory for minimal-repro JSON bundles written on invariant
+        violations, shadow divergences, and unrecoverable chunk
+        failures.
     """
 
     def __init__(self, chunk_size: int = 8, n_jobs: int = 1,
                  timeout: Optional[float] = None, max_retries: int = 0,
                  retry_backoff: float = 0.5,
-                 checkpoint: Optional[str] = None) -> None:
+                 checkpoint: Optional[str] = None,
+                 verify_fraction: float = 0.0,
+                 diagnostics_dir: Optional[str] = None) -> None:
         if chunk_size < 1:
             raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
         if max_retries < 0:
             raise ValueError(f"max_retries must be >= 0, got {max_retries}")
+        if not 0.0 <= float(verify_fraction) <= 1.0:
+            raise ValueError(
+                f"verify_fraction must be in [0, 1], got {verify_fraction}"
+            )
         self.chunk_size = int(chunk_size)
         self.n_jobs = int(n_jobs)
         self.timeout = timeout
         self.max_retries = int(max_retries)
         self.retry_backoff = float(retry_backoff)
         self.checkpoint = checkpoint
+        self.verify_fraction = float(verify_fraction)
+        self.diagnostics_dir = diagnostics_dir
 
     def estimate_chunk_seconds(self, spec: SimSweepSpec) -> float:
         """Mean estimated wall seconds of one (cell, seed-chunk) unit.
@@ -286,18 +338,30 @@ class SimSweepRunner:
                         )
         est = self.estimate_chunk_seconds(spec)
         n_jobs, decision = resolve_n_jobs(self.n_jobs, est, len(tasks))
+        spec_key = spec_hash(spec, self.chunk_size)
         chunk_reports, resilience = run_chunks_checkpointed(
             get_executor(n_jobs), run_sim_chunk, tasks,
-            spec_key=spec_hash(spec, self.chunk_size),
+            spec_key=spec_key,
             checkpoint=self.checkpoint, timeout=self.timeout,
             max_retries=self.max_retries, retry_backoff=self.retry_backoff,
+            diagnostics_dir=self.diagnostics_dir, spec=spec,
         )
+        self._check_invariants(spec, spec_key, tasks, chunk_reports)
+        verification = None
+        if self.verify_fraction > 0.0:
+            verification = shadow_verify_chunks(
+                tasks, chunk_reports, self.verify_fraction, spec_key,
+                reference_sim_chunk, "DPMSimulator scalar event loop",
+                seeds_of=lambda task: task[4],
+                diagnostics_dir=self.diagnostics_dir, spec=spec,
+            )
 
         result = SimSweepResult(spec=spec, execution={
             "n_jobs_requested": self.n_jobs,
             "n_jobs_effective": n_jobs,
             "decision": decision,
             "estimated_chunk_seconds": est,
+            **({"verification": verification} if verification else {}),
             **resilience,
         })
         per_cell = len(chunks)
@@ -312,3 +376,31 @@ class SimSweepRunner:
                 )
             )
         return result
+
+    def _check_invariants(self, spec: SimSweepSpec, spec_key: str,
+                          tasks, chunk_reports) -> None:
+        """Always-on invariant pass over every collected report: the
+        conservation laws hold for any correct engine, so the check
+        costs a dict walk per report, not a re-simulation."""
+        devices = {name: get_preset(name) for name in spec.devices}
+        try:
+            for t, (task, reports) in enumerate(zip(tasks, chunk_reports)):
+                device_name, policy_spec, trace_spec, _, chunk = task
+                for seed, report in zip(chunk, reports):
+                    check_sim_report(
+                        report, device=devices[device_name],
+                        spec_key=spec_key, seed=seed,
+                        context={"chunk": t, "device": device_name,
+                                 "trace": trace_spec.name,
+                                 "policy": policy_spec.label},
+                    )
+        except InvariantViolation as exc:
+            if self.diagnostics_dir is not None:
+                write_diagnostics_bundle(
+                    self.diagnostics_dir, "invariant_violation", spec=spec,
+                    spec_key=spec_key, seed=exc.seed,
+                    chunk_id=exc.context.get("chunk"), details=exc.details,
+                    error=exc, extra={"invariant": exc.invariant,
+                                      "context": exc.context},
+                )
+            raise

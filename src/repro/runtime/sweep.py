@@ -48,6 +48,12 @@ from .executor import (
     get_executor,
     is_picklable,
 )
+from .verify import (
+    InvariantViolation,
+    check_seed_run,
+    shadow_verify_chunks,
+    write_diagnostics_bundle,
+)
 
 
 @dataclass(frozen=True)
@@ -280,6 +286,80 @@ def run_chunk(spec: RolloutSpec, chunk_seeds: Sequence[int],
     return runs
 
 
+def _reference_learning_seed(spec: RolloutSpec, seed: int) -> SeedRun:
+    """True scalar twin of one learning replica: a scalar
+    :class:`~repro.core.QDPM` over a scalar
+    :class:`~repro.env.SlottedDPMEnv`, consuming the batched engine's
+    exact per-slot RNG layout via ``FixedDrawEpsilonGreedy`` — the
+    bit-for-bit parity recipe the test suite pins (env seed
+    ``seed + env_seed_offset``, agent seed ``seed + 1``)."""
+    from ..core import QDPM
+    from ..core.exploration import FixedDrawEpsilonGreedy
+    from ..core.qlearning import QLearningAgent
+    from ..env.slotted_env import SlottedDPMEnv
+
+    device = get_preset(spec.device)
+
+    def scalar_env(warmup: bool) -> SlottedDPMEnv:
+        offset = spec.warmup_seed_offset if warmup else spec.env_seed_offset
+        schedule = spec.warmup_schedule if warmup else spec.schedule
+        return SlottedDPMEnv(
+            device, schedule,
+            slot_length=spec.slot_length,
+            queue_capacity=spec.queue_capacity,
+            p_serve=spec.p_serve,
+            perf_weight=spec.perf_weight,
+            loss_penalty=spec.loss_penalty,
+            seed=seed + offset,
+        )
+
+    env = scalar_env(warmup=False)
+    warmup = spec.warmup_schedule is not None and spec.warmup_slots > 0
+    start_env = scalar_env(warmup=True) if warmup else env
+    # QDPM's convenience ctor has no initial_q knob, so build the agent
+    # explicitly to mirror every BatchedQDPM parameter
+    agent = QLearningAgent(
+        n_observations=start_env.n_states,
+        n_actions=start_env.n_actions,
+        discount=spec.discount,
+        learning_rate=spec.learning_rate,
+        exploration=FixedDrawEpsilonGreedy(spec.epsilon),
+        initial_q=spec.initial_q,
+        seed=seed + 1,
+    )
+    controller = QDPM(start_env, agent=agent)
+    if warmup:
+        controller.run(spec.warmup_slots, record_every=spec.warmup_slots)
+        controller.env = env
+    history = controller.run(spec.n_slots, record_every=spec.record_every)
+    return SeedRun(
+        seed=seed,
+        history=history,
+        mean_reward=_horizon_mean(history, spec.n_slots, spec.record_every),
+        saving_ratio=float(env.energy_saving_ratio()),
+        totals=env.totals,
+    )
+
+
+def reference_seed_runs(spec: RolloutSpec,
+                        chunk_seeds: Sequence[int]) -> List[SeedRun]:
+    """Reference path for one :func:`run_chunk` work unit.
+
+    Learning chunks re-run each seed on the true scalar stack
+    (:func:`_reference_learning_seed` — the bit-exact parity recipe);
+    fixed-policy chunks, which have no scalar twin, re-run each seed on
+    the batched engine at ``B = 1``, which verifies the
+    batch-composition-invariance contract instead.  Either way the
+    comparison against the sweep's results is exact (``rtol = 0``).
+    """
+    if spec.policy is None:
+        return [_reference_learning_seed(spec, s) for s in chunk_seeds]
+    runs: List[SeedRun] = []
+    for seed in chunk_seeds:
+        runs.extend(run_chunk(spec, [seed]))
+    return runs
+
+
 def _run_scalar_seed(spec: RolloutSpec, seed: int,
                      controller_factory) -> SeedRun:
     """One scalar-fallback rollout (module-level, so it can ship to a
@@ -324,24 +404,45 @@ class SweepRunner:
         an uninterrupted run.  Incompatible with the in-process snapshot
         hooks of :meth:`run_many` (resumed chunks never execute, so the
         hooks could not fire).
+    verify_fraction:
+        Fraction of seed chunks to shadow-verify: sampled learning
+        chunks re-run per seed on the true scalar stack (scalar
+        ``QDPM`` with ``FixedDrawEpsilonGreedy``) and must match
+        **bit-for-bit**; fixed-policy chunks re-run at ``B = 1``
+        (batch-composition invariance).  Requires
+        ``rng_mode="replica"`` — shared-RNG specs record the
+        verification as skipped instead.  A divergence raises
+        :class:`~repro.runtime.verify.InvariantViolation`.
+    diagnostics_dir:
+        Directory for minimal-repro JSON bundles written on invariant
+        violations, shadow divergences, and unrecoverable chunk
+        failures.
     """
 
     def __init__(self, batch_size: int = 32, n_jobs: int = 1,
                  timeout: Optional[float] = None, max_retries: int = 0,
                  retry_backoff: float = 0.5,
-                 checkpoint: Optional[str] = None) -> None:
+                 checkpoint: Optional[str] = None,
+                 verify_fraction: float = 0.0,
+                 diagnostics_dir: Optional[str] = None) -> None:
         if batch_size < 1:
             raise ValueError(f"batch_size must be >= 1, got {batch_size}")
         if int(n_jobs) < 1:
             raise ValueError(f"n_jobs must be >= 1, got {n_jobs}")
         if max_retries < 0:
             raise ValueError(f"max_retries must be >= 0, got {max_retries}")
+        if not 0.0 <= float(verify_fraction) <= 1.0:
+            raise ValueError(
+                f"verify_fraction must be in [0, 1], got {verify_fraction}"
+            )
         self.batch_size = int(batch_size)
         self.n_jobs = int(n_jobs)
         self.timeout = timeout
         self.max_retries = int(max_retries)
         self.retry_backoff = float(retry_backoff)
         self.checkpoint = checkpoint
+        self.verify_fraction = float(verify_fraction)
+        self.diagnostics_dir = diagnostics_dir
 
     def run_many(
         self,
@@ -394,17 +495,18 @@ class SweepRunner:
                 checkpoint=self.checkpoint, timeout=self.timeout,
                 max_retries=self.max_retries,
                 retry_backoff=self.retry_backoff,
+                diagnostics_dir=self.diagnostics_dir, spec=spec,
             )
             result.execution.update(execution)
             for chunk_runs in runs_per_chunk:
                 result.runs.extend(chunk_runs)
-            return result
+            return self._finalize(spec, chunk, chunks, result)
         if isinstance(executor, SerialExecutor) or len(chunks) == 1:
             for chunk_seeds in chunks:
                 result.runs.extend(
                     run_chunk(spec, chunk_seeds, on_record, on_chunk_done)
                 )
-            return result
+            return self._finalize(spec, chunk, chunks, result)
         # Sharded path: ship the tail chunks to the pool first, then run
         # the lead chunk in the parent (with the in-process hooks)
         # overlapped with the workers.  The parent counts as one of the
@@ -432,6 +534,60 @@ class SweepRunner:
             result.runs.extend(chunk_runs)
         if pending.events:
             result.execution["resilience_events"] = list(pending.events)
+        return self._finalize(spec, chunk, chunks, result)
+
+    # ------------------------------------------------------------------ #
+    # runtime verification
+    # ------------------------------------------------------------------ #
+
+    def _finalize(self, spec: RolloutSpec, chunk_size: int,
+                  chunks: List[List[int]],
+                  result: SweepResult) -> SweepResult:
+        """Always-on invariant checks plus sampled shadow execution."""
+        spec_key = spec_hash(spec, chunk_size)
+        try:
+            for run in result.runs:
+                check_seed_run(run, spec=spec, spec_key=spec_key)
+        except InvariantViolation as exc:
+            if self.diagnostics_dir is not None:
+                write_diagnostics_bundle(
+                    self.diagnostics_dir, "invariant_violation", spec=spec,
+                    spec_key=spec_key, seed=exc.seed, details=exc.details,
+                    error=exc, extra={"invariant": exc.invariant},
+                )
+            raise
+        if self.verify_fraction == 0.0:
+            return result
+        reference = (
+            "scalar QDPM (FixedDrawEpsilonGreedy)" if spec.policy is None
+            else "batched engine at B=1"
+        )
+        if spec.rng_mode != "replica":
+            # shared-RNG replicas draw from one stream in batch order, so
+            # no per-seed scalar twin exists; record the skip rather than
+            # report a false divergence
+            result.execution["verification"] = {
+                "fraction": self.verify_fraction,
+                "n_chunks": len(chunks),
+                "verified_chunks": [], "n_verified": 0,
+                "reference": reference, "n_divergences": 0,
+                "divergences": [],
+                "skipped": f"rng_mode={spec.rng_mode!r} has no per-seed "
+                           f"scalar twin; use rng_mode='replica' to verify",
+            }
+            return result
+        chunk_results: List[List[SeedRun]] = []
+        offset = 0
+        for c in chunks:
+            chunk_results.append(result.runs[offset:offset + len(c)])
+            offset += len(c)
+        result.execution["verification"] = shadow_verify_chunks(
+            [(spec, c) for c in chunks], chunk_results,
+            self.verify_fraction, spec_key, reference_seed_runs, reference,
+            seeds_of=lambda task: task[1],
+            rtol=0.0, atol=0.0,
+            diagnostics_dir=self.diagnostics_dir, spec=spec,
+        )
         return result
 
     # ------------------------------------------------------------------ #

@@ -1,0 +1,163 @@
+"""Graceful interruption: signal mid-sweep, flush, resume bit-identically.
+
+Two layers: the in-process contract of :func:`run_chunks_checkpointed`
+(a KeyboardInterrupt during chunk collection surfaces as
+:class:`SweepInterrupted` carrying journaled progress), and the full
+subprocess integration — a real SIGINT/SIGTERM delivered to a running
+checkpointed ``fleet-sweep`` must exit 130 with a resume hint, leave a
+valid journal behind, and ``--resume`` must complete the sweep with
+output identical to an uninterrupted run.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.runtime import SerialExecutor, run_chunks_checkpointed
+from repro.runtime.verify import SweepInterrupted
+
+SRC = Path(__file__).resolve().parent.parent / "src"
+
+#: long enough (~4-5 s of chunk collection across 40 chunks) that a
+#: signal sent after the third journaled chunk reliably lands mid-sweep
+_SWEEP_CMD = [
+    sys.executable, "-m", "repro", "fleet-sweep",
+    "--devices", "2", "--router", "round_robin", "--seeds", "32",
+]
+
+
+def _env():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(SRC) + os.pathsep + env.get("PYTHONPATH", "")
+    env["PYTHONUNBUFFERED"] = "1"
+    return env
+
+
+def _count_records(path: Path) -> int:
+    if not path.exists():
+        return 0
+    count = 0
+    with open(path, "rb") as fh:
+        while True:
+            try:
+                pickle.load(fh)
+            except Exception:
+                break
+            count += 1
+    return count
+
+
+def _wait_for_records(path: Path, n: int, timeout: float = 30.0) -> int:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        count = _count_records(path)
+        if count >= n:
+            return count
+        time.sleep(0.05)
+    return _count_records(path)
+
+
+# --------------------------------------------------------------------- #
+# in-process: run_chunks_checkpointed interrupt contract
+# --------------------------------------------------------------------- #
+
+
+class TestInterruptContract:
+    def test_keyboard_interrupt_surfaces_sweep_interrupted(self, tmp_path):
+        ck = tmp_path / "ck.pkl"
+
+        def fn(x):
+            if x == 2:
+                raise KeyboardInterrupt
+            return x * x
+
+        with pytest.raises(SweepInterrupted) as err:
+            run_chunks_checkpointed(
+                SerialExecutor(), fn, [(0,), (1,), (2,), (3,)], "k",
+                checkpoint=ck,
+            )
+        exc = err.value
+        assert exc.signal_name == "SIGINT"
+        assert exc.n_completed == 2
+        assert exc.n_total == 4
+        hint = exc.resume_hint()
+        assert "2/4" in hint
+        assert str(ck) in hint
+
+        # the journal holds exactly the chunks collected before the
+        # signal, and a rerun completes from there
+        results, execution = run_chunks_checkpointed(
+            SerialExecutor(), lambda x: x * x, [(0,), (1,), (2,), (3,)],
+            "k", checkpoint=ck,
+        )
+        assert results == [0, 1, 4, 9]
+        assert execution["resumed_chunks"] == 2
+        assert execution["computed_chunks"] == 2
+
+    def test_hint_without_checkpoint_suggests_adding_one(self):
+        def fn(x):
+            raise KeyboardInterrupt
+
+        with pytest.raises(SweepInterrupted) as err:
+            run_chunks_checkpointed(SerialExecutor(), fn, [(0,)], "k")
+        hint = err.value.resume_hint()
+        assert "checkpoint" in hint.lower()
+
+
+# --------------------------------------------------------------------- #
+# subprocess integration: real signals against the CLI
+# --------------------------------------------------------------------- #
+
+
+class TestSignalIntegration:
+    @pytest.mark.parametrize("sig,name", [
+        (signal.SIGINT, "SIGINT"),
+        (signal.SIGTERM, "SIGTERM"),
+    ])
+    def test_signal_mid_sweep_then_resume_bit_identical(
+        self, tmp_path, sig, name
+    ):
+        ck = tmp_path / "fleet.ck"
+        proc = subprocess.Popen(
+            _SWEEP_CMD + ["--checkpoint", str(ck)], env=_env(),
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
+        )
+        try:
+            n_before = _wait_for_records(ck, 3)
+            if n_before == 0:
+                pytest.fail("no journal records appeared within the timeout")
+            proc.send_signal(sig)
+            out, err = proc.communicate(timeout=60)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.communicate()
+        if proc.returncode == 0:
+            pytest.skip("sweep finished before the signal landed")
+        assert proc.returncode == 130, (out, err)
+        assert "interrupted by " + name in err
+        assert "--resume" in err
+        assert str(ck) in err
+
+        # every chunk journaled before the signal survived the teardown
+        assert _count_records(ck) >= n_before
+
+        resumed = subprocess.run(
+            _SWEEP_CMD + ["--checkpoint", str(ck), "--resume"],
+            env=_env(), capture_output=True, text=True, timeout=180,
+        )
+        assert resumed.returncode == 0, resumed.stderr
+        reference = subprocess.run(
+            _SWEEP_CMD, env=_env(), capture_output=True, text=True,
+            timeout=180,
+        )
+        assert reference.returncode == 0, reference.stderr
+        assert resumed.stdout == reference.stdout

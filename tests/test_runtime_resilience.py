@@ -26,6 +26,7 @@ from repro.runtime import (
     RolloutSpec,
     SweepRunner,
     CheckpointJournal,
+    CheckpointMismatchError,
     ChunkExecutionError,
     MultiprocessExecutor,
     PolicySpec,
@@ -242,6 +243,37 @@ class TestCheckpointJournal:
     def test_missing_file_is_empty(self, tmp_path):
         assert CheckpointJournal(tmp_path / "absent.pkl", "k").load() == {}
 
+    def test_corrupt_record_body_skipped_with_warning(self, tmp_path):
+        # bit rot inside a record's payload fails its CRC but leaves the
+        # outer framing intact: the scan warns, skips it, and keeps the
+        # records on both sides (a torn tail can only lose the last one)
+        path = tmp_path / "ck.pkl"
+        journal = CheckpointJournal(path, "spec-a")
+        journal.append(0, "first")
+        offset_before = path.stat().st_size
+        journal.append(1, "second-" * 40)
+        offset_after = path.stat().st_size
+        journal.append(2, "third")
+        raw = bytearray(path.read_bytes())
+        mid = (offset_before + offset_after) // 2
+        raw[mid] ^= 0xFF
+        path.write_bytes(bytes(raw))
+        with pytest.warns(RuntimeWarning, match="corrupt record"):
+            results, seen, n_corrupt = CheckpointJournal(path, "spec-a").scan()
+        assert n_corrupt == 1
+        assert results == {0: "first", 2: "third"}
+        assert seen == {"spec-a"}
+
+    def test_legacy_unframed_records_still_load(self, tmp_path):
+        # journals written before the CRC framing hold the record dict
+        # directly; they must keep loading unchanged
+        path = tmp_path / "ck.pkl"
+        with open(path, "ab") as fh:
+            pickle.dump({"spec": "spec-a", "chunk": 0, "result": "old"},
+                        fh, protocol=4)
+        CheckpointJournal(path, "spec-a").append(1, "new")
+        assert CheckpointJournal(path, "spec-a").load() == {0: "old", 1: "new"}
+
     def test_spec_hash_is_deterministic_and_sensitive(self):
         spec = SimSweepSpec(
             devices=("mobile_hdd",),
@@ -374,10 +406,20 @@ class TestSimSweepCheckpointResume:
             assert (a.device, a.trace, a.policy) == (b.device, b.trace, b.policy)
             assert a.reports == b.reports  # dataclass equality, exact
 
-    def test_different_chunk_size_does_not_reuse_journal(self, tmp_path):
+    def test_different_chunk_size_rejects_journal(self, tmp_path):
+        # a journal whose records all belong to a different sweep spec
+        # (here: another chunk size) is a configuration error, not a
+        # license to silently recompute — the mismatch names both keys
+        # and the recovery (delete the file, or drop --resume)
         spec = _sim_spec()
         ck = tmp_path / "sweep.ck"
         first = SimSweepRunner(chunk_size=2, checkpoint=str(ck)).run(spec)
+        with pytest.raises(CheckpointMismatchError) as err:
+            SimSweepRunner(chunk_size=1, checkpoint=str(ck)).run(spec)
+        assert err.value.spec_key == spec_hash(spec, 1)
+        assert spec_hash(spec, 2) in err.value.found_keys
+        # deleting the stale journal recovers, bit-identically
+        ck.unlink()
         again = SimSweepRunner(chunk_size=1, checkpoint=str(ck)).run(spec)
         assert again.execution["resumed_chunks"] == 0
         for a, b in zip(first.cells, again.cells):
