@@ -24,7 +24,9 @@ from _bench_util import SPEEDUP_BARS  # noqa: E402  (sibling module)
 
 #: artifact -> top-level keys the bench suite must have recorded
 EXPECTED_KEYS = {
-    "BENCH_engine.json": ("cpu_count", "host", "quick_snapshot"),
+    "BENCH_engine.json": (
+        "cpu_count", "host", "quick_snapshot", "telemetry_overhead",
+    ),
     "BENCH_sim.json": (
         "cpu_count", "host", "event_sim_kernel", "stateful_batch", "sim_sweep",
     ),

@@ -33,6 +33,7 @@ from repro.core import QDPM
 from repro.device import abstract_three_state
 from repro.env import SlottedDPMEnv
 from repro.runtime import BatchedQDPM, BatchedSlottedEnv, RolloutSpec, SweepRunner
+from repro.runtime.telemetry import TELEMETRY
 from repro.workload import ConstantRate
 
 N_SLOTS = 20_000
@@ -160,6 +161,88 @@ def test_sharded_sweep_speedup():
     assert speedup >= 2.0, (
         f"sharded sweep only {speedup:.2f}x serial at 4 jobs on "
         f"{n_cores} cores"
+    )
+
+
+def test_telemetry_overhead():
+    """Telemetry must be (nearly) free: < 2% disabled, < 10% enabled.
+
+    Three timings of the same serial multi-chunk sweep, min-of-N each:
+
+    - **baseline** — every instrumentation point stubbed to a no-op on
+      the singleton, approximating the pre-telemetry runtime;
+    - **disabled** — the shipped default (tracing off, counting metrics
+      on): the cost of one ``enabled`` check per span site plus a dict
+      increment per chunk-boundary event;
+    - **enabled** — tracing on: span records and buffer appends.
+
+    Instrumentation is per *chunk* (never per slot/request), so both
+    overheads shrink as chunks grow; the bars are asserted at a small
+    chunk size where telemetry is proportionally most visible.  Not
+    marked slow: the CI bench job records this into the artifact.
+    """
+    n_seeds, batch_size, n_slots, repeats = 4, 2, 4_000, 5
+    spec = _sweep_spec(n_slots)
+    runner = SweepRunner(batch_size=batch_size)
+    seeds = list(range(n_seeds))
+
+    def best_seconds() -> float:
+        best = float("inf")
+        for _ in range(repeats):
+            start = time.perf_counter()
+            runner.run_many(spec, seeds)
+            best = min(best, time.perf_counter() - start)
+        return best
+
+    TELEMETRY.reset()
+    null_span = TELEMETRY.span("off")  # the shared no-op handle
+    stubs = {
+        "span": lambda *a, **k: null_span,
+        "instant": lambda *a, **k: None,
+        "inc": lambda *a, **k: None,
+        "gauge": lambda *a, **k: None,
+        "observe": lambda *a, **k: None,
+        "resilience_event": lambda payload: payload,
+    }
+    try:
+        for name, stub in stubs.items():
+            setattr(TELEMETRY, name, stub)
+        baseline = best_seconds()
+    finally:
+        for name in stubs:
+            delattr(TELEMETRY, name)
+    disabled = best_seconds()
+    TELEMETRY.enable_tracing()
+    try:
+        enabled = best_seconds()
+    finally:
+        TELEMETRY.reset()
+
+    disabled_overhead = disabled / baseline - 1.0
+    enabled_overhead = enabled / baseline - 1.0
+    print()
+    print(
+        f"telemetry overhead ({n_seeds} seeds x {n_slots} slots, batch "
+        f"{batch_size}): baseline {baseline * 1e3:.1f}ms, disabled "
+        f"{disabled * 1e3:.1f}ms ({disabled_overhead:+.2%}), enabled "
+        f"{enabled * 1e3:.1f}ms ({enabled_overhead:+.2%})"
+    )
+    _record_bench("telemetry_overhead", {
+        "n_seeds": n_seeds,
+        "batch_size": batch_size,
+        "n_slots": n_slots,
+        "baseline_seconds": baseline,
+        "disabled_seconds": disabled,
+        "enabled_seconds": enabled,
+        "disabled_overhead": disabled_overhead,
+        "enabled_overhead": enabled_overhead,
+    })
+    assert disabled_overhead < 0.02, (
+        f"default-off telemetry costs {disabled_overhead:.2%} "
+        f"(bar: < 2%)"
+    )
+    assert enabled_overhead < 0.10, (
+        f"enabled tracing costs {enabled_overhead:.2%} (bar: < 10%)"
     )
 
 

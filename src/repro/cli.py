@@ -33,6 +33,18 @@ aborts); ``--diagnostics DIR`` writes minimal-repro JSON bundles on
 invariant violations or worker failures.  Ctrl-C (or SIGTERM) during a
 checkpointed sweep flushes the journal, prints a one-line resume hint,
 and exits with status 130.
+
+Telemetry (:mod:`repro.runtime.telemetry`) rides along on any
+experiment: ``--trace FILE`` records hierarchical spans (including from
+pool workers) and writes a Chrome trace-event file — open it in
+Perfetto or chrome://tracing; one track per worker — or a JSONL event
+stream when FILE ends in ``.jsonl``; ``--metrics`` prints the
+end-of-run metrics summary table; ``--progress`` shows a live
+chunks-done/throughput/ETA line.  All three write to **stderr** (and
+the progress line degrades to plain periodic lines off-TTY, honoring
+``NO_COLOR``), so piped stdout stays machine-parseable; none of them
+touches an RNG stream — traced results are bit-identical to untraced
+ones.
 """
 
 from __future__ import annotations
@@ -62,6 +74,7 @@ from .experiments import (
     run_variation,
 )
 from .fleet import ROUTERS
+from .runtime.telemetry import TELEMETRY, export_trace
 from .runtime.verify import SweepInterrupted
 
 
@@ -370,6 +383,29 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="write minimal-repro JSON bundles to DIR on invariant "
              "violations, shadow divergences, or worker failures",
     )
+    parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="FILE",
+        help="record runtime spans (including from pool workers) and "
+             "write a Chrome trace-event file on exit — open in Perfetto "
+             "or chrome://tracing; a FILE ending in .jsonl gets the JSONL "
+             "event stream instead.  Results are bit-identical to an "
+             "untraced run",
+    )
+    parser.add_argument(
+        "--metrics",
+        action="store_true",
+        help="print the end-of-run telemetry metrics summary table "
+             "(counters/gauges/histograms) to stderr",
+    )
+    parser.add_argument(
+        "--progress",
+        action="store_true",
+        help="show live sweep progress (chunks done/total, throughput, "
+             "ETA, workers) on stderr; degrades to plain periodic lines "
+             "when stderr is not a TTY",
+    )
     args = parser.parse_args(argv)
     if args.seeds is not None and args.seeds < 1:
         parser.error("--seeds must be >= 1")
@@ -393,6 +429,43 @@ def main(argv: Optional[List[str]] = None) -> int:
         parser.error("--resume requires --checkpoint")
     if args.verify is not None and not 0.0 <= args.verify <= 1.0:
         parser.error("--verify must be in [0, 1]")
+
+    telemetry_on = args.trace is not None or args.metrics or args.progress
+    if telemetry_on:
+        TELEMETRY.reset()
+        if args.trace is not None:
+            TELEMETRY.enable_tracing()
+        if args.progress:
+            TELEMETRY.enable_progress()
+    try:
+        return _run_experiments(args, parser)
+    finally:
+        if telemetry_on:
+            _finish_telemetry(args)
+
+
+def _finish_telemetry(args) -> None:
+    """Flush the run's telemetry: summary table and/or trace file.
+
+    Both go to stderr (the table itself and the confirmation line), so
+    redirected stdout keeps carrying only the experiment output.  Runs
+    in a ``finally`` — an interrupted sweep still exports whatever it
+    recorded.
+    """
+    if args.metrics:
+        print(TELEMETRY.root_metrics.render(), file=sys.stderr)
+    if args.trace is not None:
+        path = export_trace(args.trace)
+        form = (
+            "JSONL event stream" if str(path).endswith(".jsonl")
+            else "Chrome trace-event; open in Perfetto or chrome://tracing"
+        )
+        print(f"trace written to {path} ({form})", file=sys.stderr)
+    TELEMETRY.reset()
+
+
+def _run_experiments(args, parser) -> int:
+    """Dispatch the chosen experiment(s); returns the exit code."""
     if args.experiment == "sweep":
         n_seeds = args.seeds if args.seeds is not None else 8
         names = ("fig1", "fig2", "variation")

@@ -34,6 +34,7 @@ from typing import List, Optional, Sequence
 
 from ..device import PowerStateMachine
 from ..runtime.eventsim import run_step_batched, simulate_traces_batch
+from ..runtime.telemetry import TELEMETRY
 from ..sim.policy_api import EventPolicy
 from ..sim.simulator import DPMSimulator
 from ..workload.faults import resolve_fault_schedule
@@ -96,43 +97,51 @@ def run_fleet(
         router, n_devices, device, service_time=service_time, seed=route_seed,
     )
     fault_kwargs = {}
-    if faults is None:
-        sub_traces = dispatcher.dispatch(trace, vectorized=engine == "auto")
-    else:
-        schedule = resolve_fault_schedule(
-            faults, n_devices, trace.duration,
-            seed=route_seed if fault_seed is None else int(fault_seed),
+    with TELEMETRY.span("route", cat="fleet", engine=engine,
+                        n_devices=n_devices):
+        if faults is None:
+            sub_traces = dispatcher.dispatch(
+                trace, vectorized=engine == "auto"
+            )
+        else:
+            schedule = resolve_fault_schedule(
+                faults, n_devices, trace.duration,
+                seed=route_seed if fault_seed is None else int(fault_seed),
+            )
+            sub_traces, outcome = dispatcher.dispatch_with_faults(
+                trace, schedule,
+                failover=failover if failover is not None
+                else FailoverConfig(),
+                vectorized=engine == "auto",
+            )
+            fault_kwargs = {
+                "availability": float(schedule.availability().mean()),
+                "n_retries": outcome.n_retries,
+                "n_dropped": outcome.n_dropped,
+                "failover_latency_inflation": outcome.latency_inflation,
+            }
+    with TELEMETRY.span("kernel", cat="fleet", engine=engine,
+                        n_traces=len(sub_traces)):
+        if engine == "auto":
+            reports = simulate_traces_batch(
+                device, policy, sub_traces,
+                service_time=service_time, oracle=oracle,
+            )
+        else:
+            reports = [
+                DPMSimulator(device, policy,
+                             service_time=service_time, oracle=oracle).run(sub)
+                for sub in sub_traces
+            ]
+    with TELEMETRY.span("report", cat="fleet", n_devices=n_devices):
+        return build_fleet_report(
+            router=dispatcher.router.name,
+            policy=policy.name,
+            home_power=device.state(device.initial_state).power,
+            reports=reports,
+            keep_latencies=keep_latencies,
+            **fault_kwargs,
         )
-        sub_traces, outcome = dispatcher.dispatch_with_faults(
-            trace, schedule,
-            failover=failover if failover is not None else FailoverConfig(),
-            vectorized=engine == "auto",
-        )
-        fault_kwargs = {
-            "availability": float(schedule.availability().mean()),
-            "n_retries": outcome.n_retries,
-            "n_dropped": outcome.n_dropped,
-            "failover_latency_inflation": outcome.latency_inflation,
-        }
-    if engine == "auto":
-        reports = simulate_traces_batch(
-            device, policy, sub_traces,
-            service_time=service_time, oracle=oracle,
-        )
-    else:
-        reports = [
-            DPMSimulator(device, policy,
-                         service_time=service_time, oracle=oracle).run(sub)
-            for sub in sub_traces
-        ]
-    return build_fleet_report(
-        router=dispatcher.router.name,
-        policy=policy.name,
-        home_power=device.state(device.initial_state).power,
-        reports=reports,
-        keep_latencies=keep_latencies,
-        **fault_kwargs,
-    )
 
 
 def run_fleet_batch(
@@ -193,35 +202,39 @@ def run_fleet_batch(
     router_name = None
     sub_traces: List[Trace] = []
     fault_kwargs: List[dict] = []
-    for trace, seed, fseed in zip(traces, route_seeds, fault_seeds):
-        dispatcher = Dispatcher(
-            router, n_devices, device,
-            service_time=service_time, seed=seed,
+    with TELEMETRY.span("route", cat="fleet", engine="flat",
+                        n_devices=n_devices, n_traces=len(traces)):
+        for trace, seed, fseed in zip(traces, route_seeds, fault_seeds):
+            dispatcher = Dispatcher(
+                router, n_devices, device,
+                service_time=service_time, seed=seed,
+            )
+            router_name = dispatcher.router.name
+            if faults is None:
+                sub_traces.extend(dispatcher.dispatch(trace))
+                fault_kwargs.append({})
+            else:
+                schedule = resolve_fault_schedule(
+                    faults, n_devices, trace.duration, seed=fseed,
+                )
+                subs, outcome = dispatcher.dispatch_with_faults(
+                    trace, schedule,
+                    failover=failover if failover is not None
+                    else FailoverConfig(),
+                )
+                sub_traces.extend(subs)
+                fault_kwargs.append({
+                    "availability": float(schedule.availability().mean()),
+                    "n_retries": outcome.n_retries,
+                    "n_dropped": outcome.n_dropped,
+                    "failover_latency_inflation": outcome.latency_inflation,
+                })
+    with TELEMETRY.span("kernel", cat="fleet", engine="flat",
+                        n_traces=len(sub_traces)):
+        reports = run_step_batched(
+            device, policy, sub_traces,
+            service_time=service_time, oracle=oracle, allow_stateless=True,
         )
-        router_name = dispatcher.router.name
-        if faults is None:
-            sub_traces.extend(dispatcher.dispatch(trace))
-            fault_kwargs.append({})
-        else:
-            schedule = resolve_fault_schedule(
-                faults, n_devices, trace.duration, seed=fseed,
-            )
-            subs, outcome = dispatcher.dispatch_with_faults(
-                trace, schedule,
-                failover=failover if failover is not None
-                else FailoverConfig(),
-            )
-            sub_traces.extend(subs)
-            fault_kwargs.append({
-                "availability": float(schedule.availability().mean()),
-                "n_retries": outcome.n_retries,
-                "n_dropped": outcome.n_dropped,
-                "failover_latency_inflation": outcome.latency_inflation,
-            })
-    reports = run_step_batched(
-        device, policy, sub_traces,
-        service_time=service_time, oracle=oracle, allow_stateless=True,
-    )
     if reports is None:
         return [
             run_fleet(
@@ -233,14 +246,16 @@ def run_fleet_batch(
             for trace, seed, fseed in zip(traces, route_seeds, fault_seeds)
         ]
     home_power = device.state(device.initial_state).power
-    return [
-        build_fleet_report(
-            router=router_name,
-            policy=policy.name,
-            home_power=home_power,
-            reports=reports[r * n_devices:(r + 1) * n_devices],
-            keep_latencies=keep_latencies,
-            **fault_kwargs[r],
-        )
-        for r in range(len(traces))
-    ]
+    with TELEMETRY.span("report", cat="fleet", n_devices=n_devices,
+                        n_reports=len(traces)):
+        return [
+            build_fleet_report(
+                router=router_name,
+                policy=policy.name,
+                home_power=home_power,
+                reports=reports[r * n_devices:(r + 1) * n_devices],
+                keep_latencies=keep_latencies,
+                **fault_kwargs[r],
+            )
+            for r in range(len(traces))
+        ]

@@ -25,6 +25,7 @@ from ..device import get_preset
 from ..runtime.checkpoint import run_chunks_checkpointed, spec_hash
 from ..runtime.executor import get_executor, resolve_n_jobs
 from ..runtime.simsweep import PolicySpec, TraceSpec, estimate_request_seconds
+from ..runtime.telemetry import TELEMETRY
 from ..runtime.verify import (
     InvariantViolation,
     check_fleet_report,
@@ -288,17 +289,21 @@ def run_fleet_chunk(
     from ``seed + FAULT_SEED_OFFSET`` — deterministic per replication,
     decorrelated from both its trace and routing streams, and
     independent of how replications are chunked."""
-    device = get_preset(device_name)
-    return run_fleet_batch(
-        device, policy_spec.policy,
-        [trace_spec.realize(seed) for seed in seeds],
-        make_router(router_name), n_devices,
-        service_time=service_time, oracle=policy_spec.oracle,
-        route_seeds=[seed + ROUTE_SEED_OFFSET for seed in seeds],
-        keep_latencies=False,
-        faults=faults, failover=failover,
-        fault_seeds=[seed + FAULT_SEED_OFFSET for seed in seeds],
-    )
+    with TELEMETRY.span("chunk", cat="sweep", kind="fleet",
+                        device=device_name, n_devices=n_devices,
+                        router=router_name, policy=policy_spec.label,
+                        seeds=list(seeds)):
+        device = get_preset(device_name)
+        return run_fleet_batch(
+            device, policy_spec.policy,
+            [trace_spec.realize(seed) for seed in seeds],
+            make_router(router_name), n_devices,
+            service_time=service_time, oracle=policy_spec.oracle,
+            route_seeds=[seed + ROUTE_SEED_OFFSET for seed in seeds],
+            keep_latencies=False,
+            faults=faults, failover=failover,
+            fault_seeds=[seed + FAULT_SEED_OFFSET for seed in seeds],
+        )
 
 
 def reference_fleet_chunk(
@@ -428,6 +433,16 @@ class FleetSweepRunner:
 
     def run(self, spec: FleetSweepSpec) -> FleetSweepResult:
         """Run the full grid; deterministic for any (chunk_size, n_jobs)."""
+        with TELEMETRY.metrics_scope() as metrics:
+            with TELEMETRY.span("sweep", cat="sweep", kind="fleet",
+                                n_traces=spec.n_traces,
+                                chunk_size=self.chunk_size,
+                                n_jobs=self.n_jobs):
+                result = self._run(spec)
+        result.execution["metrics"] = metrics.snapshot()
+        return result
+
+    def _run(self, spec: FleetSweepSpec) -> FleetSweepResult:
         seeds = spec.seeds()
         chunks = [
             seeds[i:i + self.chunk_size]
@@ -502,6 +517,11 @@ class FleetSweepRunner:
                 (_, n_devices, router_name, policy_spec, trace_spec,
                  _, chunk, *_rest) = task
                 for seed, report in zip(chunk, reports):
+                    TELEMETRY.inc("fleet.requests", int(report.n_requests))
+                    TELEMETRY.inc("fleet.requests_dropped",
+                                  int(report.n_dropped))
+                    TELEMETRY.inc("fleet.requests_retried",
+                                  int(report.n_retries))
                     check_fleet_report(
                         report, spec_key=spec_key, seed=seed,
                         context={"chunk": t, "n_devices": int(n_devices),

@@ -75,6 +75,19 @@ from .sweep import (
     reference_seed_runs,
     run_chunk,
 )
+from .telemetry import (
+    TELEMETRY,
+    MetricsRegistry,
+    ProgressReporter,
+    SpanRecord,
+    Telemetry,
+    TelemetryEnvelope,
+    TracedCall,
+    Tracer,
+    export_chrome_trace,
+    export_jsonl,
+    export_trace,
+)
 from .verify import (
     InvariantViolation,
     SweepInterrupted,
@@ -142,4 +155,15 @@ __all__ = [
     "shadow_verify_chunks",
     "trap_signals",
     "write_diagnostics_bundle",
+    "TELEMETRY",
+    "Telemetry",
+    "Tracer",
+    "SpanRecord",
+    "MetricsRegistry",
+    "ProgressReporter",
+    "TelemetryEnvelope",
+    "TracedCall",
+    "export_chrome_trace",
+    "export_jsonl",
+    "export_trace",
 ]

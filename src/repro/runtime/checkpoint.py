@@ -53,6 +53,7 @@ from typing import (
 )
 
 from .executor import ChunkExecutionError, Executor
+from .telemetry import TELEMETRY
 from .verify import SweepInterrupted, _InterruptSignal, trap_signals
 
 
@@ -249,16 +250,24 @@ def run_chunks_checkpointed(
             raise CheckpointMismatchError(checkpoint, spec_key, seen_keys)
         done = {i: r for i, r in recorded.items() if i < len(tasks)}
     todo = [i for i in range(len(tasks)) if i not in done]
+    TELEMETRY.inc("checkpoint.chunks_resumed", len(done))
+    TELEMETRY.inc("checkpoint.chunks_computed", len(todo))
 
     # journaled-progress counter shared with the interrupt path: each
     # collected chunk bumps it *after* the journal fsync, so the resume
     # hint never overstates what survived
     progress = [len(done)]
+    reporter = TELEMETRY.progress_reporter(
+        total=len(tasks), done=len(done),
+        workers=getattr(executor, "n_jobs", 1), label="sweep",
+    )
 
     def on_result(j: int, result: Any) -> None:
         if journal is not None:
             journal.append(todo[j], result)
         progress[0] += 1
+        if reporter is not None:
+            reporter.update(progress[0])
 
     pending = None
     try:
@@ -269,6 +278,8 @@ def run_chunks_checkpointed(
                 retry_backoff=retry_backoff, on_result=on_result,
             )
             fresh = pending.get()
+        if reporter is not None:
+            reporter.finish()
     except ChunkExecutionError as exc:
         # re-key from the submitted-subset index space to task order,
         # so the error names the chunk the caller knows (completed

@@ -30,6 +30,8 @@ import time
 from multiprocessing import get_context
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
+from .telemetry import TELEMETRY, TracedCall, unwrap_result
+
 
 def is_picklable(obj: Any) -> bool:
     """True when ``obj`` survives :func:`pickle.dumps` (pool-shippable)."""
@@ -115,7 +117,8 @@ def _run_serially(
         attempt = 0
         while True:
             try:
-                result = fn(*task)
+                with TELEMETRY.span("chunk-run", cat="executor", chunk=i):
+                    result = fn(*task)
                 break
             except Exception as exc:
                 if attempt >= max_retries:
@@ -124,12 +127,13 @@ def _run_serially(
                     ) from exc
                 attempt += 1
                 delay = retry_backoff_seconds(attempt, retry_backoff)
-                events.append({
+                events.append(TELEMETRY.resilience_event({
                     "chunk": i, "action": "retry", "attempt": attempt,
                     "backoff_seconds": delay, "where": "serial",
-                })
+                }))
                 time.sleep(delay)
         results.append(result)
+        TELEMETRY.inc("executor.chunks_completed")
         if on_result is not None:
             on_result(i, result)
     return results, events
@@ -165,11 +169,15 @@ class AsyncTasks:
         retry_backoff: float = 0.5,
         on_result: Optional[Callable[[int, Any], None]] = None,
         events: Optional[List[Dict[str, Any]]] = None,
+        calls: Optional[List[Callable[..., Any]]] = None,
     ) -> None:
         self._results = results
         self._pool = pool
         self._handles = handles
         self._fn = fn
+        # per-task pool-shipped callables (telemetry-wrapped when tracing
+        # was on at submission); retries must resubmit the same wrapper
+        self._calls = calls
         self._tasks = list(tasks) if tasks is not None else None
         self._timeout = timeout
         self._max_retries = int(max_retries)
@@ -201,6 +209,7 @@ class AsyncTasks:
             for i, handle in enumerate(self._handles):
                 result = self._collect(i, handle, dict(enumerate(results)))
                 results.append(result)
+                TELEMETRY.inc("executor.chunks_completed")
                 if self._on_result is not None:
                     self._on_result(i, result)
             return results
@@ -220,40 +229,47 @@ class AsyncTasks:
         attempt = 0
         while True:
             try:
-                if self._timeout is None:
-                    return handle.get()
-                return handle.get(self._timeout)
+                with TELEMETRY.span("collect", cat="executor", chunk=i,
+                                    attempt=attempt):
+                    if self._timeout is None:
+                        return unwrap_result(handle.get())
+                    return unwrap_result(handle.get(self._timeout))
             except multiprocessing.TimeoutError:
                 # the worker is hung or died silently; its slot is not
                 # reclaimable, so rerun here and terminate the pool on
                 # the way out rather than wait for a result that may
                 # never come
                 self._poisoned = True
-                self.events.append({
+                self.events.append(TELEMETRY.resilience_event({
                     "chunk": i, "action": "timeout",
                     "timeout_seconds": self._timeout,
-                })
+                }))
                 return self._degrade(i, completed)
             except Exception as exc:
                 if attempt >= self._max_retries:
-                    self.events.append({
+                    self.events.append(TELEMETRY.resilience_event({
                         "chunk": i, "action": "serial_degrade",
                         "error": repr(exc),
-                    })
+                    }))
                     return self._degrade(i, completed)
                 attempt += 1
                 delay = retry_backoff_seconds(attempt, self._retry_backoff)
-                self.events.append({
+                self.events.append(TELEMETRY.resilience_event({
                     "chunk": i, "action": "retry", "attempt": attempt,
                     "backoff_seconds": delay, "error": repr(exc),
-                })
+                }))
                 time.sleep(delay)
-                handle = self._pool.apply_async(self._fn, self._tasks[i])
+                call = self._calls[i] if self._calls is not None else self._fn
+                handle = self._pool.apply_async(call, self._tasks[i])
 
     def _degrade(self, i: int, completed: Dict[int, Any]) -> Any:
         """Last resort: run the chunk in-process, serially."""
         try:
-            return self._fn(*self._tasks[i])
+            # the unwrapped fn: in-process, the parent tracer records
+            # directly — no envelope round-trip needed
+            with TELEMETRY.span("chunk-run", cat="executor", chunk=i,
+                                degraded=True):
+                return self._fn(*self._tasks[i])
         except Exception as exc:
             raise ChunkExecutionError(i, self._tasks[i], completed,
                                       self.events) from exc
@@ -383,12 +399,23 @@ class MultiprocessExecutor:
                 retry_backoff=retry_backoff, on_result=on_result,
             )
             return AsyncTasks(results=results, events=events)
-        pool = self._pool(len(tasks))
+        # when tracing, ship each task under a TracedCall wrapper so the
+        # worker's spans come back with its result (unwrapped at collect,
+        # before on_result — checkpoint journals never see envelopes)
+        calls: Optional[List[Callable[..., Any]]] = None
+        if TELEMETRY.tracing:
+            calls = [TracedCall(fn, i) for i in range(len(tasks))]
+        with TELEMETRY.span("pool-submit", cat="executor",
+                            n_tasks=len(tasks), n_jobs=self.n_jobs):
+            pool = self._pool(len(tasks))
+            handles = [
+                pool.apply_async(calls[i] if calls is not None else fn, task)
+                for i, task in enumerate(tasks)
+            ]
         return AsyncTasks(
-            pool=pool,
-            handles=[pool.apply_async(fn, task) for task in tasks],
+            pool=pool, handles=handles,
             fn=fn, tasks=tasks, timeout=timeout, max_retries=max_retries,
-            retry_backoff=retry_backoff, on_result=on_result,
+            retry_backoff=retry_backoff, on_result=on_result, calls=calls,
         )
 
     def __repr__(self) -> str:

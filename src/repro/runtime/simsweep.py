@@ -42,6 +42,7 @@ from ..sim.simulator import DPMSimulator
 from .checkpoint import run_chunks_checkpointed, spec_hash
 from .eventsim import policy_batch_mode, simulate_traces_batch
 from .executor import get_executor, resolve_n_jobs
+from .telemetry import TELEMETRY
 from .verify import (
     InvariantViolation,
     check_sim_report,
@@ -205,13 +206,16 @@ def run_sim_chunk(
     engines are chunking-invariant), and per-request latency arrays are
     dropped before pickling back — the sweep aggregates summary fields
     only."""
-    device = get_preset(device_name)
-    return simulate_traces_batch(
-        device, policy_spec.policy,
-        [trace_spec.realize(seed) for seed in seeds],
-        service_time=service_time, oracle=policy_spec.oracle,
-        keep_latencies=False,
-    )
+    with TELEMETRY.span("chunk", cat="sweep", kind="sim",
+                        device=device_name, trace=trace_spec.name,
+                        policy=policy_spec.label, seeds=list(seeds)):
+        device = get_preset(device_name)
+        return simulate_traces_batch(
+            device, policy_spec.policy,
+            [trace_spec.realize(seed) for seed in seeds],
+            service_time=service_time, oracle=policy_spec.oracle,
+            keep_latencies=False,
+        )
 
 
 def reference_sim_chunk(
@@ -320,6 +324,16 @@ class SimSweepRunner:
 
     def run(self, spec: SimSweepSpec) -> SimSweepResult:
         """Run the full grid; deterministic for any (chunk_size, n_jobs)."""
+        with TELEMETRY.metrics_scope() as metrics:
+            with TELEMETRY.span("sweep", cat="sweep", kind="sim",
+                                n_traces=spec.n_traces,
+                                chunk_size=self.chunk_size,
+                                n_jobs=self.n_jobs):
+                result = self._run(spec)
+        result.execution["metrics"] = metrics.snapshot()
+        return result
+
+    def _run(self, spec: SimSweepSpec) -> SimSweepResult:
         seeds = spec.seeds()
         chunks = [
             seeds[i:i + self.chunk_size]

@@ -48,6 +48,7 @@ from .executor import (
     get_executor,
     is_picklable,
 )
+from .telemetry import TELEMETRY
 from .verify import (
     InvariantViolation,
     check_seed_run,
@@ -240,6 +241,13 @@ def run_chunk(spec: RolloutSpec, chunk_seeds: Sequence[int],
     the chunk runs in the parent process or a pool worker.  The optional
     hooks are in-process callbacks and are never shipped to workers.
     """
+    with TELEMETRY.span("chunk", cat="sweep", kind="slotted",
+                        seeds=list(chunk_seeds)):
+        return _run_chunk_body(spec, chunk_seeds, on_record, on_chunk_done)
+
+
+def _run_chunk_body(spec: RolloutSpec, chunk_seeds: Sequence[int],
+                    on_record=None, on_chunk_done=None) -> List[SeedRun]:
     env = spec.build_env(chunk_seeds)
     if spec.policy is not None:
         lut = _policy_action_lut(env, spec.policy)
@@ -477,7 +485,30 @@ class SweepRunner:
         chunk = batch_size if batch_size is not None else self.batch_size
         if chunk < 1:
             raise ValueError(f"batch_size must be >= 1, got {chunk}")
-        executor = get_executor(n_jobs if n_jobs is not None else self.n_jobs)
+        jobs = n_jobs if n_jobs is not None else self.n_jobs
+        with TELEMETRY.metrics_scope() as metrics:
+            with TELEMETRY.span("sweep", cat="sweep", kind="slotted",
+                                n_seeds=len(seeds), batch_size=chunk,
+                                n_jobs=jobs):
+                result = self._run_many(
+                    spec, seeds, chunk, jobs,
+                    on_record=on_record, on_chunk_done=on_chunk_done,
+                    controller_factory=controller_factory,
+                )
+        result.execution["metrics"] = metrics.snapshot()
+        return result
+
+    def _run_many(
+        self,
+        spec: RolloutSpec,
+        seeds: List[int],
+        chunk: int,
+        n_jobs: int,
+        on_record=None,
+        on_chunk_done=None,
+        controller_factory=None,
+    ) -> SweepResult:
+        executor = get_executor(n_jobs)
         if controller_factory is not None:
             return self._run_scalar(spec, seeds, controller_factory, executor)
         chunks = [seeds[i:i + chunk] for i in range(0, len(seeds), chunk)]
@@ -501,11 +532,20 @@ class SweepRunner:
             for chunk_runs in runs_per_chunk:
                 result.runs.extend(chunk_runs)
             return self._finalize(spec, chunk, chunks, result)
+        reporter = TELEMETRY.progress_reporter(
+            total=len(chunks), workers=min(executor.n_jobs, len(chunks)),
+            label="sweep",
+        )
         if isinstance(executor, SerialExecutor) or len(chunks) == 1:
             for chunk_seeds in chunks:
                 result.runs.extend(
                     run_chunk(spec, chunk_seeds, on_record, on_chunk_done)
                 )
+                TELEMETRY.inc("executor.chunks_completed")
+                if reporter is not None:
+                    reporter.update()
+            if reporter is not None:
+                reporter.finish()
             return self._finalize(spec, chunk, chunks, result)
         # Sharded path: ship the tail chunks to the pool first, then run
         # the lead chunk in the parent (with the in-process hooks)
@@ -517,21 +557,29 @@ class SweepRunner:
         # execution (no overlap): the quick-snapshot bench showed pool
         # spin-up dominating exactly those shapes, so they degrade to
         # the serial path's cost instead of paying for a pool.
+        on_result = None
+        if reporter is not None:
+            on_result = lambda j, r: reporter.update()
         pending = MultiprocessExecutor(executor.n_jobs - 1).submit_all(
             run_chunk, [(spec, c) for c in chunks[1:]],
             timeout=self.timeout, max_retries=self.max_retries,
-            retry_backoff=self.retry_backoff,
+            retry_backoff=self.retry_backoff, on_result=on_result,
         )
         try:
             result.runs.extend(
                 run_chunk(spec, chunks[0], on_record, on_chunk_done)
             )
+            TELEMETRY.inc("executor.chunks_completed")
+            if reporter is not None:
+                reporter.update()
         except BaseException:
             # lead chunk (or a user hook) failed: don't leak the pool
             pending.cancel()
             raise
         for chunk_runs in pending.get():
             result.runs.extend(chunk_runs)
+        if reporter is not None:
+            reporter.finish()
         if pending.events:
             result.execution["resilience_events"] = list(pending.events)
         return self._finalize(spec, chunk, chunks, result)

@@ -49,6 +49,8 @@ from typing import Any, Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
+from .telemetry import TELEMETRY
+
 #: loose relative tolerance of the conservation-law invariants — wide
 #: enough to absorb summation-order noise over ~1e6 float ops, tight
 #: enough that any real drift (a wrong branch, a dropped term) trips it
@@ -283,6 +285,7 @@ def check_sim_report(
 
     Raises :class:`InvariantViolation` with field-level evidence.
     """
+    TELEMETRY.inc("verify.invariant_checks")
     p = _Problems("sim_report", spec_key=spec_key, seed=seed, context=context)
 
     duration = float(report.duration)
@@ -401,6 +404,7 @@ def check_fleet_report(
 
     Raises :class:`InvariantViolation` with field-level evidence.
     """
+    TELEMETRY.inc("verify.invariant_checks")
     p = _Problems("fleet_report", spec_key=spec_key, seed=seed,
                   context=context)
 
@@ -495,6 +499,7 @@ def check_seed_run(
 
     Raises :class:`InvariantViolation` with field-level evidence.
     """
+    TELEMETRY.inc("verify.invariant_checks")
     p = _Problems("seed_run", spec_key=spec_key, seed=run.seed,
                   context=context)
     p.finite("mean_reward", float(run.mean_reward))
@@ -675,9 +680,12 @@ def shadow_verify_chunks(
     with the chunk's replication seeds.
     """
     verified = shadow_indices(len(tasks), fraction, spec_key)
+    TELEMETRY.inc("verify.shadow_chunks", len(verified))
     divergences: List[Dict[str, Any]] = []
     for t in verified:
-        want = list(reference_fn(*tasks[t]))
+        with TELEMETRY.span("shadow-verify", cat="verify", chunk=t,
+                            reference=reference_name):
+            want = list(reference_fn(*tasks[t]))
         got = list(chunk_results[t])
         seeds: Sequence[Optional[int]]
         seeds = list(seeds_of(tasks[t])) if seeds_of is not None else []
@@ -695,6 +703,7 @@ def shadow_verify_chunks(
                                          ignore=ignore)
             )
     if divergences:
+        TELEMETRY.inc("verify.shadow_divergences", len(divergences))
         exc = InvariantViolation(
             "shadow_divergence", divergences, spec_key=spec_key,
             context={"reference": reference_name},
