@@ -18,9 +18,17 @@ The tentpole claims of the fleet subsystem, measured at N=64 replicas:
   amortization; per-replica report compilation is shared cost).
 - ``fault_tolerant_routing`` — failure-aware dispatch (seeded fault
   schedule + failover retries) on the vectorized engine (dense backlog
-  arrays + incremental down/up transition replay) routes >= 3x faster
+  arrays + one whole-trace ``down_mask`` sweep) routes >= 1.5x faster
   than the scalar failure-aware reference loop, with bit-identical
-  assignments/retries/dispatch times.
+  assignments/retries/dispatch times.  The bar shrank in PR 10: the
+  scalar reference now shares the vectorized mask sweep, so only the
+  dense-backlog epoch advance separates the paths.
+- ``overload_resilience`` — the full graceful-degradation stack
+  (brownout-capable faults, circuit breakers, a fleet-wide retry
+  budget, deadline-aware shedding) on the vectorized overload engine
+  >= 1.3x the scalar overload reference, bit-identical outcomes, with
+  the degradation machinery demonstrably exercised (trips, retries,
+  and budget sheds all non-zero).
 
 Bars are deliberately conservative against CI-runner noise.  A further
 case times the (fleet size x router x policy) sweep at 1 and 2 jobs
@@ -44,9 +52,13 @@ from _bench_util import REPO_ROOT, SPEEDUP_BARS, record_bench
 from repro.baselines import AlwaysOn, FixedTimeout, OracleShutdown
 from repro.device import get_preset
 from repro.fleet import (
+    BreakerConfig,
     Dispatcher,
+    FailoverConfig,
     FleetSweepRunner,
     FleetSweepSpec,
+    OverloadConfig,
+    RetryBudgetConfig,
     make_router,
     run_fleet,
     run_fleet_batch,
@@ -221,7 +233,7 @@ def test_flattened_cell_speedup():
 
 def test_fault_tolerant_routing_speedup():
     """The failure-aware routing bar: the vectorized engine (dense
-    backlog + incremental fault-transition replay) >= 3x the scalar
+    backlog + whole-trace down_mask sweep) >= 1.5x the scalar
     reference loop at N=64, bit-identical outcomes."""
     trace = _fleet_trace()
     faults = FaultProcess(mtbf=2_000.0, mttr=200.0)
@@ -267,6 +279,80 @@ def test_fault_tolerant_routing_speedup():
     })
     assert speedup >= BARS["fault_tolerant_routing"], (
         f"vectorized failure-aware routing only {speedup:.1f}x the "
+        f"scalar reference"
+    )
+
+
+def test_overload_resilience_speedup():
+    """The graceful-degradation bar: the vectorized overload engine
+    >= 1.3x the scalar overload reference at N=64 with breakers, a
+    tight retry budget, and deadlines all armed — and the scenario must
+    actually exercise them (trips, retries, and budget sheds > 0), or
+    the bench pins a no-op."""
+    trace = _fleet_trace()
+    faults = FaultProcess(mtbf=500.0, mttr=120.0)
+    config = OverloadConfig(
+        failover=FailoverConfig(max_retries=3, backoff_base=0.25,
+                                backoff_cap=2.0),
+        breaker=BreakerConfig(failure_threshold=3, recovery_time=30.0,
+                              latency_threshold=2.0),
+        retry_budget=RetryBudgetConfig(capacity=8.0, refill_rate=0.02),
+        slo=4.0,
+    )
+    dispatcher = Dispatcher("jsq", N_DEVICES, get_preset(DEVICE),
+                            service_time=SERVICE_TIME, seed=7)
+
+    start = time.perf_counter()
+    _, scalar_out = dispatcher.dispatch_with_overload(
+        trace, faults, config, vectorized=False, fault_seed=5,
+    )
+    scalar_seconds = time.perf_counter() - start
+
+    vec_seconds = float("inf")
+    for _ in range(3):
+        start = time.perf_counter()
+        _, vec_out = dispatcher.dispatch_with_overload(
+            trace, faults, config, vectorized=True, fault_seed=5,
+        )
+        vec_seconds = min(vec_seconds, time.perf_counter() - start)
+
+    assert np.array_equal(scalar_out.assignments, vec_out.assignments)
+    assert np.array_equal(scalar_out.retries, vec_out.retries)
+    assert np.array_equal(scalar_out.dispatch_times, vec_out.dispatch_times)
+    assert np.array_equal(scalar_out.shed_reasons, vec_out.shed_reasons)
+    assert np.array_equal(scalar_out.completions, vec_out.completions,
+                          equal_nan=True)
+    assert scalar_out.n_breaker_trips == vec_out.n_breaker_trips
+    # the degradation machinery must be live, not configured away
+    assert scalar_out.n_breaker_trips > 0
+    assert scalar_out.n_retries > 0
+    assert scalar_out.n_budget_shed > 0
+
+    speedup = scalar_seconds / vec_seconds
+    print()
+    print(f"overload routing (jsq, {len(trace):,} requests, "
+          f"{scalar_out.n_breaker_trips} trips, {scalar_out.n_shed} shed, "
+          f"goodput {scalar_out.goodput:.4f}): scalar {scalar_seconds:.3f}s "
+          f"vs vectorized {vec_seconds:.3f}s ({speedup:.1f}x)")
+    record_bench(BENCH_PATH, "overload_resilience", {
+        "device": DEVICE,
+        "n_devices": N_DEVICES,
+        "router": "jsq",
+        "mtbf": 500.0,
+        "mttr": 120.0,
+        "slo": 4.0,
+        "n_requests": len(trace),
+        "n_retries": int(scalar_out.n_retries),
+        "n_shed": int(scalar_out.n_shed),
+        "n_budget_shed": int(scalar_out.n_budget_shed),
+        "n_breaker_trips": int(scalar_out.n_breaker_trips),
+        "goodput": float(scalar_out.goodput),
+        "scalar_seconds": scalar_seconds,
+        "vectorized_seconds": vec_seconds,
+        "speedup": speedup,
+    })
+    assert speedup >= BARS["overload_resilience"], (
+        f"vectorized overload routing only {speedup:.1f}x the "
         f"scalar reference"
     )
 
@@ -326,7 +412,8 @@ def test_bench_fleet_artifact_shape():
     assert BENCH_PATH.exists()
     data = json.loads(BENCH_PATH.read_text())
     for key in ("host", "fleet_kernel", "queue_aware_routing",
-                "flattened_cell", "fault_tolerant_routing", "fleet_sweep"):
+                "flattened_cell", "fault_tolerant_routing",
+                "overload_resilience", "fleet_sweep"):
         assert key in data, f"BENCH_fleet.json missing {key!r}"
     for section, bar in BARS.items():
         assert data[section]["speedup"] >= bar, section

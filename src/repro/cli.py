@@ -25,7 +25,14 @@ policy) to zoom the dispatch grid, ``--mtbf`` / ``--mttr`` to inject
 seeded device failures (with ``--max-retries`` bounding failover
 retries before a request drops), and ``--checkpoint PATH`` to journal
 completed chunks — rerun with ``--resume`` to pick up an interrupted
-sweep bit-identically instead of starting over.
+sweep bit-identically instead of starting over.  The overload knobs
+layer graceful degradation on top: ``--brownout-severity M`` turns
+fault intervals into brownouts that multiply service demand by M
+instead of stopping the device, ``--slo S`` sheds requests whose
+predicted completion misses the ``arrival + S`` deadline, ``--breaker
+K`` arms per-device circuit breakers that open after K consecutive
+failures, and ``--retry-budget C`` caps fleet-wide failover retries
+with a C-token bucket (exhaustion sheds instead of retry-storming).
 
 ``--verify P`` shadow-runs fraction P of seed chunks / cells on the
 scalar reference path and compares field-for-field (any divergence
@@ -218,6 +225,10 @@ def _fleet_sweep(quick: bool, n_seeds: Optional[int] = None,
                  mtbf: Optional[float] = None,
                  mttr: Optional[float] = None,
                  max_retries: Optional[int] = None,
+                 brownout_severity: Optional[float] = None,
+                 slo: Optional[float] = None,
+                 breaker: Optional[int] = None,
+                 retry_budget: Optional[float] = None,
                  checkpoint: Optional[str] = None,
                  verify: Optional[float] = None,
                  diagnostics: Optional[str] = None) -> str:
@@ -238,6 +249,14 @@ def _fleet_sweep(quick: bool, n_seeds: Optional[int] = None,
         config = dataclasses.replace(config, mttr=mttr)
     if max_retries is not None:
         config = dataclasses.replace(config, max_retries=max_retries)
+    if brownout_severity is not None:
+        config = dataclasses.replace(config, brownout_severity=brownout_severity)
+    if slo is not None:
+        config = dataclasses.replace(config, slo=slo)
+    if breaker is not None:
+        config = dataclasses.replace(config, breaker=breaker)
+    if retry_budget is not None:
+        config = dataclasses.replace(config, retry_budget=retry_budget)
     if checkpoint is not None:
         config = dataclasses.replace(config, checkpoint=checkpoint)
     if verify is not None:
@@ -355,6 +374,42 @@ def main(argv: Optional[List[str]] = None) -> int:
              "a down device is dropped (requires --mtbf)",
     )
     parser.add_argument(
+        "--brownout-severity",
+        type=float,
+        default=None,
+        metavar="M",
+        help="fleet-sweep: make fault intervals brownouts — the device "
+             "keeps serving but every request's service demand is "
+             "multiplied by M >= 1 (requires --mtbf)",
+    )
+    parser.add_argument(
+        "--slo",
+        type=float,
+        default=None,
+        metavar="S",
+        help="fleet-sweep: give each request the deadline arrival + S "
+             "seconds; requests whose predicted completion misses it "
+             "are shed on admission",
+    )
+    parser.add_argument(
+        "--breaker",
+        type=int,
+        default=None,
+        metavar="K",
+        help="fleet-sweep: arm per-device circuit breakers that open "
+             "after K consecutive observed failures (half-open reprobe "
+             "after the recovery window)",
+    )
+    parser.add_argument(
+        "--retry-budget",
+        type=float,
+        default=None,
+        metavar="C",
+        help="fleet-sweep: cap fleet-wide failover retries with a "
+             "C-token bucket; exhaustion sheds the request instead of "
+             "retry-storming",
+    )
+    parser.add_argument(
         "--checkpoint",
         default=None,
         metavar="PATH",
@@ -421,8 +476,17 @@ def main(argv: Optional[List[str]] = None) -> int:
         parser.error("--mttr must be > 0")
     if args.max_retries is not None and args.max_retries < 0:
         parser.error("--max-retries must be >= 0")
+    if args.brownout_severity is not None and args.brownout_severity < 1.0:
+        parser.error("--brownout-severity must be >= 1")
+    if args.slo is not None and args.slo <= 0:
+        parser.error("--slo must be > 0")
+    if args.breaker is not None and args.breaker < 1:
+        parser.error("--breaker must be >= 1")
+    if args.retry_budget is not None and args.retry_budget < 0:
+        parser.error("--retry-budget must be >= 0")
     for flag, value in (("--mttr", args.mttr),
-                        ("--max-retries", args.max_retries)):
+                        ("--max-retries", args.max_retries),
+                        ("--brownout-severity", args.brownout_severity)):
         if value is not None and args.mtbf is None:
             parser.error(f"{flag} requires --mtbf (no faults to configure)")
     if args.resume and args.checkpoint is None:
@@ -504,6 +568,10 @@ def _run_experiments(args, parser) -> int:
                             ("--mtbf", args.mtbf),
                             ("--mttr", args.mttr),
                             ("--max-retries", args.max_retries),
+                            ("--brownout-severity", args.brownout_severity),
+                            ("--slo", args.slo),
+                            ("--breaker", args.breaker),
+                            ("--retry-budget", args.retry_budget),
                             ("--checkpoint", args.checkpoint),
                             ("--resume", args.resume or None)):
             if value is not None and args.experiment not in _FLEETABLE:
@@ -537,7 +605,8 @@ def _run_experiments(args, parser) -> int:
         if name not in _FLEETABLE and any(
             v is not None
             for v in (args.devices, args.router, args.mtbf, args.mttr,
-                      args.max_retries, args.checkpoint)
+                      args.max_retries, args.brownout_severity, args.slo,
+                      args.breaker, args.retry_budget, args.checkpoint)
         ):
             print(f"note: fleet-sweep flags have no effect on {name!r}")
         if name not in _VERIFIABLE and (
@@ -557,6 +626,10 @@ def _run_experiments(args, parser) -> int:
                                ("mtbf", args.mtbf),
                                ("mttr", args.mttr),
                                ("max_retries", args.max_retries),
+                               ("brownout_severity", args.brownout_severity),
+                               ("slo", args.slo),
+                               ("breaker", args.breaker),
+                               ("retry_budget", args.retry_budget),
                                ("checkpoint", args.checkpoint)):
                 if value is not None:
                     kwargs[key] = value

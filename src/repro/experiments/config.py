@@ -211,6 +211,19 @@ class FleetConfig:
     ``failover_policy`` with up to ``max_retries`` capped-exponential
     backoff retries.  ``checkpoint`` names a chunk-result journal file
     so an interrupted sweep resumes without recomputation.
+
+    The overload knobs layer graceful degradation on top of the fault
+    model.  ``brownout_severity`` makes fault intervals brownouts
+    instead of outages: the device keeps serving but every request's
+    service demand is multiplied by the severity (>= 1.0).  ``slo``
+    gives each request a deadline ``arrival + slo``; requests whose
+    predicted completion misses it are shed on admission.  ``breaker``
+    arms a per-device circuit breaker that opens after that many
+    consecutive failures, and ``retry_budget`` caps fleet-wide failover
+    retries with a token bucket of that capacity (exhaustion sheds the
+    request instead of retrying).  Any of them set implies the overload
+    dispatch path; all ``None`` reproduces the plain failover sweep
+    bit-for-bit.
     """
 
     device: str = "mobile_hdd"
@@ -230,6 +243,10 @@ class FleetConfig:
     mttr: float = 50.0             #: mean time to repair (s)
     failover_policy: str = "next_best"
     max_retries: int = 3           #: failover retries before a request drops
+    brownout_severity: Optional[float] = None  #: demand multiplier during faults (>= 1)
+    slo: Optional[float] = None    #: per-request deadline = arrival + slo (s)
+    breaker: Optional[int] = None  #: consecutive failures that trip a breaker
+    retry_budget: Optional[float] = None  #: fleet-wide retry token capacity
     checkpoint: Optional[str] = None
     verify_fraction: float = 0.0   #: fraction of cells shadow-run on the scalar dispatcher
     diagnostics_dir: Optional[str] = None

@@ -15,10 +15,13 @@ from __future__ import annotations
 from ..baselines import AlwaysOn, FixedTimeout, GreedySleep, OracleShutdown
 from ..device import get_preset
 from ..fleet import (
+    BreakerConfig,
     FailoverConfig,
     FleetSweepResult,
     FleetSweepRunner,
     FleetSweepSpec,
+    OverloadConfig,
+    RetryBudgetConfig,
 )
 from ..runtime import PolicySpec, TraceSpec
 from ..workload import Exponential, FaultProcess
@@ -42,9 +45,29 @@ def build_spec(config: FleetConfig = FleetConfig()) -> FleetSweepSpec:
     faults = None
     failover = FailoverConfig()
     if config.mtbf is not None:
-        faults = FaultProcess(mtbf=config.mtbf, mttr=config.mttr)
+        fault_kwargs = {"mtbf": config.mtbf, "mttr": config.mttr}
+        if config.brownout_severity is not None:
+            fault_kwargs["severity"] = float(config.brownout_severity)
+        faults = FaultProcess(**fault_kwargs)
         failover = FailoverConfig(
             policy=config.failover_policy, max_retries=config.max_retries,
+        )
+    elif config.brownout_severity is not None:
+        raise ValueError("brownout_severity requires mtbf (a fault process)")
+    overload = None
+    if (config.slo is not None or config.breaker is not None
+            or config.retry_budget is not None
+            or config.brownout_severity is not None):
+        # The sweep spec requires spec.failover == overload.failover, so
+        # the overload path reduces exactly to the failover path when the
+        # degradation features are individually disabled.
+        overload = OverloadConfig(
+            failover=failover,
+            breaker=(BreakerConfig(failure_threshold=int(config.breaker))
+                     if config.breaker is not None else None),
+            retry_budget=(RetryBudgetConfig(capacity=float(config.retry_budget))
+                          if config.retry_budget is not None else None),
+            slo=(float(config.slo) if config.slo is not None else None),
         )
     return FleetSweepSpec(
         device=config.device,
@@ -62,6 +85,7 @@ def build_spec(config: FleetConfig = FleetConfig()) -> FleetSweepSpec:
         service_time=config.service_time,
         faults=faults,
         failover=failover,
+        overload=overload,
     )
 
 

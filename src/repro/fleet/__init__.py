@@ -25,18 +25,27 @@ one arrival per round) — and the sweep flattens each cell's
 from .dispatch import (
     FAILOVER_POLICIES,
     ROUTERS,
+    SHED_BUDGET,
+    SHED_DEADLINE,
+    SHED_NONE,
+    BreakerConfig,
     Dispatcher,
     FailoverConfig,
     FailoverOutcome,
     JoinShortestQueueRouter,
+    OverloadConfig,
+    OverloadOutcome,
     PowerAwareRouter,
     RandomRouter,
+    RetryBudgetConfig,
     RouteContext,
     Router,
     RoundRobinRouter,
     make_router,
     route_with_failover,
     route_with_failover_step,
+    route_with_overload,
+    route_with_overload_step,
 )
 from .evaluate import ENGINES, run_fleet, run_fleet_batch
 from .report import FleetReport, build_fleet_report
@@ -65,6 +74,15 @@ __all__ = [
     "FAILOVER_POLICIES",
     "route_with_failover",
     "route_with_failover_step",
+    "BreakerConfig",
+    "RetryBudgetConfig",
+    "OverloadConfig",
+    "OverloadOutcome",
+    "SHED_NONE",
+    "SHED_DEADLINE",
+    "SHED_BUDGET",
+    "route_with_overload",
+    "route_with_overload_step",
     "ENGINES",
     "run_fleet",
     "run_fleet_batch",

@@ -42,6 +42,7 @@ from __future__ import annotations
 
 import dataclasses
 import heapq
+import math
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple, Type
@@ -50,7 +51,7 @@ import numpy as np
 
 from ..device import PowerStateMachine
 from ..sim.simulator import resolve_demands
-from ..workload.faults import FaultSchedule, resolve_fault_schedule
+from ..workload.faults import FaultSchedule, no_faults, resolve_fault_schedule
 from ..workload.trace import Trace
 
 
@@ -533,7 +534,10 @@ class FailoverConfig:
       report's dropped/retry metrics.
 
     After ``max_retries`` backoffs the request is dropped (assignment
-    ``-1``) rather than waiting forever.
+    ``-1``) rather than waiting forever.  ``max_retries=0`` means
+    first-failure drop: no backoff ever fires, so the backoff shape is
+    not validated in that case (``backoff_cap >= backoff_base`` is only
+    meaningful when a retry can actually take a delay).
     """
 
     policy: str = "next_best"
@@ -555,7 +559,7 @@ class FailoverConfig:
             raise ValueError(
                 f"backoff_base must be > 0, got {self.backoff_base}"
             )
-        if self.backoff_cap < self.backoff_base:
+        if int(self.max_retries) > 0 and self.backoff_cap < self.backoff_base:
             raise ValueError(
                 f"backoff_cap must be >= backoff_base, got "
                 f"{self.backoff_cap} < {self.backoff_base}"
@@ -623,10 +627,13 @@ def route_with_failover(
     the dispatcher-level service model already abstracts in-flight
     detail, and inline resolution keeps the pass deterministic and
     single-sweep).  Backlog bookkeeping is the list-walking
-    :class:`_BacklogTracker` and every mask is an exact per-device
-    :meth:`~repro.workload.FaultSchedule.is_down` query — the slow,
-    obviously-correct twin :func:`route_with_failover_step` is pinned
-    against bit for bit.
+    :class:`_BacklogTracker`; arrival-instant masks come from one
+    vectorized :meth:`~repro.workload.FaultSchedule.down_mask` sweep
+    (bit-equal to per-device :meth:`~repro.workload.FaultSchedule.is_down`
+    queries, pinned so in tests) and retry probes use the exact
+    point-query :meth:`~repro.workload.FaultSchedule.alive_mask` — the
+    vectorized twin :func:`route_with_failover_step` is pinned against
+    this loop bit for bit.
     """
     if faults.n_devices != ctx.n_devices:
         raise ValueError(
@@ -639,6 +646,7 @@ def route_with_failover(
     assignments = np.empty(n, dtype=np.int64)
     dispatch_times = np.empty(n)
     retries = np.zeros(n, dtype=np.int64)
+    alive_rows = ~faults.down_mask(ctx.arrivals)
 
     def backlog_view():
         lengths = np.array(
@@ -652,7 +660,7 @@ def route_with_failover(
         t = now
         k = 0
         tracker.settle(t)
-        alive = faults.alive_mask(t)
+        alive = alive_rows[i]
         lengths, last = backlog_view()
         choice = router.decide_one(state, lengths, last, t, ctx)
         while not alive[choice]:
@@ -696,12 +704,12 @@ def route_with_failover_step(
     Same attempt/backoff/landing semantics as
     :func:`route_with_failover`, different mechanics: the backlog lives
     in dense arrays settled through one shared completion heap
-    (:class:`_DenseBacklog`), and the live/dead mask at each *arrival*
-    is maintained incrementally from the schedule's merged transition
-    stream — one boolean flip per fault event over the whole trace
-    instead of an O(N) per-device interval scan per request.  Retry
-    probes (rare, and at off-arrival instants ahead of the incremental
-    clock) fall back to the exact
+    (:class:`_DenseBacklog`), and the live/dead masks at the *arrival*
+    instants come from one whole-trace
+    :meth:`~repro.workload.FaultSchedule.down_mask` sweep — one
+    searchsorted per device over the full arrival array instead of a
+    Python interval lookup per (request, device) pair.  Retry probes
+    (rare, and at off-arrival instants) use the exact
     :meth:`~repro.workload.FaultSchedule.alive_mask` query the scalar
     loop uses.  Booked completion times and backoff instants are
     computed with the same Python-float arithmetic, masks are exact
@@ -725,25 +733,17 @@ def route_with_failover_step(
     assignments = np.empty(n, dtype=np.int64)
     dispatch_times = np.empty(n)
     retries = np.zeros(n, dtype=np.int64)
-
-    ev_times, ev_devices, ev_downs = faults.transitions()
-    ev_times_list = ev_times.tolist()
-    n_events = len(ev_times_list)
-    next_event = 0
-    alive_now = np.ones(ctx.n_devices, dtype=bool)
+    alive_rows = ~faults.down_mask(ctx.arrivals)
 
     arrivals = ctx.arrivals.tolist()
     demands = ctx.demands.tolist()
     decide = router.decide_one
     for i in range(n):
         now = arrivals[i]
-        while next_event < n_events and ev_times_list[next_event] <= now:
-            alive_now[ev_devices[next_event]] = not ev_downs[next_event]
-            next_event += 1
         t = now
         k = 0
         settle(t)
-        alive = alive_now
+        alive = alive_rows[i]
         choice = decide(state, queue_len, last_completion, t, ctx)
         while not alive[choice]:
             if k == config.max_retries:
@@ -769,6 +769,626 @@ def route_with_failover_step(
         assignments=assignments,
         dispatch_times=dispatch_times,
         retries=retries,
+    )
+
+
+# ---------------------------------------------------------------------- #
+# overload resilience: circuit breakers, retry budget, deadline shedding
+# ---------------------------------------------------------------------- #
+
+#: assignment sentinel — retries exhausted, request dropped (as in
+#: :class:`FailoverOutcome`)
+DROPPED_ASSIGNMENT = -1
+#: assignment sentinel — request proactively shed (deadline or budget)
+SHED_ASSIGNMENT = -2
+
+#: ``OverloadOutcome.shed_reasons`` codes
+SHED_NONE = 0
+SHED_DEADLINE = 1
+SHED_BUDGET = 2
+
+
+@dataclass(frozen=True)
+class BreakerConfig:
+    """Per-device circuit breaker driven by observed dispatch outcomes.
+
+    The breaker watches what the dispatcher actually observes — a chosen
+    device dead at the attempt instant, or a booked queue wait past
+    ``latency_threshold`` — rather than the fault schedule itself, so a
+    sick device is routed around *before* its fault interval is known.
+    Classic three-state machine, per device:
+
+    - **closed** (healthy): failures count; ``failure_threshold``
+      consecutive failures trip the breaker open (a success resets the
+      run).
+    - **open**: the device is masked out of routing decisions for
+      ``recovery_time`` seconds after the trip.
+    - **half-open**: after the recovery window the device takes probe
+      traffic again; ``half_open_successes`` consecutive successes
+      close the breaker, any failure re-trips it immediately.
+
+    When every device is breaker-open the mask is dropped entirely —
+    breakers bound blast radius, they never black-hole the whole fleet.
+    """
+
+    failure_threshold: int = 3
+    recovery_time: float = 30.0
+    half_open_successes: int = 1
+    latency_threshold: float = math.inf
+
+    def __post_init__(self) -> None:
+        if int(self.failure_threshold) < 1:
+            raise ValueError(
+                f"failure_threshold must be >= 1, got {self.failure_threshold}"
+            )
+        if not self.recovery_time > 0:
+            raise ValueError(
+                f"recovery_time must be > 0, got {self.recovery_time}"
+            )
+        if int(self.half_open_successes) < 1:
+            raise ValueError(
+                f"half_open_successes must be >= 1, "
+                f"got {self.half_open_successes}"
+            )
+        if math.isnan(self.latency_threshold) or self.latency_threshold <= 0:
+            raise ValueError(
+                f"latency_threshold must be > 0 (inf = latency-blind), "
+                f"got {self.latency_threshold}"
+            )
+
+
+@dataclass(frozen=True)
+class RetryBudgetConfig:
+    """Fleet-wide retry token bucket.
+
+    Every backoff retry (across *all* requests) consumes one token;
+    tokens refill continuously at ``refill_rate`` per second up to
+    ``capacity``.  An empty bucket sheds the request instead of retrying
+    — bounding total retry amplification so an outage degrades into
+    load shedding rather than a retry storm.
+    """
+
+    capacity: float = 32.0
+    refill_rate: float = 1.0
+
+    def __post_init__(self) -> None:
+        if math.isnan(self.capacity) or self.capacity < 0:
+            raise ValueError(
+                f"capacity must be >= 0, got {self.capacity}"
+            )
+        if not 0 <= self.refill_rate < math.inf:
+            raise ValueError(
+                f"refill_rate must be finite and >= 0, "
+                f"got {self.refill_rate}"
+            )
+
+
+@dataclass(frozen=True)
+class OverloadConfig:
+    """Graceful-degradation settings for the overload-aware engines.
+
+    Composes the existing backoff/failover shape with three independent
+    protections, each disabled by default: per-device circuit breakers
+    (``breaker``), a fleet-wide retry budget (``retry_budget``), and
+    deadline-aware admission control (``slo`` seconds per request; a
+    request whose predicted completion — backlog plus brownout-inflated
+    demand — misses ``arrival + slo`` is shed instead of dispatched).
+    With all three left ``None`` the overload engines reduce exactly to
+    the plain failover path (pinned bit-identical in tests).
+    """
+
+    failover: FailoverConfig = FailoverConfig()
+    breaker: Optional[BreakerConfig] = None
+    retry_budget: Optional[RetryBudgetConfig] = None
+    slo: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.failover, FailoverConfig):
+            raise TypeError(
+                f"failover must be a FailoverConfig, got {self.failover!r}"
+            )
+        if self.breaker is not None and not isinstance(
+            self.breaker, BreakerConfig
+        ):
+            raise TypeError(
+                f"breaker must be a BreakerConfig or None, "
+                f"got {self.breaker!r}"
+            )
+        if self.retry_budget is not None and not isinstance(
+            self.retry_budget, RetryBudgetConfig
+        ):
+            raise TypeError(
+                f"retry_budget must be a RetryBudgetConfig or None, "
+                f"got {self.retry_budget!r}"
+            )
+        if self.slo is not None and not (
+            0 < float(self.slo) < math.inf
+        ):
+            raise ValueError(
+                f"slo must be finite and > 0 (None disables deadlines), "
+                f"got {self.slo}"
+            )
+
+
+#: breaker states (int8 codes in :class:`_BreakerFleet`)
+_BRK_CLOSED, _BRK_OPEN, _BRK_HALF_OPEN = 0, 1, 2
+
+
+class _BreakerFleet:
+    """Per-device breaker state shared by both overload engines.
+
+    Both the scalar reference and the vectorized engine instantiate this
+    exact class and feed it the same (choice, instant, wait) sequence,
+    so breaker decisions are bit-identical across engines by
+    construction.  With ``config=None`` every method is a no-op and
+    :meth:`routing_mask` returns None — the disabled path adds nothing
+    to the failover semantics.
+    """
+
+    def __init__(self, n_devices: int, config: Optional[BreakerConfig]):
+        self.config = config
+        self.trips = 0
+        if config is None:
+            return
+        self.state = np.zeros(n_devices, dtype=np.int8)
+        self.failures = np.zeros(n_devices, dtype=np.int64)
+        self.successes = np.zeros(n_devices, dtype=np.int64)
+        self.opened_at = np.zeros(n_devices)
+
+    def routing_mask(self, now: float) -> Optional[np.ndarray]:
+        """Mask of breaker-admissible devices at ``now`` (True = route
+        here), after promoting recovered breakers to half-open.  None
+        when breakers are disabled; an all-True mask when none is open
+        (equivalent to None for every router — decisions *and* RNG
+        stream consumption match, so trips alone perturb routing)."""
+        if self.config is None:
+            return None
+        open_mask = self.state == _BRK_OPEN
+        if open_mask.any():
+            ready = open_mask & (
+                now - self.opened_at >= self.config.recovery_time
+            )
+            if ready.any():
+                self.state[ready] = _BRK_HALF_OPEN
+                self.successes[ready] = 0
+                open_mask &= ~ready
+        if not open_mask.any():
+            return ~open_mask
+        mask = ~open_mask
+        if not mask.any():
+            return None  # whole fleet tripped: never black-hole it
+        return mask
+
+    def record_failure(self, d: int, now: float) -> None:
+        """A dispatch attempt on ``d`` failed (dead pick or timeout)."""
+        if self.config is None:
+            return
+        st = int(self.state[d])
+        if st == _BRK_HALF_OPEN:
+            # failed reprobe: straight back to open
+            self.state[d] = _BRK_OPEN
+            self.opened_at[d] = now
+            self.trips += 1
+        elif st == _BRK_CLOSED:
+            self.failures[d] += 1
+            if self.failures[d] >= self.config.failure_threshold:
+                self.state[d] = _BRK_OPEN
+                self.opened_at[d] = now
+                self.failures[d] = 0
+                self.trips += 1
+        # already open (all-tripped fallback routed here): stay open
+
+    def record_success(self, d: int) -> None:
+        """A dispatch attempt on ``d`` booked within the threshold."""
+        if self.config is None:
+            return
+        st = int(self.state[d])
+        if st == _BRK_HALF_OPEN:
+            self.successes[d] += 1
+            if self.successes[d] >= self.config.half_open_successes:
+                self.state[d] = _BRK_CLOSED
+                self.failures[d] = 0
+        elif st == _BRK_CLOSED:
+            self.failures[d] = 0  # a success breaks the consecutive run
+
+    def record_outcome(self, d: int, now: float, wait: float) -> None:
+        """Classify a booked dispatch: queue wait past the latency
+        threshold counts as a failure (timeout), anything else as a
+        success."""
+        if self.config is None:
+            return
+        if wait > self.config.latency_threshold:
+            self.record_failure(d, now)
+        else:
+            self.record_success(d)
+
+
+class _RetryBudget:
+    """Fleet-wide retry token bucket shared by both overload engines.
+
+    Refill happens lazily at consumption instants with plain
+    Python-float arithmetic; attempt instants are not globally monotone
+    (a backed-off retry can pass a later arrival), so refill only ever
+    advances the clock — identical call sequences produce identical
+    levels in both engines.
+    """
+
+    def __init__(self, config: Optional[RetryBudgetConfig]):
+        self.config = config
+        if config is not None:
+            self.level = float(config.capacity)
+            self._last = 0.0
+
+    def take(self, now: float) -> bool:
+        """Consume one retry token at ``now``; False means exhausted
+        (the caller sheds instead of retrying).  Always True when the
+        budget is disabled."""
+        if self.config is None:
+            return True
+        if now > self._last:
+            self.level = min(
+                self.config.capacity,
+                self.level + (now - self._last) * self.config.refill_rate,
+            )
+            self._last = now
+        if self.level < 1.0:
+            return False
+        self.level -= 1.0
+        return True
+
+
+def _routable(
+    alive: np.ndarray, breaker_mask: Optional[np.ndarray]
+) -> np.ndarray:
+    """Live devices, narrowed to breaker-admissible ones when any such
+    device survives — breakers refine failover, they never turn a
+    reachable fleet into a black hole."""
+    if breaker_mask is None:
+        return alive
+    both = alive & breaker_mask
+    return both if both.any() else alive
+
+
+@dataclass
+class OverloadOutcome:
+    """Per-request result of one overload-aware routing pass.
+
+    Extends the :class:`FailoverOutcome` encoding: ``assignments[i]`` is
+    the landing device, ``-1`` for a dropped request (retries exhausted,
+    fleet down) or ``-2`` for a *shed* request (deadline or retry-budget
+    admission control — see ``shed_reasons``).  ``completions[i]`` is
+    the dispatcher-model booked completion instant for landed requests
+    (NaN otherwise) and ``deadlines[i]`` the admission deadline
+    (``arrival + slo``; +inf with deadlines disabled) — together they
+    define goodput: a request is *good* when it landed and its booked
+    completion made its deadline.  ``effective_demands[i]`` is the
+    service demand actually booked (brownout-inflated for landed
+    requests; the nominal demand otherwise).
+    """
+
+    arrivals: np.ndarray
+    assignments: np.ndarray
+    dispatch_times: np.ndarray
+    retries: np.ndarray
+    shed_reasons: np.ndarray
+    deadlines: np.ndarray
+    completions: np.ndarray
+    effective_demands: np.ndarray
+    n_breaker_trips: int = 0
+
+    @property
+    def landed(self) -> np.ndarray:
+        """Boolean mask of requests that reached a device."""
+        return self.assignments >= 0
+
+    @property
+    def shed(self) -> np.ndarray:
+        """Boolean mask of proactively shed requests."""
+        return self.assignments == SHED_ASSIGNMENT
+
+    @property
+    def n_shed(self) -> int:
+        """Requests shed by deadline or retry-budget admission control."""
+        return int(self.shed.sum())
+
+    @property
+    def n_budget_shed(self) -> int:
+        """Requests shed specifically by retry-budget exhaustion."""
+        return int((self.shed_reasons == SHED_BUDGET).sum())
+
+    @property
+    def n_dropped(self) -> int:
+        """Requests that exhausted their retries (fleet unreachable)."""
+        return int((self.assignments == DROPPED_ASSIGNMENT).sum())
+
+    @property
+    def n_retries(self) -> int:
+        """Total backoff retries across all requests."""
+        return int(self.retries.sum())
+
+    @property
+    def good(self) -> np.ndarray:
+        """Landed requests whose booked completion made the deadline."""
+        with np.errstate(invalid="ignore"):
+            return self.landed & (self.completions <= self.deadlines)
+
+    @property
+    def goodput(self) -> float:
+        """Fraction of *offered* requests served within their deadline
+        (1.0 for an empty trace).  Never exceeds throughput — shed and
+        dropped requests count against it."""
+        n = int(self.arrivals.size)
+        return float(self.good.sum()) / n if n else 1.0
+
+    @property
+    def slo_attainment(self) -> float:
+        """Fraction of *landed* requests that made their deadline
+        (1.0 when nothing landed — there is nothing to attain)."""
+        n_landed = int(self.landed.sum())
+        return float(self.good.sum()) / n_landed if n_landed else 1.0
+
+    @property
+    def latency_inflation(self) -> float:
+        """Mean added dispatch delay (seconds) over landed requests."""
+        landed = self.landed
+        if not landed.any():
+            return 0.0
+        extra = self.dispatch_times[landed] - self.arrivals[landed]
+        return float(extra.mean())
+
+
+def route_with_overload(
+    router: Router,
+    ctx: RouteContext,
+    faults: FaultSchedule,
+    config: OverloadConfig = OverloadConfig(),
+) -> OverloadOutcome:
+    """Scalar overload-aware reference loop (the semantics of record).
+
+    The :func:`route_with_failover` retry loop extended with the three
+    graceful-degradation mechanisms of :class:`OverloadConfig`, each a
+    provable no-op when disabled:
+
+    - every decision consults the breaker mask
+      (:meth:`_BreakerFleet.routing_mask` — None when disabled, so the
+      natural choice stays fault- and breaker-oblivious);
+    - every backoff retry must first win a token from the fleet-wide
+      retry budget, else the request is shed (``shed_reasons`` =
+      budget);
+    - a retry instant past the request's deadline, or a booked
+      completion (backlog wait + brownout-inflated demand) that would
+      miss it, sheds the request instead of dispatching it
+      (``shed_reasons`` = deadline).
+
+    Landed requests book ``demand × severity_at(device, t)`` — a
+    browned-out device serves, but slowly, and the deadline check sees
+    that inflated cost.  With breakers, budget, and deadlines disabled
+    and a fail-stop schedule, assignments, dispatch times, and retries
+    are bit-identical to :func:`route_with_failover` (severity is
+    exactly 1.0 on live devices, and ``x * 1.0 == x`` bitwise).
+    """
+    if faults.n_devices != ctx.n_devices:
+        raise ValueError(
+            f"fault schedule covers {faults.n_devices} devices, "
+            f"context has {ctx.n_devices}"
+        )
+    failover = config.failover
+    n = int(ctx.arrivals.size)
+    tracker = _BacklogTracker(ctx.n_devices)
+    state = router.begin_route(ctx)
+    breaker = _BreakerFleet(ctx.n_devices, config.breaker)
+    budget = _RetryBudget(config.retry_budget)
+    assignments = np.empty(n, dtype=np.int64)
+    dispatch_times = np.empty(n)
+    retries = np.zeros(n, dtype=np.int64)
+    shed_reasons = np.zeros(n, dtype=np.int8)
+    deadlines = (
+        np.full(n, math.inf)
+        if config.slo is None
+        else ctx.arrivals + float(config.slo)
+    )
+    completions = np.full(n, math.nan)
+    effective_demands = np.array(ctx.demands, dtype=np.float64, copy=True)
+    alive_rows = ~faults.down_mask(ctx.arrivals)
+
+    def backlog_view():
+        lengths = np.array(
+            [tracker.queue_len(d) for d in range(ctx.n_devices)],
+            dtype=np.int64,
+        )
+        return lengths, tracker.last_completion
+
+    for i in range(n):
+        now = float(ctx.arrivals[i])
+        t = now
+        k = 0
+        deadline = float(deadlines[i])
+        reason = SHED_NONE
+        tracker.settle(t)
+        alive = alive_rows[i]
+        lengths, last = backlog_view()
+        choice = router.decide_one(
+            state, lengths, last, t, ctx, alive=breaker.routing_mask(t)
+        )
+        while not alive[choice]:
+            breaker.record_failure(choice, t)
+            if k == failover.max_retries:
+                choice = DROPPED_ASSIGNMENT
+                break
+            if not budget.take(t):
+                choice = SHED_ASSIGNMENT
+                reason = SHED_BUDGET
+                break
+            k += 1
+            t = t + _backoff_delay(k, failover)
+            if t > deadline:
+                choice = SHED_ASSIGNMENT
+                reason = SHED_DEADLINE
+                break
+            tracker.settle(t)
+            alive = faults.alive_mask(t)
+            if failover.policy == "resubmit":
+                lengths, last = backlog_view()
+                choice = router.decide_one(
+                    state, lengths, last, t, ctx,
+                    alive=breaker.routing_mask(t),
+                )
+            elif alive.any():
+                lengths, last = backlog_view()
+                choice = router.decide_one(
+                    state, lengths, last, t, ctx,
+                    alive=_routable(alive, breaker.routing_mask(t)),
+                )
+            # whole fleet down under next_best: hold the choice, back off
+        if choice >= 0:
+            demand = float(ctx.demands[i]) * faults.severity_at(choice, t)
+            start = max(t, float(tracker.last_completion[choice]))
+            done = start + demand
+            if done > deadline:
+                choice = SHED_ASSIGNMENT
+                reason = SHED_DEADLINE
+            else:
+                tracker.assign(choice, t, demand)
+                completions[i] = done
+                effective_demands[i] = demand
+                breaker.record_outcome(choice, t, start - t)
+        assignments[i] = choice
+        dispatch_times[i] = t
+        retries[i] = k
+        shed_reasons[i] = reason
+    return OverloadOutcome(
+        arrivals=ctx.arrivals,
+        assignments=assignments,
+        dispatch_times=dispatch_times,
+        retries=retries,
+        shed_reasons=shed_reasons,
+        deadlines=deadlines,
+        completions=completions,
+        effective_demands=effective_demands,
+        n_breaker_trips=breaker.trips,
+    )
+
+
+def route_with_overload_step(
+    router: Router,
+    ctx: RouteContext,
+    faults: FaultSchedule,
+    config: OverloadConfig = OverloadConfig(),
+) -> OverloadOutcome:
+    """Epoch-advance overload-aware routing (the vectorized fast path).
+
+    Same semantics as :func:`route_with_overload`, same mechanics split
+    as the failover pair: dense backlog arrays settled through one
+    shared completion heap, arrival-instant masks from one whole-trace
+    :meth:`~repro.workload.FaultSchedule.down_mask` sweep, exact
+    :meth:`~repro.workload.FaultSchedule.alive_mask` point queries for
+    retry probes.  Breaker and retry-budget state live in the *same*
+    classes the scalar loop uses (:class:`_BreakerFleet`,
+    :class:`_RetryBudget`) and observe the same event sequence, so the
+    outcome — assignments, dispatch times, retries, shed mask and
+    reasons, booked completions, trip count — is bit-identical to the
+    scalar reference (pinned in tests/test_fleet_overload.py and
+    asserted in-bench).
+    """
+    if faults.n_devices != ctx.n_devices:
+        raise ValueError(
+            f"fault schedule covers {faults.n_devices} devices, "
+            f"context has {ctx.n_devices}"
+        )
+    failover = config.failover
+    n = int(ctx.arrivals.size)
+    backlog = _DenseBacklog(ctx.n_devices)
+    queue_len = backlog.queue_len
+    last_completion = backlog.last_completion
+    settle = backlog.settle
+    assign = backlog.assign
+    state = router.begin_route(ctx)
+    breaker = _BreakerFleet(ctx.n_devices, config.breaker)
+    budget = _RetryBudget(config.retry_budget)
+    assignments = np.empty(n, dtype=np.int64)
+    dispatch_times = np.empty(n)
+    retries = np.zeros(n, dtype=np.int64)
+    shed_reasons = np.zeros(n, dtype=np.int8)
+    deadlines = (
+        np.full(n, math.inf)
+        if config.slo is None
+        else ctx.arrivals + float(config.slo)
+    )
+    completions = np.full(n, math.nan)
+    effective_demands = np.array(ctx.demands, dtype=np.float64, copy=True)
+    alive_rows = ~faults.down_mask(ctx.arrivals)
+
+    arrivals = ctx.arrivals.tolist()
+    demands = ctx.demands.tolist()
+    deadline_list = deadlines.tolist()
+    decide = router.decide_one
+    severity_at = faults.severity_at
+    for i in range(n):
+        now = arrivals[i]
+        t = now
+        k = 0
+        deadline = deadline_list[i]
+        reason = SHED_NONE
+        settle(t)
+        alive = alive_rows[i]
+        choice = decide(
+            state, queue_len, last_completion, t, ctx,
+            alive=breaker.routing_mask(t),
+        )
+        while not alive[choice]:
+            breaker.record_failure(choice, t)
+            if k == failover.max_retries:
+                choice = DROPPED_ASSIGNMENT
+                break
+            if not budget.take(t):
+                choice = SHED_ASSIGNMENT
+                reason = SHED_BUDGET
+                break
+            k += 1
+            t = t + _backoff_delay(k, failover)
+            if t > deadline:
+                choice = SHED_ASSIGNMENT
+                reason = SHED_DEADLINE
+                break
+            settle(t)
+            alive = faults.alive_mask(t)
+            if failover.policy == "resubmit":
+                choice = decide(
+                    state, queue_len, last_completion, t, ctx,
+                    alive=breaker.routing_mask(t),
+                )
+            elif alive.any():
+                choice = decide(
+                    state, queue_len, last_completion, t, ctx,
+                    alive=_routable(alive, breaker.routing_mask(t)),
+                )
+            # whole fleet down under next_best: hold the choice, back off
+        if choice >= 0:
+            demand = demands[i] * severity_at(choice, t)
+            start = max(t, float(last_completion[choice]))
+            done = start + demand
+            if done > deadline:
+                choice = SHED_ASSIGNMENT
+                reason = SHED_DEADLINE
+            else:
+                assign(choice, t, demand)
+                completions[i] = done
+                effective_demands[i] = demand
+                breaker.record_outcome(choice, t, start - t)
+        assignments[i] = choice
+        dispatch_times[i] = t
+        retries[i] = k
+        shed_reasons[i] = reason
+    return OverloadOutcome(
+        arrivals=ctx.arrivals,
+        assignments=assignments,
+        dispatch_times=dispatch_times,
+        retries=retries,
+        shed_reasons=shed_reasons,
+        deadlines=deadlines,
+        completions=completions,
+        effective_demands=effective_demands,
+        n_breaker_trips=breaker.trips,
     )
 
 
@@ -888,21 +1508,72 @@ class Dispatcher:
         ctx = self._context(trace)
         engine = route_with_failover_step if vectorized else route_with_failover
         outcome = engine(self.router, ctx, schedule, failover)
-        duration = float(trace.duration)
+        return (
+            self._split_outcome(outcome, ctx.demands, trace.duration),
+            outcome,
+        )
+
+    def dispatch_with_overload(
+        self,
+        trace: Trace,
+        faults,
+        overload: OverloadConfig = OverloadConfig(),
+        vectorized: bool = True,
+        fault_seed: Optional[int] = None,
+    ) -> Tuple[List[Trace], OverloadOutcome]:
+        """Route under overload protection and split into sub-traces.
+
+        The overload twin of :meth:`dispatch_with_faults`: breakers,
+        retry budget, deadline shedding, and brownout-inflated demands
+        per ``overload``.  ``faults`` may also be None — an always-up
+        schedule, so pure admission control can run without fault
+        injection.  Dropped *and shed* requests appear in the returned
+        :class:`OverloadOutcome` but in no sub-trace; landed requests
+        enter their device's stream at their delayed dispatch instant
+        with their brownout-inflated demand.
+        """
+        schedule = resolve_fault_schedule(
+            faults,
+            self.n_devices,
+            trace.duration,
+            seed=self.seed if fault_seed is None else int(fault_seed),
+        )
+        if schedule is None:
+            schedule = no_faults(self.n_devices, trace.duration)
+        ctx = self._context(trace)
+        engine = route_with_overload_step if vectorized else route_with_overload
+        outcome = engine(self.router, ctx, schedule, overload)
+        return (
+            self._split_outcome(
+                outcome, outcome.effective_demands, trace.duration
+            ),
+            outcome,
+        )
+
+    def _split_outcome(
+        self, outcome, demands: np.ndarray, duration: float
+    ) -> List[Trace]:
+        """Per-device sub-traces from a routing outcome: landed requests
+        at their delayed dispatch instants (stable-sorted — a retried
+        request can dispatch after a later arrival), shared window
+        stretched to the latest landing."""
+        duration = float(duration)
         landed = outcome.landed
         if landed.any():
-            duration = max(duration, float(outcome.dispatch_times[landed].max()))
+            duration = max(
+                duration, float(outcome.dispatch_times[landed].max())
+            )
         subs: List[Trace] = []
         for d in range(self.n_devices):
             mask = outcome.assignments == d
             times = outcome.dispatch_times[mask]
-            demands = ctx.demands[mask]
+            sub_demands = demands[mask]
             order = np.argsort(times, kind="stable")
             subs.append(
                 Trace(
                     times[order],
                     duration=duration,
-                    service_demands=demands[order],
+                    service_demands=sub_demands[order],
                 )
             )
-        return subs, outcome
+        return subs

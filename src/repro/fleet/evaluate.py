@@ -39,11 +39,18 @@ from ..sim.policy_api import EventPolicy
 from ..sim.simulator import DPMSimulator
 from ..workload.faults import resolve_fault_schedule
 from ..workload.trace import Trace
-from .dispatch import Dispatcher, FailoverConfig, Router
+from .dispatch import Dispatcher, FailoverConfig, OverloadConfig, Router
 from .report import FleetReport, build_fleet_report
 
 #: engines accepted by :func:`run_fleet`
 ENGINES = ("auto", "flat", "scalar")
+
+
+def _landed_fraction(outcome) -> float:
+    """Fraction of offered requests that landed (1.0 for an empty
+    trace) — the deadline-free goodput of a failover outcome."""
+    n = int(outcome.arrivals.size)
+    return float(outcome.landed.sum()) / n if n else 1.0
 
 
 def run_fleet(
@@ -60,6 +67,7 @@ def run_fleet(
     faults=None,
     failover: Optional[FailoverConfig] = None,
     fault_seed: Optional[int] = None,
+    overload: Optional[OverloadConfig] = None,
 ) -> FleetReport:
     """Simulate ``n_devices`` replicas of ``device`` sharing ``trace``.
 
@@ -78,6 +86,16 @@ def run_fleet(
     (default :class:`~repro.fleet.dispatch.FailoverConfig`), and the
     report carries availability/retry/drop/inflation metrics.
 
+    ``overload`` switches dispatch to the overload-aware engines
+    (circuit breakers, fleet-wide retry budget, deadline shedding,
+    brownout-inflated demands); give the failover shape inside
+    :class:`~repro.fleet.dispatch.OverloadConfig` then, not via
+    ``failover``.  A schedule with brownout (finite-severity) intervals
+    upgrades to the overload engines automatically — the plain failover
+    path has no notion of a slow-but-alive device.  The report then
+    additionally carries shed counts, goodput, SLO attainment, and
+    breaker trips.
+
     The fleet quantiles always merge the exact per-device completion
     streams; ``keep_latencies=False`` drops the raw arrays from the
     retained per-device reports *after* that merge (the fleet sweep
@@ -85,6 +103,11 @@ def run_fleet(
     """
     if engine not in ENGINES:
         raise ValueError(f"engine must be one of {ENGINES}, got {engine!r}")
+    if overload is not None and failover is not None:
+        raise ValueError(
+            "give the failover shape inside OverloadConfig "
+            "(overload.failover), not via the failover argument too"
+        )
     if engine == "flat":
         return run_fleet_batch(
             device, policy, [trace], router, n_devices,
@@ -92,34 +115,63 @@ def run_fleet(
             route_seeds=[route_seed], keep_latencies=keep_latencies,
             faults=faults, failover=failover,
             fault_seeds=None if fault_seed is None else [fault_seed],
+            overload=overload,
         )[0]
     dispatcher = Dispatcher(
         router, n_devices, device, service_time=service_time, seed=route_seed,
     )
-    fault_kwargs = {}
+    fault_kwargs = {"n_offered": int(trace.arrival_times.size)}
     with TELEMETRY.span("route", cat="fleet", engine=engine,
                         n_devices=n_devices):
-        if faults is None:
-            sub_traces = dispatcher.dispatch(
-                trace, vectorized=engine == "auto"
-            )
-        else:
+        schedule = None
+        if faults is not None:
             schedule = resolve_fault_schedule(
                 faults, n_devices, trace.duration,
                 seed=route_seed if fault_seed is None else int(fault_seed),
             )
+        if overload is not None or (
+            schedule is not None and schedule.has_brownouts
+        ):
+            cfg = overload if overload is not None else OverloadConfig(
+                failover=failover if failover is not None
+                else FailoverConfig()
+            )
+            sub_traces, outcome = dispatcher.dispatch_with_overload(
+                trace, schedule, overload=cfg,
+                vectorized=engine == "auto",
+            )
+            fault_kwargs.update(
+                availability=1.0 if schedule is None
+                else float(schedule.availability().mean()),
+                n_retries=outcome.n_retries,
+                n_dropped=outcome.n_dropped,
+                failover_latency_inflation=outcome.latency_inflation,
+                n_shed=outcome.n_shed,
+                n_budget_shed=outcome.n_budget_shed,
+                goodput=outcome.goodput,
+                slo_attainment=outcome.slo_attainment,
+                n_breaker_trips=outcome.n_breaker_trips,
+            )
+        elif schedule is None:
+            sub_traces = dispatcher.dispatch(
+                trace, vectorized=engine == "auto"
+            )
+        else:
             sub_traces, outcome = dispatcher.dispatch_with_faults(
                 trace, schedule,
                 failover=failover if failover is not None
                 else FailoverConfig(),
                 vectorized=engine == "auto",
             )
-            fault_kwargs = {
-                "availability": float(schedule.availability().mean()),
-                "n_retries": outcome.n_retries,
-                "n_dropped": outcome.n_dropped,
-                "failover_latency_inflation": outcome.latency_inflation,
-            }
+            fault_kwargs.update(
+                availability=float(schedule.availability().mean()),
+                n_retries=outcome.n_retries,
+                n_dropped=outcome.n_dropped,
+                failover_latency_inflation=outcome.latency_inflation,
+                # no deadlines: every landed request is good, so
+                # goodput is exactly the dispatched fraction
+                goodput=_landed_fraction(outcome),
+            )
     with TELEMETRY.span("kernel", cat="fleet", engine=engine,
                         n_traces=len(sub_traces)):
         if engine == "auto":
@@ -157,6 +209,7 @@ def run_fleet_batch(
     faults=None,
     failover: Optional[FailoverConfig] = None,
     fault_seeds: Optional[Sequence[int]] = None,
+    overload: Optional[OverloadConfig] = None,
 ) -> List[FleetReport]:
     """R seeded fleet runs of one cell as a single flattened kernel call.
 
@@ -179,7 +232,15 @@ def run_fleet_batch(
     each flattened sub-trace carries its failover-delayed dispatch
     instants — per-seed reports remain pure functions of their own
     ``(trace, route_seed, fault_seed)``, preserving chunking-invariance.
+    ``overload`` (or a brownout-bearing schedule) routes each trace
+    through the overload-aware dispatch engines, exactly as in
+    :func:`run_fleet`.
     """
+    if overload is not None and failover is not None:
+        raise ValueError(
+            "give the failover shape inside OverloadConfig "
+            "(overload.failover), not via the failover argument too"
+        )
     traces = list(traces)
     if not traces:
         return []
@@ -210,13 +271,40 @@ def run_fleet_batch(
                 service_time=service_time, seed=seed,
             )
             router_name = dispatcher.router.name
-            if faults is None:
-                sub_traces.extend(dispatcher.dispatch(trace))
-                fault_kwargs.append({})
-            else:
+            n_offered = int(trace.arrival_times.size)
+            schedule = None
+            if faults is not None:
                 schedule = resolve_fault_schedule(
                     faults, n_devices, trace.duration, seed=fseed,
                 )
+            if overload is not None or (
+                schedule is not None and schedule.has_brownouts
+            ):
+                cfg = overload if overload is not None else OverloadConfig(
+                    failover=failover if failover is not None
+                    else FailoverConfig()
+                )
+                subs, outcome = dispatcher.dispatch_with_overload(
+                    trace, schedule, overload=cfg,
+                )
+                sub_traces.extend(subs)
+                fault_kwargs.append({
+                    "availability": 1.0 if schedule is None
+                    else float(schedule.availability().mean()),
+                    "n_retries": outcome.n_retries,
+                    "n_dropped": outcome.n_dropped,
+                    "failover_latency_inflation": outcome.latency_inflation,
+                    "n_shed": outcome.n_shed,
+                    "n_budget_shed": outcome.n_budget_shed,
+                    "goodput": outcome.goodput,
+                    "slo_attainment": outcome.slo_attainment,
+                    "n_breaker_trips": outcome.n_breaker_trips,
+                    "n_offered": n_offered,
+                })
+            elif schedule is None:
+                sub_traces.extend(dispatcher.dispatch(trace))
+                fault_kwargs.append({"n_offered": n_offered})
+            else:
                 subs, outcome = dispatcher.dispatch_with_faults(
                     trace, schedule,
                     failover=failover if failover is not None
@@ -228,6 +316,8 @@ def run_fleet_batch(
                     "n_retries": outcome.n_retries,
                     "n_dropped": outcome.n_dropped,
                     "failover_latency_inflation": outcome.latency_inflation,
+                    "goodput": _landed_fraction(outcome),
+                    "n_offered": n_offered,
                 })
     with TELEMETRY.span("kernel", cat="fleet", engine="flat",
                         n_traces=len(sub_traces)):
@@ -242,6 +332,7 @@ def run_fleet_batch(
                 service_time=service_time, oracle=oracle, route_seed=seed,
                 engine="auto", keep_latencies=keep_latencies,
                 faults=faults, failover=failover, fault_seed=fseed,
+                overload=overload,
             )
             for trace, seed, fseed in zip(traces, route_seeds, fault_seeds)
         ]

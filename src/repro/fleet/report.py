@@ -52,6 +52,21 @@ class FleetReport:
     n_dropped: int = 0
     #: mean added dispatch delay (seconds) over requests that landed
     failover_latency_inflation: float = 0.0
+    #: requests proactively shed by admission control (deadline missed
+    #: or retry budget exhausted); disjoint from ``n_dropped``
+    n_shed: int = 0
+    #: the subset of ``n_shed`` shed by retry-budget exhaustion
+    n_budget_shed: int = 0
+    #: fraction of *offered* requests served within their deadline
+    #: (== throughput when deadlines are disabled; always <= it)
+    goodput: float = 1.0
+    #: fraction of *landed* requests that made their deadline
+    slo_attainment: float = 1.0
+    #: circuit-breaker trips (closed/half-open -> open) over the run
+    n_breaker_trips: int = 0
+    #: requests offered to the dispatcher (0 for legacy reports built
+    #: without the offered count; then conservation is unchecked)
+    n_offered: int = 0
     #: the per-device reports the aggregate was folded from
     device_reports: Tuple[SimReport, ...] = field(default=(), repr=False)
 
@@ -73,6 +88,12 @@ def build_fleet_report(
     n_retries: int = 0,
     n_dropped: int = 0,
     failover_latency_inflation: float = 0.0,
+    n_shed: int = 0,
+    n_budget_shed: int = 0,
+    goodput: float = 1.0,
+    slo_attainment: float = 1.0,
+    n_breaker_trips: int = 0,
+    n_offered: int = 0,
 ) -> FleetReport:
     """Fold per-device reports into the fleet aggregate.
 
@@ -84,8 +105,12 @@ def build_fleet_report(
     ship the aggregate back without R x n_requests floats in the pickle.
     The fault-injection fields (``availability`` and the failover
     counters) come from the dispatcher's
-    :class:`~repro.fleet.dispatch.FailoverOutcome`; their defaults
-    describe a fault-free run.
+    :class:`~repro.fleet.dispatch.FailoverOutcome`, the overload fields
+    (shed counts, goodput, SLO attainment, breaker trips) from an
+    :class:`~repro.fleet.dispatch.OverloadOutcome`; their defaults
+    describe a fault-free, shed-free run.  ``n_offered`` is the number
+    of requests the dispatcher was offered; when > 0 the runtime
+    verifier enforces ``n_requests + n_dropped + n_shed == n_offered``.
     """
     if not reports:
         raise ValueError("need at least one device report")
@@ -129,5 +154,11 @@ def build_fleet_report(
         n_retries=int(n_retries),
         n_dropped=int(n_dropped),
         failover_latency_inflation=float(failover_latency_inflation),
+        n_shed=int(n_shed),
+        n_budget_shed=int(n_budget_shed),
+        goodput=float(goodput),
+        slo_attainment=float(slo_attainment),
+        n_breaker_trips=int(n_breaker_trips),
+        n_offered=int(n_offered),
         device_reports=tuple(reports),
     )

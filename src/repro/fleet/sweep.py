@@ -14,6 +14,7 @@ identical for every ``(chunk_size, n_jobs)`` combination.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Type
 
@@ -33,7 +34,13 @@ from ..runtime.verify import (
     write_diagnostics_bundle,
 )
 from ..workload.faults import FaultProcess, FaultSchedule
-from .dispatch import ROUTERS, FailoverConfig, Router, make_router
+from .dispatch import (
+    ROUTERS,
+    FailoverConfig,
+    OverloadConfig,
+    Router,
+    make_router,
+)
 from .evaluate import run_fleet, run_fleet_batch
 from .report import FleetReport
 
@@ -103,6 +110,21 @@ class FleetSweepSpec:
     faults: Any = None
     #: failover behaviour when routing under faults
     failover: FailoverConfig = FailoverConfig()
+    #: optional overload protection (circuit breakers, retry budget,
+    #: deadline shedding); also engaged automatically when ``faults``
+    #: carries brownout (finite-severity) intervals
+    overload: Optional[OverloadConfig] = None
+
+    @property
+    def uses_overload(self) -> bool:
+        """True when cells route through the overload-aware engines."""
+        if self.overload is not None:
+            return True
+        if isinstance(self.faults, FaultProcess):
+            return math.isfinite(self.faults.severity)
+        if isinstance(self.faults, FaultSchedule):
+            return self.faults.has_brownouts
+        return False
 
     def __post_init__(self) -> None:
         if not (self.fleet_sizes and self.routers and self.policies):
@@ -124,6 +146,18 @@ class FleetSweepSpec:
             raise ValueError(
                 f"failover must be a FailoverConfig, got {self.failover!r}"
             )
+        if self.overload is not None:
+            if not isinstance(self.overload, OverloadConfig):
+                raise ValueError(
+                    f"overload must be an OverloadConfig or None, "
+                    f"got {self.overload!r}"
+                )
+            if self.failover != self.overload.failover:
+                raise ValueError(
+                    "with overload given, the failover shape lives in "
+                    "overload.failover; leave the spec's failover at its "
+                    "default or set both to the same config"
+                )
         self._validate_faults()
 
     def _validate_faults(self) -> None:
@@ -233,6 +267,9 @@ class FleetSweepResult:
         faulty = self.spec.faults is not None
         if faulty:
             headers += ["avail", "retries", "dropped"]
+        overloaded = self.spec.uses_overload
+        if overloaded:
+            headers += ["shed", "goodput"]
         rows = []
         for c in self.cells:
             power = c.power_ci()
@@ -254,6 +291,13 @@ class FleetSweepResult:
                     round(float(np.mean(
                         [r.n_dropped for r in c.reports])), 1),
                 ]
+            if overloaded:
+                row += [
+                    round(float(np.mean(
+                        [r.n_shed for r in c.reports])), 1),
+                    round(float(np.mean(
+                        [r.goodput for r in c.reports])), 4),
+                ]
             rows.append(row)
         return format_table(
             headers, rows,
@@ -273,6 +317,7 @@ def run_fleet_chunk(
     seeds: Sequence[int],
     faults: Any = None,
     failover: FailoverConfig = FailoverConfig(),
+    overload: Optional[OverloadConfig] = None,
 ) -> List[FleetReport]:
     """One (cell, seed-chunk) work unit — module-level and built from
     picklable values only, so the executor can ship it to a worker.
@@ -301,8 +346,10 @@ def run_fleet_chunk(
             service_time=service_time, oracle=policy_spec.oracle,
             route_seeds=[seed + ROUTE_SEED_OFFSET for seed in seeds],
             keep_latencies=False,
-            faults=faults, failover=failover,
+            faults=faults,
+            failover=None if overload is not None else failover,
             fault_seeds=[seed + FAULT_SEED_OFFSET for seed in seeds],
+            overload=overload,
         )
 
 
@@ -316,6 +363,7 @@ def reference_fleet_chunk(
     seeds: Sequence[int],
     faults: Any = None,
     failover: FailoverConfig = FailoverConfig(),
+    overload: Optional[OverloadConfig] = None,
 ) -> List[FleetReport]:
     """Scalar reference path for one :func:`run_fleet_chunk` work unit.
 
@@ -332,8 +380,10 @@ def reference_fleet_chunk(
             make_router(router_name), n_devices,
             service_time=service_time, oracle=policy_spec.oracle,
             route_seed=seed + ROUTE_SEED_OFFSET, engine="scalar",
-            keep_latencies=False, faults=faults, failover=failover,
+            keep_latencies=False, faults=faults,
+            failover=None if overload is not None else failover,
             fault_seed=seed + FAULT_SEED_OFFSET,
+            overload=overload,
         )
         for seed in seeds
     ]
@@ -416,10 +466,11 @@ class FleetSweepRunner:
         per_request_rates = [
             route_seconds_per_request(ROUTERS[name]) for name in spec.routers
         ]
-        if spec.faults is not None:
-            # failure-aware routing runs every router through the
-            # epoch-advance engine — closed-form routers lose their
-            # free path and pay at least the per-arrival Python round
+        if spec.faults is not None or spec.overload is not None:
+            # failure- and overload-aware routing run every router
+            # through the epoch-advance engine — closed-form routers
+            # lose their free path and pay at least the per-arrival
+            # Python round
             per_request_rates = [
                 max(rate, STEP_ROUTE_SECONDS_PER_REQUEST)
                 for rate in per_request_rates
@@ -460,7 +511,7 @@ class FleetSweepRunner:
                         tasks.append(
                             (spec.device, int(n_devices), router_name,
                              policy_spec, spec.trace, spec.service_time, chunk,
-                             spec.faults, spec.failover)
+                             spec.faults, spec.failover, spec.overload)
                         )
         est = self.estimate_chunk_seconds(spec)
         n_jobs, decision = resolve_n_jobs(self.n_jobs, est, len(tasks))
@@ -522,6 +573,10 @@ class FleetSweepRunner:
                                   int(report.n_dropped))
                     TELEMETRY.inc("fleet.requests_retried",
                                   int(report.n_retries))
+                    TELEMETRY.inc("fleet.requests_shed",
+                                  int(report.n_shed))
+                    TELEMETRY.inc("breaker.trips",
+                                  int(report.n_breaker_trips))
                     check_fleet_report(
                         report, spec_key=spec_key, seed=seed,
                         context={"chunk": t, "n_devices": int(n_devices),

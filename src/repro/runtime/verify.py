@@ -396,11 +396,13 @@ def check_fleet_report(
 
     Fleet-level conservation laws on top of the per-report numeric
     guards: request accounting (``n_requests ==
-    sum(requests_per_device)``; with ``expected_requests`` given, the
-    availability/queue conservation law ``dispatched + dropped ==
-    requests``), energy summing over the retained device reports,
+    sum(requests_per_device)``; the overload conservation law
+    ``dispatched + dropped + shed == offered requests`` whenever the
+    offered count is known — ``expected_requests`` or the report's own
+    ``n_offered``), energy summing over the retained device reports,
     residency summing over devices, fleet duration covering every
-    device, availability in ``[0, 1]``, and ``load_imbalance >= 1``.
+    device, availability / goodput / SLO attainment in ``[0, 1]``,
+    goodput never above throughput, and ``load_imbalance >= 1``.
 
     Raises :class:`InvariantViolation` with field-level evidence.
     """
@@ -412,10 +414,15 @@ def check_fleet_report(
                  "energy_saving_ratio", "failover_latency_inflation"):
         p.finite(name, float(getattr(report, name)))
     for name in ("n_devices", "n_requests", "n_shutdowns",
-                 "n_wrong_shutdowns", "n_retries", "n_dropped"):
+                 "n_wrong_shutdowns", "n_retries", "n_dropped",
+                 "n_shed", "n_budget_shed", "n_breaker_trips",
+                 "n_offered"):
         p.int_in_range(name, getattr(report, name))
     if int(report.n_devices) < 1:
         p.add("n_devices", ">= 1", int(report.n_devices))
+    if int(report.n_budget_shed) > int(report.n_shed):
+        p.add("n_budget_shed <= n_shed", int(report.n_shed),
+              int(report.n_budget_shed))
 
     _check_tail_fields(p, report)
 
@@ -423,6 +430,11 @@ def check_fleet_report(
     if p.finite("availability", availability):
         if not -INVARIANT_ATOL <= availability <= 1.0 + INVARIANT_ATOL:
             p.add("availability", "in [0, 1]", availability)
+    for name in ("goodput", "slo_attainment"):
+        value = float(getattr(report, name))
+        if p.finite(name, value):
+            if not -INVARIANT_ATOL <= value <= 1.0 + INVARIANT_ATOL:
+                p.add(name, "in [0, 1]", value)
 
     counts = tuple(int(c) for c in report.requests_per_device)
     if len(counts) != int(report.n_devices):
@@ -434,11 +446,26 @@ def check_fleet_report(
     if dispatched != int(report.n_requests):
         p.add("n_requests == sum(requests_per_device)", dispatched,
               int(report.n_requests))
-    if expected_requests is not None:
-        landed_plus_dropped = int(report.n_requests) + int(report.n_dropped)
-        if landed_plus_dropped != int(expected_requests):
-            p.add("n_requests + n_dropped == trace requests",
-                  int(expected_requests), landed_plus_dropped)
+    offered = (
+        int(expected_requests) if expected_requests is not None
+        else int(report.n_offered)
+    )
+    if offered > 0 or expected_requests is not None:
+        accounted = (
+            int(report.n_requests) + int(report.n_dropped)
+            + int(report.n_shed)
+        )
+        if accounted != offered:
+            p.add("n_requests + n_dropped + n_shed == offered requests",
+                  offered, accounted)
+        # goodput counts deadline-met landed requests out of the offered
+        # load, so it can never exceed the dispatched fraction
+        if offered > 0:
+            throughput = int(report.n_requests) / offered
+            if float(report.goodput) > throughput + INVARIANT_ATOL \
+                    + INVARIANT_RTOL * throughput:
+                p.add("goodput <= throughput (n_requests / offered)",
+                      throughput, float(report.goodput))
 
     imbalance = float(report.load_imbalance)
     if p.finite("load_imbalance", imbalance):

@@ -15,18 +15,31 @@ failover load.  This module supplies the fault model:
 - :class:`FaultSchedule` — the *realization*: per-device sorted,
   non-overlapping down intervals ``[start, end)`` over a horizon, with
   point queries (:meth:`FaultSchedule.is_down`), whole-fleet masks
-  (:meth:`FaultSchedule.alive_mask`), and a merged transition stream
-  (:meth:`FaultSchedule.transitions`) that the vectorized failure-aware
-  routing engine advances incrementally.
+  (:meth:`FaultSchedule.alive_mask` for one instant,
+  :meth:`FaultSchedule.down_mask` for a whole time array), and a merged
+  transition stream (:meth:`FaultSchedule.transitions`) that the
+  vectorized failure-aware routing engine advances incrementally.
 
 Interval convention: a device is **down** on ``[start, end)`` — down at
 the instant it fails, up again at the instant repair completes.  Every
 query helper follows the same convention, so the scalar and vectorized
 routing engines observe bit-identical masks.
+
+Severity: each interval optionally carries a *severity*, a
+service-demand multiplier ``>= 1.0``.  ``math.inf`` (the default) is a
+fail-stop outage — the device cannot serve at all, exactly the pre-existing
+semantics.  A finite severity is a **brownout**: the device stays alive
+(``is_down`` is False) but every request dispatched to it during the
+interval costs ``severity ×`` its nominal service demand — thermal
+throttling or contention rather than a crash.  Fail-stop queries
+(``is_down`` / ``alive_mask`` / ``down_mask`` / ``transitions``) see
+only infinite-severity intervals; :meth:`FaultSchedule.severity_at`
+exposes the demand multiplier (1.0 outside any interval).
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
@@ -39,9 +52,12 @@ class FaultSchedule:
     Parameters
     ----------
     down_intervals:
-        One sequence of ``(start, end)`` pairs per device; each device's
-        intervals must be sorted, non-overlapping, and lie within
-        ``[0, horizon]`` with ``start < end``.
+        One sequence per device of ``(start, end)`` pairs or
+        ``(start, end, severity)`` triples; each device's intervals must
+        be sorted, non-overlapping, and lie within ``[0, horizon]`` with
+        ``start < end``.  Severity is a service-demand multiplier
+        ``>= 1.0``; omitted or ``math.inf`` means fail-stop, a finite
+        value is a brownout (device alive but slowed).
     horizon:
         Observation-window length (> 0); availability is measured
         against it.
@@ -49,7 +65,7 @@ class FaultSchedule:
 
     def __init__(
         self,
-        down_intervals: Sequence[Sequence[Tuple[float, float]]],
+        down_intervals: Sequence[Sequence[Tuple[float, ...]]],
         horizon: float,
     ) -> None:
         if horizon <= 0:
@@ -57,10 +73,26 @@ class FaultSchedule:
         self.horizon = float(horizon)
         self._starts: List[np.ndarray] = []
         self._ends: List[np.ndarray] = []
+        self._sevs: List[np.ndarray] = []
         for d, intervals in enumerate(down_intervals):
-            pairs = [(float(s), float(e)) for s, e in intervals]
+            pairs = []
+            sevs = []
+            for entry in intervals:
+                if len(entry) == 3:
+                    s, e, sev = entry
+                elif len(entry) == 2:
+                    s, e = entry
+                    sev = math.inf
+                else:
+                    raise ValueError(
+                        f"device {d}: intervals must be (start, end) or "
+                        f"(start, end, severity), got {tuple(entry)!r}"
+                    )
+                pairs.append((float(s), float(e)))
+                sevs.append(float(sev))
             starts = np.array([s for s, _ in pairs])
             ends = np.array([e for _, e in pairs])
+            sev_arr = np.array(sevs)
             if np.any(starts < 0) or np.any(ends > self.horizon):
                 raise ValueError(
                     f"device {d}: down intervals must lie in [0, {horizon}]"
@@ -73,8 +105,15 @@ class FaultSchedule:
                 raise ValueError(
                     f"device {d}: intervals must be sorted and disjoint"
                 )
+            if np.any(np.isnan(sev_arr)) or np.any(sev_arr < 1.0):
+                raise ValueError(
+                    f"device {d}: severities are service-demand "
+                    f"multipliers and must be >= 1.0 (inf = fail-stop), "
+                    f"got {sevs}"
+                )
             self._starts.append(starts)
             self._ends.append(ends)
+            self._sevs.append(sev_arr)
         if not self._starts:
             raise ValueError("need at least one device")
 
@@ -87,10 +126,26 @@ class FaultSchedule:
     # ------------------------------------------------------------------ #
 
     def is_down(self, device: int, t: float) -> bool:
-        """True when ``device`` is down at instant ``t`` (``[start, end)``)."""
+        """True when ``device`` is fail-stop down at instant ``t``
+        (``[start, end)``).  Brownout (finite-severity) intervals leave
+        the device alive and are invisible here."""
         starts = self._starts[device]
         i = int(np.searchsorted(starts, t, side="right")) - 1
-        return i >= 0 and t < float(self._ends[device][i])
+        return (
+            i >= 0
+            and t < float(self._ends[device][i])
+            and math.isinf(float(self._sevs[device][i]))
+        )
+
+    def severity_at(self, device: int, t: float) -> float:
+        """Service-demand multiplier for ``device`` at instant ``t``:
+        1.0 outside any interval, the interval's severity inside
+        (``math.inf`` for fail-stop outages)."""
+        starts = self._starts[device]
+        i = int(np.searchsorted(starts, t, side="right")) - 1
+        if i >= 0 and t < float(self._ends[device][i]):
+            return float(self._sevs[device][i])
+        return 1.0
 
     def alive_mask(self, t: float) -> np.ndarray:
         """Boolean ``(n_devices,)`` mask: True where the device is up at
@@ -100,30 +155,67 @@ class FaultSchedule:
             [not self.is_down(d, t) for d in range(self.n_devices)]
         )
 
+    def down_mask(self, times: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`is_down` over a time array: boolean
+        ``(T, n_devices)`` where ``[k, d]`` is True iff device ``d`` is
+        fail-stop down at ``times[k]``.  One searchsorted per device
+        instead of one Python interval lookup per (time, device) pair;
+        ``down_mask(t)[k] == ~alive_mask(times[k])`` bit for bit."""
+        times = np.asarray(times, dtype=np.float64)
+        out = np.zeros((times.size, self.n_devices), dtype=bool)
+        for d in range(self.n_devices):
+            starts = self._starts[d]
+            if starts.size == 0:
+                continue
+            idx = np.searchsorted(starts, times, side="right") - 1
+            inside = idx >= 0
+            safe = np.where(inside, idx, 0)
+            inside &= times < self._ends[d][safe]
+            inside &= np.isinf(self._sevs[d][safe])
+            out[:, d] = inside
+        return out
+
+    @property
+    def has_brownouts(self) -> bool:
+        """True when any interval carries a finite (brownout) severity."""
+        return any(np.any(np.isfinite(sev)) for sev in self._sevs)
+
     # ------------------------------------------------------------------ #
     # whole-schedule views
     # ------------------------------------------------------------------ #
 
     def intervals(self, device: int) -> List[Tuple[float, float]]:
-        """The device's down intervals as ``(start, end)`` pairs."""
+        """The device's intervals as ``(start, end)`` pairs (brownout
+        intervals included; see :meth:`interval_severities`)."""
         return list(
             zip(self._starts[device].tolist(), self._ends[device].tolist())
         )
 
-    def transitions(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
-        """Merged fault events: ``(times, devices, down_flags)``.
+    def interval_severities(self, device: int) -> List[float]:
+        """Severity of each interval, aligned with :meth:`intervals`."""
+        return self._sevs[device].tolist()
 
-        Sorted by time (stable, so same-instant events keep device
-        order); ``down_flags[k]`` is True for a failure, False for a
-        repair.  Applying every event with ``time <= t`` to an all-up
-        mask reproduces exactly ``~alive_mask(t)`` — the invariant the
-        vectorized routing engine's incremental mask relies on.
+    def transitions(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Merged fail-stop fault events: ``(times, devices, down_flags)``.
+
+        Sorted by time (stable); ``down_flags[k]`` is True for a
+        failure, False for a repair.  Repairs are emitted before
+        failures within each device, so exactly-adjacent intervals
+        (``end == next start``) replay to the *down* state at the shared
+        instant — intervals are half-open ``[start, end)``.  Applying
+        every event with ``time <= t`` to an all-up mask reproduces
+        exactly ``~alive_mask(t)``.  Brownout intervals do not take the
+        device down and are excluded.
         """
         times = []
         devices = []
         downs = []
         for d in range(self.n_devices):
-            for arr, flag in ((self._starts[d], True), (self._ends[d], False)):
+            stops = np.isinf(self._sevs[d])
+            for arr, flag in (
+                (self._ends[d][stops], False),
+                (self._starts[d][stops], True),
+            ):
                 times.append(arr)
                 devices.append(np.full(arr.size, d, dtype=np.int64))
                 downs.append(np.full(arr.size, flag, dtype=bool))
@@ -134,8 +226,20 @@ class FaultSchedule:
         return t[order], dev[order], dn[order]
 
     def down_time(self, device: int) -> float:
-        """Total seconds ``device`` spends down within the horizon."""
-        return float((self._ends[device] - self._starts[device]).sum())
+        """Total seconds ``device`` spends fail-stop down within the
+        horizon (brownout time is degraded, not down)."""
+        stops = np.isinf(self._sevs[device])
+        return float(
+            (self._ends[device][stops] - self._starts[device][stops]).sum()
+        )
+
+    def degraded_time(self, device: int) -> float:
+        """Total seconds ``device`` spends browned out (alive but with a
+        finite service-demand multiplier) within the horizon."""
+        slow = np.isfinite(self._sevs[device])
+        return float(
+            (self._ends[device][slow] - self._starts[device][slow]).sum()
+        )
 
     def availability(self) -> np.ndarray:
         """Per-device uptime fraction over the horizon."""
@@ -180,12 +284,19 @@ class FaultProcess:
         scenario.  Must be < 1: with the whole fleet down at t=0 there
         is no surviving device to fail over to (the sweep spec rejects
         it with a clear error rather than simulating a black hole).
+    severity:
+        Service-demand multiplier applied during fault intervals
+        (``>= 1.0``).  The default ``math.inf`` keeps today's fail-stop
+        semantics; a finite value turns every interval into a brownout
+        (device alive but ``severity ×`` slower).  A constant — no extra
+        RNG draws — so existing fail-stop schedules are bit-unchanged.
     """
 
     mtbf: float
     mttr: float
     deterministic: bool = False
     start_down: float = 0.0
+    severity: float = math.inf
 
     def __post_init__(self) -> None:
         if self.mtbf <= 0:
@@ -197,6 +308,11 @@ class FaultProcess:
                 f"start_down must lie in [0, 1) — a whole fleet down at "
                 f"t=0 has no surviving device to fail over to "
                 f"(got {self.start_down})"
+            )
+        if math.isnan(self.severity) or self.severity < 1.0:
+            raise ValueError(
+                f"severity is a service-demand multiplier and must be "
+                f">= 1.0 (inf = fail-stop), got {self.severity}"
             )
 
     def _durations(self, rng: np.random.Generator, mean: float) -> float:
@@ -214,21 +330,22 @@ class FaultProcess:
         if horizon <= 0:
             raise ValueError(f"horizon must be > 0, got {horizon}")
         n_start_down = int(np.floor(self.start_down * int(n_devices)))
-        intervals: List[List[Tuple[float, float]]] = []
+        sev = float(self.severity)
+        intervals: List[List[Tuple[float, float, float]]] = []
         for d in range(int(n_devices)):
             rng = np.random.default_rng([int(seed), d])
-            spans: List[Tuple[float, float]] = []
+            spans: List[Tuple[float, float, float]] = []
             t = 0.0
             if d < n_start_down:
                 down = self._durations(rng, self.mttr)
-                spans.append((0.0, min(down, horizon)))
+                spans.append((0.0, min(down, horizon), sev))
                 t = down
             while t < horizon:
                 t += self._durations(rng, self.mtbf)
                 if t >= horizon:
                     break
                 down = self._durations(rng, self.mttr)
-                spans.append((t, min(t + down, horizon)))
+                spans.append((t, min(t + down, horizon), sev))
                 t += down
             intervals.append(spans)
         return FaultSchedule(intervals, horizon)

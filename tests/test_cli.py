@@ -145,6 +145,56 @@ class TestDispatch:
         with pytest.raises(SystemExit):
             cli.main(["grid", "--checkpoint", "ck"])
 
+    def test_overload_flags_forwarded(self, monkeypatch):
+        seen = {}
+
+        def fake(quick, n_seeds=None, batch=None, jobs=None, devices=None,
+                 router=None, mtbf=None, mttr=None, max_retries=None,
+                 brownout_severity=None, slo=None, breaker=None,
+                 retry_budget=None, checkpoint=None):
+            seen.update(mtbf=mtbf, brownout_severity=brownout_severity,
+                        slo=slo, breaker=breaker, retry_budget=retry_budget)
+            return ""
+
+        monkeypatch.setitem(cli._COMMANDS, "fleet-sweep", fake)
+        cli.main(["fleet-sweep", "--mtbf", "120", "--brownout-severity",
+                  "2.5", "--slo", "30", "--breaker", "3",
+                  "--retry-budget", "16"])
+        assert seen == {"mtbf": 120.0, "brownout_severity": 2.5,
+                        "slo": 30.0, "breaker": 3, "retry_budget": 16.0}
+
+    def test_overload_flags_forwarded_independently(self, monkeypatch):
+        """--slo / --breaker / --retry-budget do not require --mtbf;
+        only flags the user passed reach the command."""
+        seen = {}
+
+        def fake(quick, **kwargs):
+            seen.update(kwargs)
+            return ""
+
+        monkeypatch.setitem(cli._COMMANDS, "fleet-sweep", fake)
+        cli.main(["fleet-sweep", "--slo", "10"])
+        assert seen == {"slo": 10.0}
+
+    def test_overload_flag_validation(self):
+        with pytest.raises(SystemExit):
+            cli.main(["fleet-sweep", "--brownout-severity", "2"])  # needs --mtbf
+        with pytest.raises(SystemExit):
+            cli.main(["fleet-sweep", "--mtbf", "100",
+                      "--brownout-severity", "0.5"])  # < 1
+        with pytest.raises(SystemExit):
+            cli.main(["fleet-sweep", "--slo", "0"])
+        with pytest.raises(SystemExit):
+            cli.main(["fleet-sweep", "--breaker", "0"])
+        with pytest.raises(SystemExit):
+            cli.main(["fleet-sweep", "--retry-budget", "-1"])
+        with pytest.raises(SystemExit):
+            cli.main(["fig1", "--slo", "5"])
+        with pytest.raises(SystemExit):
+            cli.main(["sim-sweep", "--breaker", "3"])
+        with pytest.raises(SystemExit):
+            cli.main(["grid", "--retry-budget", "8"])
+
     def test_fresh_run_truncates_stale_journal(self, monkeypatch, tmp_path):
         monkeypatch.setitem(
             cli._COMMANDS, "fleet-sweep", lambda quick, **kw: ""

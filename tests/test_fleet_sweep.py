@@ -510,6 +510,39 @@ class TestExperimentHarness:
         spec = build_fleet_sweep_spec(FleetConfig())
         assert spec.faults is None
         assert spec.failover == FailoverConfig()
+        assert spec.overload is None
+
+    def test_overload_config_realizes_overload_spec(self):
+        config = dataclasses.replace(
+            FleetConfig(), fleet_sizes=(2,), routers=("round_robin",),
+            duration=300.0, n_traces=2, mtbf=60.0, mttr=10.0,
+            max_retries=5, brownout_severity=2.5, slo=30.0, breaker=4,
+            retry_budget=16.0,
+        )
+        spec = build_fleet_sweep_spec(config)
+        assert spec.uses_overload
+        assert spec.faults.severity == 2.5
+        assert spec.overload.failover == spec.failover
+        assert spec.overload.failover.max_retries == 5
+        assert spec.overload.breaker.failure_threshold == 4
+        assert spec.overload.retry_budget.capacity == 16.0
+        assert spec.overload.slo == 30.0
+
+    def test_overload_knobs_independent_of_faults(self):
+        spec = build_fleet_sweep_spec(
+            dataclasses.replace(FleetConfig(), slo=20.0)
+        )
+        assert spec.faults is None
+        assert spec.overload is not None
+        assert spec.overload.slo == 20.0
+        assert spec.overload.breaker is None
+        assert spec.overload.retry_budget is None
+
+    def test_brownout_without_mtbf_fails_fast(self):
+        with pytest.raises(ValueError, match="requires mtbf"):
+            build_fleet_sweep_spec(
+                dataclasses.replace(FleetConfig(), brownout_severity=2.0)
+            )
 
     def test_checkpoint_config_resumes_without_recompute(self, tmp_path):
         ck = tmp_path / "fleet.ck"

@@ -204,6 +204,79 @@ class TestCheckFleetReport:
         with pytest.raises(InvariantViolation):
             check_fleet_report(bad)
 
+    def test_shed_conservation_must_balance(self):
+        """dispatched + dropped + shed == offered, enforced from the
+        report's own n_offered even without expected_requests."""
+        report, n_arrivals = _fleet_report()
+        assert report.n_offered == n_arrivals
+        check_fleet_report(report)
+        bad = dataclasses.replace(report, n_shed=3)
+        with pytest.raises(InvariantViolation) as err:
+            check_fleet_report(bad)
+        assert any("n_shed" in str(d["field"]) for d in err.value.details)
+
+    def test_shed_requests_count_toward_expected(self):
+        """A report that sheds is conserved against expected_requests:
+        shifting landed requests into n_shed keeps the balance only if
+        n_requests shrinks to match."""
+        report, n_arrivals = _fleet_report()
+        shifted = dataclasses.replace(
+            report, n_shed=4, n_requests=report.n_requests - 4)
+        # conservation holds, but now requests_per_device disagrees
+        with pytest.raises(InvariantViolation) as err:
+            check_fleet_report(shifted, expected_requests=n_arrivals)
+        assert all("n_shed" not in str(d["field"])
+                   for d in err.value.details)
+
+    def test_goodput_cannot_exceed_throughput(self):
+        report, n_arrivals = _fleet_report()
+        bad = dataclasses.replace(
+            report, n_requests=report.n_requests, goodput=1.5)
+        with pytest.raises(InvariantViolation):
+            check_fleet_report(bad)
+        # goodput above the dispatched fraction is a violation even in [0, 1]
+        dropped = dataclasses.replace(
+            report, n_requests=report.n_requests - 10, n_dropped=10,
+            goodput=1.0,
+            requests_per_device=report.requests_per_device,
+        )
+        with pytest.raises(InvariantViolation) as err:
+            check_fleet_report(dropped)
+        assert any("goodput" in str(d["field"]) for d in err.value.details)
+
+    def test_budget_shed_bounded_by_total_shed(self):
+        report, _ = _fleet_report()
+        bad = dataclasses.replace(
+            report, n_shed=1, n_budget_shed=2,
+            n_requests=report.n_requests - 1)
+        with pytest.raises(InvariantViolation) as err:
+            check_fleet_report(bad)
+        assert any("n_budget_shed" in str(d["field"])
+                   for d in err.value.details)
+
+    def test_slo_attainment_bounded(self):
+        report, _ = _fleet_report()
+        for poison in (-0.1, 1.5, float("nan")):
+            bad = dataclasses.replace(report, slo_attainment=poison)
+            with pytest.raises(InvariantViolation):
+                check_fleet_report(bad)
+
+    def test_negative_overload_counters_rejected(self):
+        report, _ = _fleet_report()
+        for field in ("n_shed", "n_budget_shed", "n_breaker_trips"):
+            bad = dataclasses.replace(report, **{field: -1})
+            with pytest.raises(InvariantViolation):
+                check_fleet_report(bad)
+
+    def test_legacy_report_without_offered_is_unchecked(self):
+        """n_offered == 0 (a hand-built legacy report) disables the
+        conservation check unless expected_requests pins it."""
+        report, _ = _fleet_report()
+        legacy = dataclasses.replace(report, n_offered=0, n_shed=2)
+        check_fleet_report(legacy)  # no conservation to enforce
+        with pytest.raises(InvariantViolation):
+            check_fleet_report(legacy, expected_requests=report.n_offered)
+
 
 # --------------------------------------------------------------------- #
 # slotted seed-run invariants

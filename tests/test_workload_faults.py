@@ -87,6 +87,177 @@ class TestFaultSchedule:
         assert sched.alive_mask(50.0).all()
 
 
+class TestBrownoutSeverity:
+    """Satellite + tentpole surface: intervals may carry a severity
+    (service-demand multiplier >= 1.0); infinity means fail-stop, and
+    only fail-stop intervals count as *down*."""
+
+    def test_bare_intervals_are_fail_stop(self):
+        sched = FaultSchedule([[(1.0, 3.0)]], horizon=10.0)
+        assert not sched.has_brownouts
+        assert sched.severity_at(0, 2.0) == float("inf")
+        assert sched.is_down(0, 2.0)
+
+    def test_brownout_interval_is_degraded_not_down(self):
+        sched = FaultSchedule([[(1.0, 3.0, 4.0)]], horizon=10.0)
+        assert sched.has_brownouts
+        assert not sched.is_down(0, 2.0)
+        assert sched.alive_mask(2.0).all()
+        assert sched.severity_at(0, 2.0) == 4.0
+        assert sched.severity_at(0, 0.5) == 1.0   # outside: nominal
+        assert sched.severity_at(0, 3.0) == 1.0   # half-open [start, end)
+        assert sched.down_time(0) == 0.0
+        assert sched.degraded_time(0) == pytest.approx(2.0)
+        assert sched.availability().tolist() == [1.0]
+
+    def test_mixed_intervals_split_accounting(self):
+        sched = FaultSchedule(
+            [[(1.0, 2.0, 2.0), (4.0, 6.0)]], horizon=10.0)
+        assert sched.has_brownouts
+        assert sched.down_time(0) == pytest.approx(2.0)
+        assert sched.degraded_time(0) == pytest.approx(1.0)
+        assert sched.interval_severities(0) == [2.0, float("inf")]
+        assert sched.availability().tolist() == [0.8]
+
+    def test_transitions_cover_fail_stop_only(self):
+        sched = FaultSchedule(
+            [[(1.0, 2.0, 2.0), (4.0, 6.0)], [(3.0, 5.0)]], horizon=10.0)
+        times, devices, downs = sched.transitions()
+        # the brownout interval contributes no down/up events
+        assert times.tolist() == [3.0, 4.0, 5.0, 6.0]
+        assert devices.tolist() == [1, 0, 1, 0]
+        assert downs.tolist() == [True, True, False, False]
+
+    @pytest.mark.parametrize("bad", [
+        [[(1.0, 2.0, 0.5)]],               # severity < 1
+        [[(1.0, 2.0, 0.0)]],
+        [[(1.0, 2.0, -3.0)]],
+        [[(1.0, 2.0, float("nan"))]],
+        [[(1.0, 2.0, 3.0, 4.0)]],          # not a pair/triple
+        [[(1.0,)]],
+    ])
+    def test_invalid_severity_raises(self, bad):
+        with pytest.raises(ValueError):
+            FaultSchedule(bad, horizon=10.0)
+
+
+class TestDownMaskVectorized:
+    """Satellite: ``down_mask(times)`` is one searchsorted sweep per
+    device; it must agree with per-instant ``is_down`` point queries on
+    every boundary convention."""
+
+    def test_matches_point_queries(self):
+        sched = FaultSchedule(
+            [[(1.0, 3.0), (5.0, 7.0, 2.0)], [], [(0.5, 2.0), (4.0, 6.0)]],
+            horizon=10.0,
+        )
+        times = np.array([0.0, 0.5, 1.0, 1.999, 2.0, 3.0, 4.0, 5.0, 6.0,
+                          6.999, 7.0, 9.9])
+        mask = sched.down_mask(times)
+        assert mask.shape == (times.size, 3)
+        for i, t in enumerate(times):
+            for d in range(3):
+                assert mask[i, d] == sched.is_down(d, float(t)), (t, d)
+
+    def test_unsorted_and_repeated_query_times(self):
+        sched = FaultSchedule([[(2.0, 5.0)]], horizon=10.0)
+        times = np.array([9.0, 2.0, 2.0, 1.0, 4.999, 5.0])
+        assert sched.down_mask(times)[:, 0].tolist() == [
+            False, True, True, False, True, False]
+
+    def test_brownouts_never_masked_down(self):
+        sched = FaultSchedule([[(0.0, 10.0, 100.0)]], horizon=10.0)
+        times = np.linspace(0.0, 9.9, 23)
+        assert not sched.down_mask(times).any()
+
+    def test_empty_times_and_empty_device(self):
+        sched = FaultSchedule([[(1.0, 2.0)], []], horizon=10.0)
+        assert sched.down_mask(np.array([])).shape == (0, 2)
+        assert not sched.down_mask(np.array([1.5]))[:, 1].any()
+
+    def test_random_schedules_fuzz(self):
+        rng = np.random.default_rng(424242)
+        for trial in range(25):
+            proc = FaultProcess(
+                mtbf=float(rng.uniform(3.0, 30.0)),
+                mttr=float(rng.uniform(1.0, 10.0)),
+                severity=(float(rng.uniform(1.0, 8.0))
+                          if trial % 3 == 0 else float("inf")),
+            )
+            sched = proc.realize(3, 200.0, seed=trial)
+            times = rng.uniform(-5.0, 205.0, size=64)
+            mask = sched.down_mask(times)
+            for i, t in enumerate(times):
+                for d in range(3):
+                    assert mask[i, d] == sched.is_down(d, float(t))
+
+
+class TestTransitionsAvailabilityOracle:
+    """Satellite: property-style fuzz — transitions() replay and
+    availability() must agree with a brute-force per-timestep oracle on
+    randomized interval sets, including adjacent and near-zero-length
+    intervals."""
+
+    def _random_schedule(self, rng, horizon=50.0):
+        """Random sorted, non-overlapping intervals per device, with
+        adjacent (end == next start) pairs and tiny intervals thrown
+        in, and a random subset made brownouts."""
+        n_devices = int(rng.integers(1, 5))
+        intervals = []
+        for _ in range(n_devices):
+            cuts = np.sort(rng.uniform(0.0, horizon, size=2 * int(
+                rng.integers(0, 5))))
+            dev = []
+            for s, e in zip(cuts[::2], cuts[1::2]):
+                if e <= s:
+                    continue
+                if rng.random() < 0.25:
+                    dev.append((float(s), float(e),
+                                float(rng.uniform(1.0, 6.0))))
+                else:
+                    dev.append((float(s), float(e)))
+            # occasionally make two intervals exactly adjacent
+            if len(dev) >= 2 and rng.random() < 0.5:
+                s0, e0 = dev[0][0], dev[0][1]
+                dev[1] = (e0, dev[1][1]) if dev[1][1] > e0 else dev[1]
+                dev = [d for d in dev if d[1] > d[0]]
+                dev.sort()
+            intervals.append(dev)
+        return FaultSchedule(intervals, horizon=horizon)
+
+    def test_transitions_replay_matches_alive_mask(self):
+        rng = np.random.default_rng(99)
+        for _ in range(20):
+            sched = self._random_schedule(rng)
+            times, devices, downs = sched.transitions()
+            assert np.all(np.diff(times) >= 0)
+            probes = np.concatenate([
+                rng.uniform(0.0, 50.0, size=40), times, times - 1e-9])
+            for t in probes:
+                alive = np.ones(sched.n_devices, dtype=bool)
+                for k in range(times.size):
+                    if times[k] <= t:
+                        alive[devices[k]] = not downs[k]
+                assert np.array_equal(alive, sched.alive_mask(float(t))), t
+
+    def test_availability_matches_riemann_oracle(self):
+        rng = np.random.default_rng(7)
+        grid = np.arange(0.0, 50.0, 0.01)
+        for _ in range(10):
+            sched = self._random_schedule(rng)
+            availability = sched.availability()
+            down = sched.down_mask(grid)
+            for d in range(sched.n_devices):
+                oracle = 1.0 - down[:, d].mean()
+                assert availability[d] == pytest.approx(oracle, abs=2e-3)
+
+    def test_overlapping_random_intervals_rejected(self):
+        with pytest.raises(ValueError):
+            FaultSchedule([[(0.0, 3.0, 2.0), (2.0, 4.0)]], horizon=10.0)
+        with pytest.raises(ValueError):
+            FaultSchedule([[(1.0, 1.0)]], horizon=10.0)  # zero-length
+
+
 class TestFaultProcess:
     def test_realize_is_pure_function_of_seed(self):
         proc = FaultProcess(mtbf=50.0, mttr=5.0)
@@ -143,10 +314,30 @@ class TestFaultProcess:
         {"mtbf": 1.0, "mttr": -2.0},
         {"mtbf": 1.0, "mttr": 1.0, "start_down": 1.0},
         {"mtbf": 1.0, "mttr": 1.0, "start_down": -0.1},
+        {"mtbf": 1.0, "mttr": 1.0, "severity": 0.5},
+        {"mtbf": 1.0, "mttr": 1.0, "severity": float("nan")},
     ])
     def test_invalid_process_raises(self, kwargs):
         with pytest.raises(ValueError):
             FaultProcess(**kwargs)
+
+    def test_brownout_process_realizes_brownout_schedule(self):
+        proc = FaultProcess(mtbf=20.0, mttr=5.0, severity=3.0)
+        sched = proc.realize(2, 500.0, seed=4)
+        assert sched.has_brownouts
+        assert sched.availability().tolist() == [1.0, 1.0]
+        sevs = [s for d in range(2) for s in sched.interval_severities(d)]
+        assert sevs and all(s == 3.0 for s in sevs)
+
+    def test_severity_does_not_perturb_interval_stream(self):
+        """The severity tag rides along without extra RNG draws: the
+        same seed yields the same intervals fail-stop or brownout."""
+        fail_stop = FaultProcess(mtbf=20.0, mttr=5.0).realize(
+            3, 500.0, seed=9)
+        brownout = FaultProcess(mtbf=20.0, mttr=5.0, severity=2.5).realize(
+            3, 500.0, seed=9)
+        for d in range(3):
+            assert fail_stop.intervals(d) == brownout.intervals(d)
 
 
 class TestResolveFaultSchedule:
